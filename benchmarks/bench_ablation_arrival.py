@@ -1,0 +1,101 @@
+"""Ablation ([27], §I) — bus arrival prediction from the traffic map.
+
+The system's first consumers are the bus riders themselves; the
+authors' earlier work predicted bus arrival times.  This bench measures
+how well arrival times predicted from the crowd-built traffic map match
+the simulated ground truth, as a function of prediction horizon, and
+against a timetable baseline that assumes free-flow running.
+"""
+
+import itertools
+
+import numpy as np
+
+from conftest import BENCH_SEED, report
+from repro.core.arrival import ArrivalPredictor
+from repro.eval.reporting import render_table
+from repro.sim.bus import BUS_FREE_SPEED_MS, simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+N_PROBE_TRIPS = 6
+MAX_HORIZON = 8
+ANCHOR_ORDER = 4
+
+
+def run_study(world, day_result):
+    """Predict arrivals for fresh morning trips from the day's map."""
+    rng = np.random.default_rng(BENCH_SEED + 13)
+    predictor = ArrivalPredictor(
+        world.city.route_network,
+        world.server.traffic_map,
+        model=world.config.traffic_model,
+    )
+    by_horizon = {h: [] for h in range(1, MAX_HORIZON + 1)}
+    baseline_by_horizon = {h: [] for h in range(1, MAX_HORIZON + 1)}
+    counter = itertools.count()
+    for k, route_id in enumerate(("179-0", "243-0", "252-1")):
+        route = world.city.route_network.route(route_id)
+        for j in range(N_PROBE_TRIPS // 3):
+            trace = simulate_bus_trip(
+                route,
+                parse_hhmm("08:15") + 600.0 * (k + j),
+                world.traffic,
+                counter,
+                rng=rng,
+                bus_config=world.config.bus,
+                rider_config=world.config.riders,
+            )
+            anchor = trace.visits[ANCHOR_ORDER]
+            predictions = predictor.predict(
+                route_id, anchor.station_id, anchor.depart_s, MAX_HORIZON
+            )
+            actual = {v.stop_order: v.arrival_s for v in trace.visits}
+            # Timetable baseline: free bus running + scheduled dwells.
+            t_baseline = anchor.depart_s
+            for p in predictions:
+                truth = actual[p.stop_order]
+                by_horizon[p.horizon_stops].append(abs(p.arrival_s - truth))
+                distance = route.distance_between(ANCHOR_ORDER, p.stop_order)
+                t_free = (
+                    anchor.depart_s
+                    + distance / BUS_FREE_SPEED_MS
+                    + predictor.dwell_s * (p.horizon_stops - 1)
+                )
+                baseline_by_horizon[p.horizon_stops].append(abs(t_free - truth))
+    return by_horizon, baseline_by_horizon
+
+
+def test_ablation_arrival_prediction(benchmark, paper_world, day_result):
+    by_horizon, baseline = benchmark.pedantic(
+        run_study, args=(paper_world, day_result), rounds=1, iterations=1
+    )
+
+    rows = []
+    for horizon in sorted(by_horizon):
+        ours = by_horizon[horizon]
+        free = baseline[horizon]
+        if not ours:
+            continue
+        rows.append([
+            horizon,
+            len(ours),
+            round(float(np.mean(ours)), 1),
+            round(float(np.mean(free)), 1),
+        ])
+    report(
+        "ablation_arrival",
+        render_table(
+            ["horizon (stops)", "predictions", "map-based MAE (s)",
+             "free-flow timetable MAE (s)"],
+            rows,
+            title="[27] ablation — arrival prediction from the crowd map",
+        ),
+    )
+
+    all_ours = [e for errs in by_horizon.values() for e in errs]
+    all_base = [e for errs in baseline.values() for e in errs]
+    # Map-based prediction beats the free-flow timetable during the rush.
+    assert float(np.mean(all_ours)) < float(np.mean(all_base))
+    # Short-horizon predictions are tight (under a minute at 1-2 stops).
+    near = by_horizon[1] + by_horizon[2]
+    assert float(np.mean(near)) < 60.0

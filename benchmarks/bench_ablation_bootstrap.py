@@ -1,0 +1,106 @@
+"""Ablation (§VI) — bootstrapping the fingerprint DB via bus drivers.
+
+The paper proposes seeding a new deployment by having bus drivers
+install the app: their phones ride known routes, so heard beep bursts
+can be labelled with stops and the fingerprint database builds itself
+online — no war-driving.  This bench measures how quickly the
+driver-built database converges to the quality of the offline survey.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SEED, report
+from repro.core import SampleMatcher
+from repro.core.bootstrap import DatabaseBootstrapper
+from repro.eval.reporting import render_table
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+
+ROUNDS = 3           # driver passes over every route
+
+
+def driver_upload(world, route, rng, round_index):
+    samples = []
+    t = 1000.0 * round_index
+    for route_stop in route.stops:
+        platform = world.city.registry.platform(route_stop.stop_id)
+        for k in range(2):
+            obs = world.scanner.scan(platform.position, rng)
+            samples.append(CellularSample(time_s=t + 2.0 * k, tower_ids=obs.tower_ids))
+        t += 90.0
+    return TripUpload(
+        trip_key=f"driver-{route.route_id}-{round_index}", samples=tuple(samples)
+    )
+
+
+def matching_accuracy(world, database, rng, probes_per_stop=3):
+    if len(database) == 0:
+        return 0.0
+    matcher = SampleMatcher(database.as_dict(), world.config.matching)
+    total = correct = 0
+    for station in world.city.registry.stations:
+        for rep in range(probes_per_stop):
+            obs = world.scanner.scan(station.stops[rep % 2].position, rng)
+            result = matcher.match(obs.tower_ids)
+            total += 1
+            correct += result.station_id == station.station_id
+    return correct / total
+
+
+def run_bootstrap(world):
+    rng = np.random.default_rng(BENCH_SEED + 11)
+    boot = DatabaseBootstrapper(
+        matching=world.config.matching,
+        clustering=world.config.clustering,
+        min_samples_to_promote=3,
+    )
+    all_stations = [s.station_id for s in world.city.registry.stations]
+    progress = []
+    for round_index in range(ROUNDS):
+        for route_id in world.city.route_network.route_ids:
+            route = world.city.route_network.route(route_id)
+            boot.ingest_driver_trip(
+                driver_upload(world, route, rng, round_index), route
+            )
+        progress.append(
+            (
+                round_index + 1,
+                boot.stats.driver_trips,
+                boot.coverage_fraction(all_stations),
+                matching_accuracy(world, boot.database,
+                                  np.random.default_rng(BENCH_SEED + 12)),
+            )
+        )
+    return boot, progress
+
+
+def test_ablation_bootstrap(benchmark, paper_world):
+    boot, progress = benchmark.pedantic(
+        run_bootstrap, args=(paper_world,), rounds=1, iterations=1
+    )
+    survey_accuracy = matching_accuracy(
+        paper_world, paper_world.database, np.random.default_rng(BENCH_SEED + 12)
+    )
+
+    rows = [
+        [rnd, trips, f"{100 * coverage:.0f}%", f"{100 * accuracy:.1f}%"]
+        for rnd, trips, coverage, accuracy in progress
+    ]
+    rows.append(["(offline survey)", "-", "100%", f"{100 * survey_accuracy:.1f}%"])
+    report(
+        "ablation_bootstrap",
+        render_table(
+            ["driver rounds", "driver trips", "DB coverage", "matching accuracy"],
+            rows,
+            title="§VI ablation — driver-bootstrapped fingerprint database",
+        ),
+    )
+
+    final_coverage = progress[-1][2]
+    final_accuracy = progress[-1][3]
+    assert final_coverage == 1.0
+    # Within a few points of the war-driven database.
+    assert final_accuracy > survey_accuracy - 0.05
+    # Coverage is monotone in driver effort.
+    coverages = [p[2] for p in progress]
+    assert all(b >= a for a, b in zip(coverages, coverages[1:]))

@@ -1,0 +1,53 @@
+"""Fig. 8 / Fig. 2(a) — the deployment region and its bus routes.
+
+Paper: a 7 km × 4 km (25 km²) region of Jurong West; 8 studied services
+covering "a major portion of the road system"; more than 100 bus stops;
+80% of roads in the area covered by 2+ routes when all services are
+counted (§III-A), and >50% coverage by the 8 studied ones (Fig. 9).
+"""
+
+from conftest import report
+from repro.city import build_city
+from repro.eval.reporting import render_table
+
+
+def build(spec=None):
+    return build_city(spec)
+
+
+def test_fig08_deployment(benchmark, paper_city):
+    city = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    directed_routes = city.route_network.routes
+    services = sorted({r.service_name for r in directed_routes})
+    route_lengths = {
+        s: next(r.length_m for r in directed_routes if r.service_name == s) / 1000.0
+        for s in services
+    }
+    rows = [
+        ["region size", "7 km x 4 km (25 km²)", f"{city.spec.width_m/1000:.0f} km x "
+         f"{city.spec.height_m/1000:.0f} km ({city.area_km2:.0f} km²)"],
+        ["studied services", "8", str(len(services))],
+        ["bus stops (stations)", "> 100", str(len(city.registry.stations))],
+        ["road coverage by the 8 services", "> 50%",
+         f"{100 * city.route_coverage_ratio():.0f}%"],
+        ["roads with 2+ services", "(80% with all ~20 routes)",
+         f"{100 * city.multi_route_ratio(2):.0f}% with the studied 8"],
+    ]
+    lengths = "\n".join(
+        f"  route {s}: {route_lengths[s]:.1f} km" for s in services
+    )
+    report(
+        "fig08_deployment",
+        render_table(
+            ["quantity", "paper", "measured"],
+            rows,
+            title="Fig. 8 — deployment region",
+        )
+        + "\nroute lengths:\n" + lengths,
+    )
+
+    assert city.area_km2 >= 25.0
+    assert len(services) == 8
+    assert len(city.registry.stations) > 100
+    assert city.route_coverage_ratio() > 0.5

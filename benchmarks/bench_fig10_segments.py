@@ -1,0 +1,129 @@
+"""Fig. 10 — per-segment time series: v_A vs official v_T vs Google level.
+
+Paper: two road segments, 9:30 AM – 5:30 PM, 17 values each averaged
+over 15-minute windows.  v_A matches v_T closely at low speeds, runs
+below it at high speeds (taxis drive more aggressively than buses in
+light traffic), and follows v_T's variation pattern, while the
+Google-style indicator only shows 4 coarse, slowly-updating levels.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SEED, report
+from repro.eval.comparison import segment_time_series
+from repro.eval.google_maps import GoogleMapsIndicator
+from repro.eval.metrics import pearson_correlation
+from repro.eval.reporting import render_table
+from repro.util.units import hhmm, parse_hhmm
+
+WINDOW_S = 900.0
+START = parse_hhmm("09:30")
+END = START + 17 * WINDOW_S          # the paper's 17 windows
+
+
+def pick_segments(result, google):
+    """One morning-congested segment (A) and one light segment (B).
+
+    Only segments with a v_A/v_T pair in (almost) every window qualify,
+    mirroring the paper's choice of two well-probed road segments;
+    segments the Google-style baseline also covers are preferred so all
+    three series can be compared.
+    """
+    windows = [START + k * WINDOW_S + WINDOW_S / 2 for k in range(17)]
+    traffic_map = result.server.traffic_map
+    qualified = []
+    for segment_id in sorted(result.city.route_network.covered_segments()):
+        speeds = []
+        for mid in windows:
+            v_a = traffic_map.published_speed(segment_id, mid)
+            v_t = result.official.speed_kmh(segment_id, mid)
+            if v_a is not None and v_t is not None:
+                speeds.append(v_a)
+        if len(speeds) >= 15:
+            qualified.append((segment_id, float(np.mean(speeds))))
+    if len(qualified) < 2:
+        raise AssertionError("no well-probed segments in the campaign")
+    on_google = [q for q in qualified if q[0] in google.covered_segments]
+    pool = on_google if len(on_google) >= 2 else qualified
+    slow = min(pool, key=lambda pair: pair[1])
+    fast = max(pool, key=lambda pair: pair[1])
+    return slow[0], fast[0]
+
+
+def build_series(result, google, segment_id):
+    return segment_time_series(
+        segment_id,
+        result.server.traffic_map,
+        result.official,
+        START,
+        END,
+        window_s=WINDOW_S,
+        google=google,
+    )
+
+
+def test_fig10_segment_series(benchmark, paper_world, day_result):
+    google = GoogleMapsIndicator(
+        paper_world.city.network, paper_world.traffic,
+        paper_world.config.google_maps, seed=BENCH_SEED,
+    )
+    seg_a, seg_b = pick_segments(day_result, google)
+    series_a = benchmark.pedantic(
+        build_series, args=(day_result, google, seg_a), rounds=1, iterations=1
+    )
+    series_b = build_series(day_result, google, seg_b)
+
+    text_parts = []
+    correlations = {}
+    gaps = {}
+    for label, segment_id, series in (("A", seg_a, series_a), ("B", seg_b, series_b)):
+        rows = []
+        paired_est, paired_off = [], []
+        for point in series:
+            level = point.google_level.name if point.google_level else "-"
+            rows.append([
+                hhmm(point.time_s),
+                "-" if point.estimated_kmh is None else round(point.estimated_kmh, 1),
+                "-" if point.official_kmh is None else round(point.official_kmh, 1),
+                level,
+            ])
+            if point.estimated_kmh is not None and point.official_kmh is not None:
+                paired_est.append(point.estimated_kmh)
+                paired_off.append(point.official_kmh)
+        correlations[label] = pearson_correlation(paired_est, paired_off)
+        gaps[label] = float(np.mean(np.array(paired_off) - np.array(paired_est)))
+        from repro.eval.figures import ascii_chart
+
+        chart = ascii_chart(
+            {
+                "v_A": [(p.time_s / 3600.0, p.estimated_kmh) for p in series],
+                "v_T": [(p.time_s / 3600.0, p.official_kmh) for p in series],
+            },
+            x_label="hour of day",
+            y_label="km/h",
+        )
+        text_parts.append(
+            render_table(
+                ["window", "v_A (ours)", "v_T (official)", "Google level"],
+                rows,
+                title=f"Fig. 10 — segment {label} = {segment_id}",
+            )
+            + f"\ncorrelation(v_A, v_T) = {correlations[label]:.2f}; "
+            f"mean v_T - v_A = {gaps[label]:.1f} km/h\n"
+            + chart + "\n"
+        )
+    report("fig10_segments", "\n".join(text_parts))
+
+    for label, series in (("A", series_a), ("B", series_b)):
+        have_both = [
+            p for p in series
+            if p.estimated_kmh is not None and p.official_kmh is not None
+        ]
+        assert len(have_both) >= 12, f"segment {label} lacks comparison windows"
+        # v_A follows v_T's variation pattern (the paper's key claim).
+        assert correlations[label] > 0.35, label
+    # The official taxi feed runs above our bus-derived estimate on
+    # average (aggressive taxi driving), and the faster segment shows
+    # the larger gap.
+    assert gaps["B"] > 0.0
+    assert gaps["B"] >= gaps["A"] - 1.0

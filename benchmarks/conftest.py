@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures: the paper-scale world and a full service day.
+
+The heavy campaign (all 16 directed routes, 07:00–20:00) is simulated
+once per benchmark session and shared by the Fig. 9/10/11 benches.
+Every bench renders its paper-vs-measured rows with :func:`report`,
+which both prints them and archives them under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.city import build_city
+from repro.sim.world import World
+from repro.util.units import parse_hhmm
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: Seed for everything in the benchmark session.
+BENCH_SEED = 7
+
+DAY_START = parse_hhmm("07:00")
+DAY_END = parse_hhmm("20:00")
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench's table and archive it under benchmarks/reports/."""
+    print()
+    print(f"===== {name} =====")
+    print(text)
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    with open(os.path.join(REPORT_DIR, f"{name}.txt"), "w", encoding="utf-8") as out:
+        out.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def paper_city():
+    return build_city()
+
+
+@pytest.fixture(scope="session")
+def paper_world(paper_city):
+    return World(city=paper_city, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def day_result(paper_world):
+    """One full service day over every route (the Fig. 9/10/11 campaign)."""
+    return paper_world.run(DAY_START, DAY_END)
+
+
+@pytest.fixture()
+def bench_rng():
+    return np.random.default_rng(BENCH_SEED)

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Urban Traffic Monitoring with the Help of Bus Riders".
+
+Zhou, Jiang & Li, IEEE ICDCS 2015.  A participatory urban traffic
+monitoring system: bus riders' phones detect IC-card beeps, sample
+cellular fingerprints, and a backend maps trips onto bus stops to
+estimate per-road-segment automobile speeds.
+
+Quick start::
+
+    from repro import build_city, simulate_day
+
+    city = build_city()
+    result = simulate_day(city, seed=1)
+    snapshot = result.server.traffic_map.snapshot(at_s=8.5 * 3600)
+
+See ``examples/quickstart.py`` for a runnable walk-through.
+"""
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SystemConfig",
+    "build_city",
+    "CitySpec",
+    "simulate_day",
+    "SimulationResult",
+    "BackendServer",
+    "FingerprintDatabase",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports so importing ``repro`` stays cheap."""
+    if name in ("build_city", "CitySpec"):
+        from repro import city as _city
+
+        return getattr(_city, name)
+    if name in ("simulate_day", "SimulationResult"):
+        from repro.sim import world as _world
+
+        return getattr(_world, name)
+    if name in ("BackendServer", "FingerprintDatabase"):
+        from repro import core as _core
+
+        return getattr(_core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

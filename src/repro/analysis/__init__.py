@@ -1,0 +1,38 @@
+"""Deployment analytics built on the system's outputs.
+
+Tools a city operator running this system would reach for: coverage
+accounting (which routes buy which roads), pipeline error attribution
+(where accuracy is lost between beep and map), and congestion incident
+detection on the fused speed series.
+"""
+
+from repro.analysis.attribution import PipelineAudit, audit_trip
+from repro.analysis.coverage import (
+    RouteContribution,
+    coverage_over_time,
+    redundancy_histogram,
+    route_contributions,
+)
+from repro.analysis.incidents import Incident, IncidentDetector, detect_incidents
+from repro.analysis.quality import (
+    ParticipantScore,
+    allocate_rewards,
+    leaderboard,
+    score_participants,
+)
+
+__all__ = [
+    "PipelineAudit",
+    "audit_trip",
+    "RouteContribution",
+    "coverage_over_time",
+    "redundancy_histogram",
+    "route_contributions",
+    "Incident",
+    "IncidentDetector",
+    "detect_incidents",
+    "ParticipantScore",
+    "allocate_rewards",
+    "leaderboard",
+    "score_participants",
+]

@@ -1,0 +1,154 @@
+"""Pipeline error attribution: where accuracy is lost, stage by stage.
+
+The paper evaluates each component separately (§IV-B bus stop
+identification, §IV-C traffic estimation).  :func:`audit_trip` runs one
+upload through the backend alongside the ground-truth bus trace and
+accounts for every sample and leg:
+
+* **sensing** — taps heard vs samples uploaded (missed beeps, strays);
+* **matching** — samples accepted and matched to the true station;
+* **clustering** — cluster purity against the true stop visits;
+* **mapping** — final stop identification accuracy;
+* **estimation** — per-leg speed error against the ground-truth field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.server import BackendServer, TripReport
+from repro.phone.trip_recorder import TripUpload
+from repro.sim.bus import BusTripTrace
+from repro.sim.traffic import TrafficField
+
+
+@dataclass
+class PipelineAudit:
+    """Stage-by-stage accounting of one trip through the pipeline."""
+
+    trip_key: str
+    taps_heard: int = 0
+    samples_uploaded: int = 0
+    samples_accepted: int = 0
+    samples_matched_correctly: int = 0
+    clusters: int = 0
+    clusters_pure: int = 0
+    stops_identified: int = 0
+    stops_correct: int = 0
+    leg_speed_errors_kmh: List[float] = field(default_factory=list)
+
+    @property
+    def detection_rate(self) -> float:
+        """Samples uploaded per tap heard."""
+        return self.samples_uploaded / self.taps_heard if self.taps_heard else 0.0
+
+    @property
+    def matching_accuracy(self) -> float:
+        """Correctly matched fraction of accepted samples."""
+        if not self.samples_accepted:
+            return 0.0
+        return self.samples_matched_correctly / self.samples_accepted
+
+    @property
+    def cluster_purity(self) -> float:
+        """Fraction of clusters whose samples all share one true stop."""
+        return self.clusters_pure / self.clusters if self.clusters else 0.0
+
+    @property
+    def identification_accuracy(self) -> float:
+        """Final mapped-stop accuracy."""
+        if not self.stops_identified:
+            return 0.0
+        return self.stops_correct / self.stops_identified
+
+    @property
+    def speed_mae_kmh(self) -> Optional[float]:
+        """Mean absolute per-segment speed error, if any legs estimated."""
+        if not self.leg_speed_errors_kmh:
+            return None
+        return float(np.mean(np.abs(self.leg_speed_errors_kmh)))
+
+
+def audit_trip(
+    trace: BusTripTrace,
+    upload: TripUpload,
+    server: BackendServer,
+    traffic: TrafficField,
+    rider_board_order: int,
+    rider_alight_order: int,
+) -> PipelineAudit:
+    """Process ``upload`` on ``server`` and audit every pipeline stage.
+
+    ``rider_board_order``/``rider_alight_order`` bound the stops the
+    phone could hear (its participant's ride).  The server's state *is*
+    mutated — the audit wraps a real :meth:`receive_trip` call.
+    """
+    audit = PipelineAudit(trip_key=upload.trip_key)
+    tap_stop: Dict[float, int] = {t.time_s: t.stop_order for t in trace.taps}
+    station_of_order = {v.stop_order: v.station_id for v in trace.visits}
+
+    audit.taps_heard = sum(
+        1
+        for t in trace.taps
+        if rider_board_order <= t.stop_order <= rider_alight_order
+    )
+    audit.samples_uploaded = len(upload.samples)
+
+    report = server.receive_trip(upload)
+    audit.samples_accepted = report.accepted_samples
+
+    def true_station(sample_time: float) -> Optional[int]:
+        order = tap_stop.get(sample_time)
+        return station_of_order.get(order) if order is not None else None
+
+    for cluster in report.clusters:
+        audit.clusters += 1
+        truths = {
+            true_station(member.time_s)
+            for member in cluster.samples
+            if true_station(member.time_s) is not None
+        }
+        if len(truths) == 1:
+            audit.clusters_pure += 1
+        for member in cluster.samples:
+            truth = true_station(member.time_s)
+            if truth is not None and member.match.station_id == truth:
+                audit.samples_matched_correctly += 1
+
+    if report.mapped is not None:
+        for stop in report.mapped.stops:
+            audit.stops_identified += 1
+            # Ground truth: the visit whose dwell window contains the
+            # cluster's sample burst.
+            candidates = [
+                v for v in trace.visits
+                if v.arrival_s - 5.0 <= stop.arrival_s <= v.depart_s + 5.0
+            ]
+            if candidates and candidates[0].station_id == stop.station_id:
+                audit.stops_correct += 1
+
+    for segment_id, speed_kmh, t in report.estimates:
+        truth_kmh = 3.6 * traffic.car_speed_ms(segment_id, t)
+        audit.leg_speed_errors_kmh.append(speed_kmh - truth_kmh)
+    return audit
+
+
+def merge_audits(audits: List[PipelineAudit]) -> PipelineAudit:
+    """Pool several audits into campaign-level totals."""
+    if not audits:
+        raise ValueError("nothing to merge")
+    merged = PipelineAudit(trip_key=f"merged[{len(audits)}]")
+    for audit in audits:
+        merged.taps_heard += audit.taps_heard
+        merged.samples_uploaded += audit.samples_uploaded
+        merged.samples_accepted += audit.samples_accepted
+        merged.samples_matched_correctly += audit.samples_matched_correctly
+        merged.clusters += audit.clusters
+        merged.clusters_pure += audit.clusters_pure
+        merged.stops_identified += audit.stops_identified
+        merged.stops_correct += audit.stops_correct
+        merged.leg_speed_errors_kmh.extend(audit.leg_speed_errors_kmh)
+    return merged

@@ -1,0 +1,91 @@
+"""Coverage accounting: which bus services buy which road segments.
+
+§III-A motivates the whole design with bus-route coverage ("75% in
+London, 79% in Singapore"); an operator extending the deployment wants
+to know each service's marginal contribution and where the monitored
+network is fragile (roads covered by a single service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.city.builder import City
+from repro.city.road_network import SegmentId
+from repro.core.traffic_map import TrafficMapEstimator
+
+
+@dataclass(frozen=True)
+class RouteContribution:
+    """One service's coverage accounting (both directions pooled)."""
+
+    service_name: str
+    roads_covered: int          # physical roads this service traverses
+    roads_exclusive: int        # covered by no other service
+    stations_served: int
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of this service's roads that others also cover."""
+        if self.roads_covered == 0:
+            return 0.0
+        return 1.0 - self.roads_exclusive / self.roads_covered
+
+
+def _roads_by_service(city: City) -> Dict[str, Set[Tuple[int, int]]]:
+    roads: Dict[str, Set[Tuple[int, int]]] = {}
+    for route in city.route_network.routes:
+        bucket = roads.setdefault(route.service_name, set())
+        for seg in route.segments:
+            bucket.add(tuple(sorted(seg)))
+    return roads
+
+
+def route_contributions(city: City) -> List[RouteContribution]:
+    """Per-service coverage accounting, sorted by roads covered."""
+    roads = _roads_by_service(city)
+    stations: Dict[str, Set[int]] = {}
+    for route in city.route_network.routes:
+        stations.setdefault(route.service_name, set()).update(
+            route.station_sequence
+        )
+    contributions = []
+    for service, covered in roads.items():
+        others: Set[Tuple[int, int]] = set()
+        for other, other_roads in roads.items():
+            if other != service:
+                others |= other_roads
+        contributions.append(
+            RouteContribution(
+                service_name=service,
+                roads_covered=len(covered),
+                roads_exclusive=len(covered - others),
+                stations_served=len(stations[service]),
+            )
+        )
+    contributions.sort(key=lambda c: (-c.roads_covered, c.service_name))
+    return contributions
+
+
+def redundancy_histogram(city: City) -> Dict[int, int]:
+    """How many physical roads are covered by exactly k services."""
+    per_road: Dict[Tuple[int, int], Set[str]] = {}
+    for route in city.route_network.routes:
+        for seg in route.segments:
+            per_road.setdefault(tuple(sorted(seg)), set()).add(route.service_name)
+    histogram: Dict[int, int] = {}
+    for services in per_road.values():
+        histogram[len(services)] = histogram.get(len(services), 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def coverage_over_time(
+    traffic_map: TrafficMapEstimator, times: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Published map coverage at each query time (fraction of all roads)."""
+    if not times:
+        raise ValueError("need at least one query time")
+    return [
+        (t, traffic_map.published_snapshot(t).coverage) for t in times
+    ]

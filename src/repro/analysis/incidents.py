@@ -1,0 +1,145 @@
+"""Congestion incident detection on the fused speed series.
+
+§I lists congestion reduction among the system's motivations; the
+operational counterpart is flagging when a road segment suddenly runs
+far below its recent norm (an accident, a breakdown, a closed lane).
+
+The detector compares each published speed against a rolling baseline
+(median of the previous ``baseline_frames`` publications) and opens an
+incident when the speed stays below ``drop_fraction`` of that baseline
+for ``min_frames`` consecutive frames — a debounced relative-drop rule
+robust to the daily profile (the baseline follows slow rush-hour
+swings; incidents are abrupt).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.road_network import SegmentId
+from repro.core.traffic_map import TrafficMapEstimator
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A detected congestion incident on one segment."""
+
+    segment_id: SegmentId
+    start_s: float
+    end_s: Optional[float]          # None: still open at series end
+    baseline_kmh: float
+    worst_speed_kmh: float
+
+    @property
+    def severity(self) -> float:
+        """Relative speed loss at the worst point (0 = none, 1 = standstill)."""
+        if self.baseline_kmh <= 0:
+            return 0.0
+        return 1.0 - self.worst_speed_kmh / self.baseline_kmh
+
+
+class IncidentDetector:
+    """Streaming relative-drop detector over one segment's speed series."""
+
+    def __init__(
+        self,
+        baseline_frames: int = 8,
+        drop_fraction: float = 0.6,
+        min_frames: int = 2,
+        lag_frames: int = 2,
+    ):
+        """``lag_frames`` excludes the most recent frames from the
+        baseline: the fused map *glides* into an incident over a couple
+        of publications (Bayesian smoothing), and without the lag that
+        glide would erode the baseline and mask the drop."""
+        if baseline_frames < 2:
+            raise ValueError("baseline needs at least two frames")
+        if not 0.0 < drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        if min_frames < 1:
+            raise ValueError("min_frames must be >= 1")
+        if lag_frames < 0:
+            raise ValueError("lag_frames must be >= 0")
+        self.baseline_frames = baseline_frames
+        self.drop_fraction = drop_fraction
+        self.min_frames = min_frames
+        self.lag_frames = lag_frames
+
+    def scan(
+        self,
+        segment_id: SegmentId,
+        series: Sequence[Tuple[float, float]],
+    ) -> List[Incident]:
+        """Detect incidents in a (time, speed_kmh) series."""
+        history: List[float] = []
+        incidents: List[Incident] = []
+        below_since: Optional[float] = None
+        below_count = 0
+        baseline_at_open = 0.0
+        worst = float("inf")
+        open_incident = False
+
+        def close(end_time: Optional[float]) -> None:
+            nonlocal open_incident, below_since, below_count, worst
+            if open_incident:
+                incidents.append(
+                    Incident(
+                        segment_id=segment_id,
+                        start_s=below_since,
+                        end_s=end_time,
+                        baseline_kmh=baseline_at_open,
+                        worst_speed_kmh=worst,
+                    )
+                )
+            open_incident = False
+            below_since = None
+            below_count = 0
+            worst = float("inf")
+
+        for t, speed in series:
+            if len(history) >= self.baseline_frames + self.lag_frames:
+                window_end = len(history) - self.lag_frames
+                baseline = statistics.median(
+                    history[window_end - self.baseline_frames : window_end]
+                )
+                if speed < self.drop_fraction * baseline:
+                    if below_since is None:
+                        below_since = t
+                        baseline_at_open = baseline
+                    below_count += 1
+                    worst = min(worst, speed)
+                    if below_count >= self.min_frames:
+                        open_incident = True
+                else:
+                    close(t)
+            # Depressed frames must not drag the baseline down with them,
+            # or a long incident would "normalise" itself.
+            if below_since is None:
+                history.append(speed)
+        close(None)
+        return incidents
+
+
+def detect_incidents(
+    traffic_map: TrafficMapEstimator,
+    segment_ids: Sequence[SegmentId],
+    times: Sequence[float],
+    detector: Optional[IncidentDetector] = None,
+) -> List[Incident]:
+    """Scan published speed series of many segments for incidents."""
+    if not times:
+        raise ValueError("need query times")
+    detector = detector or IncidentDetector()
+    incidents: List[Incident] = []
+    for segment_id in segment_ids:
+        series = [
+            (t, speed)
+            for t in times
+            if (speed := traffic_map.published_speed(segment_id, t)) is not None
+        ]
+        if len(series) > detector.baseline_frames:
+            incidents.extend(detector.scan(segment_id, series))
+    incidents.sort(key=lambda i: (i.start_s, i.segment_id))
+    return incidents

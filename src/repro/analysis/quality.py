@@ -1,0 +1,106 @@
+"""Participant data quality and incentive allocation.
+
+§VI: "How to encourage bus riders participation for consistent and
+good performance is important."  Any incentive scheme needs two
+primitives this module provides:
+
+* **scoring** — how much usable signal each participant contributed
+  (accepted samples, stops resolved, road segments updated); and
+* **allocation** — dividing a reward budget so that *marginal* coverage
+  is what pays: a segment update is worth more the fewer other reports
+  that segment received, which steers riders toward under-probed routes
+  instead of piling onto the busiest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.city.road_network import SegmentId
+from repro.core.server import TripReport
+
+
+@dataclass
+class ParticipantScore:
+    """Contribution accounting for one participant (one phone)."""
+
+    participant: str
+    trips: int = 0
+    samples: int = 0
+    samples_accepted: int = 0
+    stops_resolved: int = 0
+    segments_updated: List[SegmentId] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of uploaded samples the backend could use."""
+        return self.samples_accepted / self.samples if self.samples else 0.0
+
+    @property
+    def distinct_segments(self) -> int:
+        """Distinct road segments this participant's trips informed."""
+        return len(set(self.segments_updated))
+
+
+def participant_of(trip_key: str) -> str:
+    """Participant identity from a trip key (``rider-<id>#<n>``)."""
+    return trip_key.split("#", 1)[0]
+
+
+def score_participants(reports: Sequence[TripReport]) -> Dict[str, ParticipantScore]:
+    """Aggregate backend trip reports into per-participant scores."""
+    scores: Dict[str, ParticipantScore] = {}
+    for report in reports:
+        who = participant_of(report.trip_key)
+        score = scores.setdefault(who, ParticipantScore(participant=who))
+        score.trips += 1
+        score.samples += report.accepted_samples + report.discarded_samples
+        score.samples_accepted += report.accepted_samples
+        if report.mapped is not None:
+            score.stops_resolved += len(report.mapped.stops)
+        score.segments_updated.extend(seg for seg, _, _ in report.estimates)
+    return scores
+
+
+def allocate_rewards(
+    scores: Mapping[str, ParticipantScore],
+    budget: float,
+) -> Dict[str, float]:
+    """Split ``budget`` by marginal coverage value.
+
+    Each segment update is worth ``1 / (total reports on that segment)``
+    — the scarcer the coverage, the higher the unit value — and a
+    participant's share is their summed value over all their updates.
+    Participants contributing nothing usable receive nothing; if nobody
+    contributed, the budget stays unspent (all-zero allocation).
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    report_counts: Dict[SegmentId, int] = {}
+    for score in scores.values():
+        for segment in score.segments_updated:
+            report_counts[segment] = report_counts.get(segment, 0) + 1
+
+    values: Dict[str, float] = {}
+    for who, score in scores.items():
+        values[who] = sum(
+            1.0 / report_counts[segment] for segment in score.segments_updated
+        )
+    total_value = sum(values.values())
+    if total_value == 0.0:
+        return {who: 0.0 for who in scores}
+    return {who: budget * value / total_value for who, value in values.items()}
+
+
+def leaderboard(
+    scores: Mapping[str, ParticipantScore], top: int = 10
+) -> List[Tuple[str, ParticipantScore]]:
+    """Top contributors by distinct segments, then accepted samples."""
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    ranked = sorted(
+        scores.items(),
+        key=lambda kv: (-kv[1].distinct_segments, -kv[1].samples_accepted, kv[0]),
+    )
+    return ranked[:top]

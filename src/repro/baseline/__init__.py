@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares against.
+
+The paper's related work contrasts its cellular/beep approach with
+GPS-probe systems (VTrack [22], taxi-fleet probes [8], [25]).  This
+package implements that family: phones on buses sampling GPS with
+urban-canyon error, map-matched onto the road network, producing
+per-segment speed estimates — at GPS power cost.
+"""
+
+from repro.baseline.gps_probe import (
+    GpsProbeEstimator,
+    GpsTrace,
+    MapMatcher,
+    simulate_gps_probe_trace,
+)
+
+__all__ = [
+    "GpsProbeEstimator",
+    "GpsTrace",
+    "MapMatcher",
+    "simulate_gps_probe_trace",
+]

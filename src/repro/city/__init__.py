@@ -1,0 +1,26 @@
+"""Synthetic city substrate: road network, stops, routes, GTFS feed I/O."""
+
+from repro.city.builder import City, CitySpec, PAPER_SERVICES, build_city
+from repro.city.geometry import Point, Polyline
+from repro.city.road_network import RoadClass, RoadNetwork, RoadSegment
+from repro.city.routes import BusRoute, RouteNetwork, RouteStop
+from repro.city.stops import BusStop, Station, StopRegistry, make_two_sided_station
+
+__all__ = [
+    "City",
+    "CitySpec",
+    "PAPER_SERVICES",
+    "build_city",
+    "Point",
+    "Polyline",
+    "RoadClass",
+    "RoadNetwork",
+    "RoadSegment",
+    "BusRoute",
+    "RouteNetwork",
+    "RouteStop",
+    "BusStop",
+    "Station",
+    "StopRegistry",
+    "make_two_sided_station",
+]

@@ -1,0 +1,300 @@
+"""Synthetic city generator modelled on the paper's deployment region.
+
+The experiments ran in Jurong West, Singapore: a ~7 km x 4 km (25 km²)
+area with a dense grid of roads, more than 100 bus stops, and 8 studied
+bus services (§IV-A, Fig. 8).  :func:`build_city` generates a grid road
+network of that scale, places two-sided stations, and lays out snaking
+bus routes (one route object per direction) that mimic how real services
+cross the area.
+
+Everything is deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.city.geometry import Point
+from repro.city.road_network import NodeId, RoadClass, RoadNetwork
+from repro.city.routes import BusRoute, RouteNetwork
+from repro.city.stops import StopRegistry, make_two_sided_station
+from repro.util.rng import ensure_rng
+
+#: Bus services studied in the paper (§IV-A; route "103" is partial).
+PAPER_SERVICES: Tuple[str, ...] = (
+    "179", "199", "240", "243", "252", "257", "282", "103",
+)
+
+
+@dataclass(frozen=True)
+class CitySpec:
+    """Parameters of the synthetic deployment region."""
+
+    name: str = "jurong-west"
+    width_m: float = 7000.0
+    height_m: float = 4000.0
+    spacing_m: float = 420.0            # intersection spacing → stop spacing
+    major_every: int = 3                # every k-th grid line is a major road
+    services: Tuple[str, ...] = PAPER_SERVICES
+    partial_services: Tuple[str, ...] = ("103",)  # truncated routes
+    jogs_per_route: int = 2
+    seed: int = 7
+
+
+@dataclass
+class City:
+    """A fully built synthetic city."""
+
+    spec: CitySpec
+    network: RoadNetwork
+    registry: StopRegistry
+    route_network: RouteNetwork
+
+    @property
+    def name(self) -> str:
+        """City name from the spec."""
+        return self.spec.name
+
+    @property
+    def area_km2(self) -> float:
+        """Region area in km²."""
+        return self.spec.width_m * self.spec.height_m / 1e6
+
+    def route_coverage_ratio(self) -> float:
+        """Fraction of physical roads traversed by at least one route."""
+        covered = {
+            tuple(sorted(seg)) for seg in self.route_network.covered_segments()
+        }
+        total = len(self.network.undirected_segment_ids())
+        return len(covered) / total if total else 0.0
+
+    def multi_route_ratio(self, min_routes: int = 2) -> float:
+        """Fraction of physical roads covered by ``min_routes``+ services.
+
+        Both directions of one service count once per road.
+        """
+        per_service: Dict[Tuple[int, int], set] = {}
+        for route in self.route_network.routes:
+            for seg in route.segments:
+                key = tuple(sorted(seg))
+                per_service.setdefault(key, set()).add(route.service_name)
+        total = len(self.network.undirected_segment_ids())
+        hits = sum(1 for services in per_service.values() if len(services) >= min_routes)
+        return hits / total if total else 0.0
+
+
+class _Grid:
+    """Row/column indexing over the grid road network."""
+
+    def __init__(self, rows: int, cols: int, spacing: float):
+        self.rows = rows
+        self.cols = cols
+        self.spacing = spacing
+
+    def node_id(self, row: int, col: int) -> NodeId:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"grid index ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def position(self, row: int, col: int) -> Point:
+        return Point(col * self.spacing, row * self.spacing)
+
+
+def build_city(spec: Optional[CitySpec] = None) -> City:
+    """Generate the synthetic deployment region.
+
+    Returns a :class:`City` with a grid road network, two-sided stations
+    at every route-served intersection, and two directed routes per
+    service in ``spec.services``.
+    """
+    spec = spec or CitySpec()
+    rng = ensure_rng(spec.seed)
+    rows = max(2, int(round(spec.height_m / spec.spacing_m)) + 1)
+    cols = max(2, int(round(spec.width_m / spec.spacing_m)) + 1)
+    grid = _Grid(rows, cols, spec.spacing_m)
+
+    network = _build_grid_network(grid, spec)
+    paths = _plan_route_paths(grid, spec, rng)
+
+    # Stations at every node served by at least one route.
+    served_nodes: Dict[NodeId, float] = {}
+    for path in paths.values():
+        for idx, node in enumerate(path):
+            if node not in served_nodes:
+                served_nodes[node] = _travel_heading(network, path, idx)
+
+    registry = StopRegistry()
+    for node, heading_rad in sorted(served_nodes.items()):
+        row, col = divmod(node, cols)
+        name = f"{spec.name.title()} Ave {row} / St {col}"
+        registry.add_station(
+            make_two_sided_station(node, name, network.node_position(node), heading_rad)
+        )
+
+    routes: List[BusRoute] = []
+    for service, path in paths.items():
+        routes.append(
+            BusRoute(
+                route_id=f"{service}-0",
+                service_name=service,
+                direction=0,
+                node_path=path,
+                network=network,
+                registry=registry,
+            )
+        )
+        routes.append(
+            BusRoute(
+                route_id=f"{service}-1",
+                service_name=service,
+                direction=1,
+                node_path=list(reversed(path)),
+                network=network,
+                registry=registry,
+            )
+        )
+    return City(spec, network, registry, RouteNetwork(routes))
+
+
+def _build_grid_network(grid: _Grid, spec: CitySpec) -> RoadNetwork:
+    network = RoadNetwork()
+    for row in range(grid.rows):
+        for col in range(grid.cols):
+            network.add_node(grid.node_id(row, col), grid.position(row, col))
+    for row in range(grid.rows):
+        for col in range(grid.cols):
+            node = grid.node_id(row, col)
+            if col + 1 < grid.cols:
+                cls = RoadClass.MAJOR if row % spec.major_every == 0 else RoadClass.MINOR
+                network.add_road(node, grid.node_id(row, col + 1), cls)
+            if row + 1 < grid.rows:
+                cls = RoadClass.MAJOR if col % spec.major_every == 0 else RoadClass.MINOR
+                network.add_road(node, grid.node_id(row + 1, col), cls)
+    return network
+
+
+def _plan_route_paths(
+    grid: _Grid, spec: CitySpec, rng: np.random.Generator
+) -> Dict[str, List[NodeId]]:
+    """Snaking node paths, alternating east-west and north-south services."""
+    paths: Dict[str, List[NodeId]] = {}
+    ew_rows = _spread(grid.rows, sum(1 for i, _ in enumerate(spec.services) if i % 2 == 0))
+    ns_cols = _spread(grid.cols, sum(1 for i, _ in enumerate(spec.services) if i % 2 == 1))
+    ew_idx = ns_idx = 0
+    for i, service in enumerate(spec.services):
+        if i % 2 == 0:
+            path = _snake_east_west(grid, ew_rows[ew_idx], spec.jogs_per_route, rng)
+            ew_idx += 1
+        else:
+            path = _snake_north_south(grid, ns_cols[ns_idx], spec.jogs_per_route, rng)
+            ns_idx += 1
+        if service in spec.partial_services:
+            keep = max(4, int(len(path) * 0.55))
+            path = path[:keep]
+        paths[service] = path
+    return paths
+
+
+def _spread(extent: int, count: int) -> List[int]:
+    """``count`` distinct indices spread across ``range(extent)``."""
+    if count <= 0:
+        return []
+    if count == 1:
+        return [extent // 2]
+    step = (extent - 1) / (count - 1)
+    return sorted({min(extent - 1, int(round(i * step))) for i in range(count)})
+
+
+def _snake_east_west(
+    grid: _Grid, base_row: int, jogs: int, rng: np.random.Generator
+) -> List[NodeId]:
+    """Serpentine east-west route sweeping ``base_row`` and a neighbour row.
+
+    Real Singapore services are long (often 15+ km) and double back
+    through estates; a two-row serpentine reproduces both the length and
+    the high road coverage of the paper's 8 studied routes.
+    """
+    second_row = base_row + 1 if base_row + 1 < grid.rows else base_row - 1
+    path = [grid.node_id(base_row, col) for col in range(grid.cols)]
+    path.extend(
+        grid.node_id(second_row, col) for col in range(grid.cols - 1, -1, -1)
+    )
+    return _jitter_path(grid, path, jogs, rng)
+
+
+def _snake_north_south(
+    grid: _Grid, base_col: int, jogs: int, rng: np.random.Generator
+) -> List[NodeId]:
+    """Serpentine north-south route sweeping ``base_col`` and a neighbour."""
+    second_col = base_col + 1 if base_col + 1 < grid.cols else base_col - 1
+    path = [grid.node_id(row, base_col) for row in range(grid.rows)]
+    path.extend(
+        grid.node_id(row, second_col) for row in range(grid.rows - 1, -1, -1)
+    )
+    return _jitter_path(grid, path, jogs, rng)
+
+
+def _jitter_path(
+    grid: _Grid, path: List[NodeId], jogs: int, rng: np.random.Generator
+) -> List[NodeId]:
+    """Displace a few interior legs sideways so routes are not ruler-straight.
+
+    A jog replaces node ``p[i]`` with a neighbour off the sweep line,
+    keeping grid adjacency by inserting the two detour corners.
+    """
+    if jogs <= 0:
+        return path
+    result = list(path)
+    candidates = list(range(2, len(result) - 2))
+    rng.shuffle(candidates)
+    applied = 0
+    for i in candidates:
+        if applied >= jogs:
+            break
+        prev_r, prev_c = divmod(result[i - 1], grid.cols)
+        cur_r, cur_c = divmod(result[i], grid.cols)
+        nxt_r, nxt_c = divmod(result[i + 1], grid.cols)
+        detour: List[NodeId] = []
+        if prev_r == cur_r == nxt_r and abs(nxt_c - prev_c) == 2:
+            # Straight horizontal run: bump the middle node to a side row.
+            side = cur_r + int(rng.choice([-1, 1]))
+            if 0 <= side < grid.rows:
+                detour = [
+                    grid.node_id(side, prev_c),
+                    grid.node_id(side, cur_c),
+                    grid.node_id(side, nxt_c),
+                ]
+        elif prev_c == cur_c == nxt_c and abs(nxt_r - prev_r) == 2:
+            # Straight vertical run: bump the middle node to a side column.
+            side = cur_c + int(rng.choice([-1, 1]))
+            if 0 <= side < grid.cols:
+                detour = [
+                    grid.node_id(prev_r, side),
+                    grid.node_id(cur_r, side),
+                    grid.node_id(nxt_r, side),
+                ]
+        if detour and not set(detour) & set(result):
+            result[i : i + 1] = detour
+            applied += 1
+    return _dedupe_consecutive(result)
+
+
+def _dedupe_consecutive(path: List[NodeId]) -> List[NodeId]:
+    out = [path[0]]
+    for node in path[1:]:
+        if node != out[-1]:
+            out.append(node)
+    return out
+
+
+def _travel_heading(network: RoadNetwork, path: Sequence[NodeId], idx: int) -> float:
+    from repro.city.geometry import heading as _heading
+
+    if idx + 1 < len(path):
+        a, b = path[idx], path[idx + 1]
+    else:
+        a, b = path[idx - 1], path[idx]
+    return _heading(network.node_position(a), network.node_position(b)) % (2 * np.pi)

@@ -1,0 +1,125 @@
+"""Planar geometry primitives for the synthetic city.
+
+The deployment region is small (a few km across), so we work in a local
+planar coordinate frame in metres rather than latitude/longitude; the
+GTFS exporter converts to WGS84 around an anchor point when needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the local planar frame, metres east/north of the origin."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """Return this point translated by ``(dx, dy)`` metres."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint of the segment to ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def heading(a: Point, b: Point) -> float:
+    """Bearing from ``a`` to ``b`` in radians, measured from +x axis."""
+    return math.atan2(b.y - a.y, b.x - a.x)
+
+
+def unit_normal(a: Point, b: Point) -> Tuple[float, float]:
+    """Unit vector perpendicular (left side) to the direction a→b."""
+    length = a.distance_to(b)
+    if length == 0:
+        raise ValueError("cannot take the normal of a zero-length segment")
+    return (-(b.y - a.y) / length, (b.x - a.x) / length)
+
+
+class Polyline:
+    """An ordered chain of points with arc-length interpolation."""
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) < 2:
+            raise ValueError("a polyline needs at least two points")
+        self.points: List[Point] = list(points)
+        self._cumulative: List[float] = [0.0]
+        for prev, cur in zip(self.points, self.points[1:]):
+            self._cumulative.append(self._cumulative[-1] + prev.distance_to(cur))
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return self._cumulative[-1]
+
+    def point_at(self, arc: float) -> Point:
+        """Point at arc-length ``arc`` from the start (clamped to ends)."""
+        if arc <= 0:
+            return self.points[0]
+        if arc >= self.length:
+            return self.points[-1]
+        # Binary search for the containing leg.
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] <= arc:
+                lo = mid
+            else:
+                hi = mid
+        leg_start = self.points[lo]
+        leg_end = self.points[lo + 1]
+        leg_len = self._cumulative[lo + 1] - self._cumulative[lo]
+        frac = (arc - self._cumulative[lo]) / leg_len if leg_len > 0 else 0.0
+        return Point(
+            leg_start.x + frac * (leg_end.x - leg_start.x),
+            leg_start.y + frac * (leg_end.y - leg_start.y),
+        )
+
+    def sample(self, spacing: float) -> List[Point]:
+        """Points every ``spacing`` metres along the line (both ends included)."""
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        arcs = [i * spacing for i in range(int(self.length // spacing) + 1)]
+        if arcs[-1] < self.length:
+            arcs.append(self.length)
+        return [self.point_at(a) for a in arcs]
+
+
+def distance_point_to_segment(p: Point, a: Point, b: Point) -> float:
+    """Distance from ``p`` to the line segment ``a``–``b``."""
+    ax, ay = b.x - a.x, b.y - a.y
+    length_sq = ax * ax + ay * ay
+    if length_sq == 0:
+        return p.distance_to(a)
+    t = ((p.x - a.x) * ax + (p.y - a.y) * ay) / length_sq
+    t = max(0.0, min(1.0, t))
+    return p.distance_to(Point(a.x + t * ax, a.y + t * ay))
+
+
+def path_length(points: Iterable[Point]) -> float:
+    """Total length of a chain of points in metres."""
+    pts = list(points)
+    return sum(a.distance_to(b) for a, b in zip(pts, pts[1:]))
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Axis-aligned bounding box ``(lower_left, upper_right)``."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of an empty point set")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

@@ -1,0 +1,262 @@
+"""GTFS-flavoured transit feed export/import.
+
+The paper's backend consumes public information: bus stop locations and
+bus route operations "readily available on the web" (§III-A).  In
+practice agencies publish this as GTFS.  This module writes the
+synthetic city to a minimal GTFS feed (agency/stops/routes/trips/
+stop_times) and reads such feeds back into a light
+:class:`TransitFeed` structure the backend can consume, so the system
+works against the standard interchange format rather than our internal
+classes.
+
+Coordinates are converted between the local planar frame and WGS84
+around a Jurong-West anchor point.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.builder import City
+from repro.city.geometry import Point
+from repro.util.units import hhmm
+
+#: Anchor of the planar frame (Jurong West, Singapore).
+ANCHOR_LAT = 1.340
+ANCHOR_LON = 103.700
+_M_PER_DEG_LAT = 111_320.0
+
+
+def planar_to_wgs84(point: Point) -> Tuple[float, float]:
+    """Convert local planar metres to (lat, lon) around the anchor."""
+    lat = ANCHOR_LAT + point.y / _M_PER_DEG_LAT
+    lon = ANCHOR_LON + point.x / (_M_PER_DEG_LAT * math.cos(math.radians(ANCHOR_LAT)))
+    return lat, lon
+
+
+def wgs84_to_planar(lat: float, lon: float) -> Point:
+    """Convert (lat, lon) back to local planar metres."""
+    y = (lat - ANCHOR_LAT) * _M_PER_DEG_LAT
+    x = (lon - ANCHOR_LON) * _M_PER_DEG_LAT * math.cos(math.radians(ANCHOR_LAT))
+    return Point(x, y)
+
+
+@dataclass(frozen=True)
+class FeedStop:
+    """A stop row from ``stops.txt`` (one physical platform)."""
+
+    stop_id: str
+    name: str
+    position: Point
+    station_id: str
+
+
+@dataclass(frozen=True)
+class FeedTrip:
+    """A trip from ``trips.txt`` + its ordered timed stops."""
+
+    trip_id: str
+    route_id: str
+    stop_ids: Tuple[str, ...]
+    arrival_s: Tuple[float, ...]
+
+
+@dataclass
+class TransitFeed:
+    """Parsed GTFS-like feed: stops, route stop sequences, trips."""
+
+    agency: str
+    stops: Dict[str, FeedStop] = field(default_factory=dict)
+    route_stop_sequences: Dict[str, List[str]] = field(default_factory=dict)
+    trips: List[FeedTrip] = field(default_factory=list)
+
+    def station_of(self, stop_id: str) -> str:
+        """Parent-station id of a platform."""
+        return self.stops[stop_id].station_id
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on referential or ordering problems."""
+        for route_id, seq in self.route_stop_sequences.items():
+            if len(seq) < 2:
+                raise ValueError(f"route {route_id} has fewer than 2 stops")
+            for stop_id in seq:
+                if stop_id not in self.stops:
+                    raise ValueError(f"route {route_id} references unknown stop {stop_id}")
+        for trip in self.trips:
+            if trip.route_id not in self.route_stop_sequences:
+                raise ValueError(f"trip {trip.trip_id} references unknown route")
+            if len(trip.stop_ids) != len(trip.arrival_s):
+                raise ValueError(f"trip {trip.trip_id} has mismatched stop/time lengths")
+            if any(b < a for a, b in zip(trip.arrival_s, trip.arrival_s[1:])):
+                raise ValueError(f"trip {trip.trip_id} arrival times not monotonic")
+
+
+def export_city(
+    city: City,
+    directory: str,
+    trips: Optional[Sequence[FeedTrip]] = None,
+    agency: str = "Repro Transit",
+) -> None:
+    """Write the city (and optional scheduled trips) as a GTFS-like feed."""
+    os.makedirs(directory, exist_ok=True)
+
+    with _writer(directory, "agency.txt") as out:
+        out.writerow(["agency_id", "agency_name", "agency_timezone"])
+        out.writerow(["repro", agency, "Asia/Singapore"])
+
+    with _writer(directory, "stops.txt") as out:
+        out.writerow(
+            ["stop_id", "stop_name", "stop_lat", "stop_lon", "parent_station"]
+        )
+        for station in city.registry.stations:
+            lat, lon = planar_to_wgs84(station.position)
+            out.writerow(
+                [f"ST{station.station_id:04d}", station.name, f"{lat:.6f}", f"{lon:.6f}", ""]
+            )
+            for platform in station.stops:
+                plat, plon = planar_to_wgs84(platform.position)
+                out.writerow(
+                    [
+                        platform.stop_id,
+                        f"{station.name} ({platform.heading_label})",
+                        f"{plat:.6f}",
+                        f"{plon:.6f}",
+                        f"ST{station.station_id:04d}",
+                    ]
+                )
+
+    with _writer(directory, "routes.txt") as out:
+        out.writerow(["route_id", "agency_id", "route_short_name", "route_type"])
+        for route in city.route_network.routes:
+            out.writerow([route.route_id, "repro", route.service_name, 3])
+
+    with _writer(directory, "route_stops.txt") as out:
+        # Non-standard helper table: route stop order without needing trips.
+        out.writerow(["route_id", "stop_sequence", "stop_id"])
+        for route in city.route_network.routes:
+            for rs in route.stops:
+                out.writerow([route.route_id, rs.order, rs.stop_id])
+
+    trips = list(trips or [])
+    with _writer(directory, "trips.txt") as out:
+        out.writerow(["route_id", "service_id", "trip_id"])
+        for trip in trips:
+            out.writerow([trip.route_id, "WD", trip.trip_id])
+
+    with _writer(directory, "stop_times.txt") as out:
+        out.writerow(["trip_id", "arrival_time", "departure_time", "stop_id", "stop_sequence"])
+        for trip in trips:
+            for seq, (stop_id, arr) in enumerate(zip(trip.stop_ids, trip.arrival_s)):
+                stamp = hhmm(arr) + ":00"
+                out.writerow([trip.trip_id, stamp, stamp, stop_id, seq])
+
+
+def import_feed(directory: str) -> TransitFeed:
+    """Read a feed written by :func:`export_city` (or hand-authored)."""
+    agency = "unknown"
+    agency_path = os.path.join(directory, "agency.txt")
+    if os.path.exists(agency_path):
+        rows = _read(agency_path)
+        if rows:
+            agency = rows[0].get("agency_name", agency)
+
+    feed = TransitFeed(agency=agency)
+
+    for row in _read(os.path.join(directory, "stops.txt")):
+        parent = row.get("parent_station", "")
+        if not parent:
+            continue  # station rows carry no platform of their own
+        position = wgs84_to_planar(float(row["stop_lat"]), float(row["stop_lon"]))
+        feed.stops[row["stop_id"]] = FeedStop(
+            stop_id=row["stop_id"],
+            name=row["stop_name"],
+            position=position,
+            station_id=parent,
+        )
+
+    sequences: Dict[str, List[Tuple[int, str]]] = {}
+    route_stops_path = os.path.join(directory, "route_stops.txt")
+    if os.path.exists(route_stops_path):
+        for row in _read(route_stops_path):
+            sequences.setdefault(row["route_id"], []).append(
+                (int(row["stop_sequence"]), row["stop_id"])
+            )
+    for route_id, pairs in sequences.items():
+        feed.route_stop_sequences[route_id] = [s for _, s in sorted(pairs)]
+
+    trip_routes: Dict[str, str] = {}
+    trips_path = os.path.join(directory, "trips.txt")
+    if os.path.exists(trips_path):
+        for row in _read(trips_path):
+            trip_routes[row["trip_id"]] = row["route_id"]
+
+    timed: Dict[str, List[Tuple[int, str, float]]] = {}
+    stop_times_path = os.path.join(directory, "stop_times.txt")
+    if os.path.exists(stop_times_path):
+        for row in _read(stop_times_path):
+            hh, mm, ss = (int(part) for part in row["arrival_time"].split(":"))
+            timed.setdefault(row["trip_id"], []).append(
+                (int(row["stop_sequence"]), row["stop_id"], hh * 3600.0 + mm * 60 + ss)
+            )
+    for trip_id, entries in timed.items():
+        entries.sort()
+        feed.trips.append(
+            FeedTrip(
+                trip_id=trip_id,
+                route_id=trip_routes.get(trip_id, ""),
+                stop_ids=tuple(stop_id for _, stop_id, _ in entries),
+                arrival_s=tuple(t for _, _, t in entries),
+            )
+        )
+
+    feed.validate()
+    return feed
+
+
+def trips_from_traces(traces) -> List[FeedTrip]:
+    """Convert simulated bus traces into GTFS trips (served stops only).
+
+    Lets a simulation campaign publish its realised schedule as
+    ``trips.txt``/``stop_times.txt`` — useful for feeding downstream
+    GTFS tooling with what actually ran rather than the planned
+    timetable.
+    """
+    feed_trips: List[FeedTrip] = []
+    for trace in traces:
+        served = [v for v in trace.visits if v.served]
+        if len(served) < 2:
+            continue
+        feed_trips.append(
+            FeedTrip(
+                trip_id=trace.trip_id.replace("@", "-"),
+                route_id=trace.route_id,
+                stop_ids=tuple(v.stop_id for v in served),
+                arrival_s=tuple(v.arrival_s for v in served),
+            )
+        )
+    return feed_trips
+
+
+class _writer:
+    """Context manager yielding a csv writer for a feed file."""
+
+    def __init__(self, directory: str, filename: str):
+        self._path = os.path.join(directory, filename)
+        self._handle = None
+
+    def __enter__(self) -> "csv._writer":  # type: ignore[name-defined]
+        self._handle = open(self._path, "w", newline="", encoding="utf-8")
+        return csv.writer(self._handle)
+
+    def __exit__(self, *exc) -> None:
+        if self._handle is not None:
+            self._handle.close()
+
+
+def _read(path: str) -> List[Dict[str, str]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))

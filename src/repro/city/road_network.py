@@ -1,0 +1,190 @@
+"""Directed road network: intersections (nodes) and road segments (edges).
+
+Road segments are *directed*: morning-peak congestion on the inbound
+carriageway must not bleed into the outbound one.  Each segment carries
+a road class and a free-flow speed; the ground-truth traffic field in
+``repro.sim.traffic`` modulates speeds per segment over the day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.city.geometry import Point
+from repro.util.units import kmh_to_ms
+
+NodeId = int
+SegmentId = Tuple[NodeId, NodeId]
+
+
+class RoadClass(Enum):
+    """Functional class of a road, determining its free-flow speed."""
+
+    MAJOR = "major"
+    MINOR = "minor"
+
+
+#: Default free-flow car speed by road class (m/s).
+FREE_SPEED_MS: Dict[RoadClass, float] = {
+    RoadClass.MAJOR: kmh_to_ms(65.0),
+    RoadClass.MINOR: kmh_to_ms(50.0),
+}
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """One directed carriageway between two adjacent intersections."""
+
+    segment_id: SegmentId
+    start: Point
+    end: Point
+    road_class: RoadClass
+    free_speed_ms: float
+
+    @property
+    def length_m(self) -> float:
+        """Segment length in metres."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def free_travel_time_s(self) -> float:
+        """Free-flow traversal time in seconds (the model's ``a`` term)."""
+        return self.length_m / self.free_speed_ms
+
+    @property
+    def reverse_id(self) -> SegmentId:
+        """Identifier of the opposite carriageway."""
+        return (self.segment_id[1], self.segment_id[0])
+
+
+class RoadNetwork:
+    """A directed graph of intersections and road segments.
+
+    Nodes are integer ids with planar positions; every undirected road
+    contributes two directed segments.  The class supports neighbour
+    queries and shortest paths (used by the taxi fleet and the region
+    inference extension).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[NodeId, Point] = {}
+        self._segments: Dict[SegmentId, RoadSegment] = {}
+        self._out: Dict[NodeId, List[NodeId]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node_id: NodeId, position: Point) -> None:
+        """Register an intersection.  Re-adding with a new position is an error."""
+        existing = self._nodes.get(node_id)
+        if existing is not None and existing != position:
+            raise ValueError(f"node {node_id} already exists at {existing}")
+        self._nodes[node_id] = position
+        self._out.setdefault(node_id, [])
+
+    def add_road(
+        self,
+        u: NodeId,
+        v: NodeId,
+        road_class: RoadClass = RoadClass.MINOR,
+        free_speed_ms: Optional[float] = None,
+    ) -> Tuple[RoadSegment, RoadSegment]:
+        """Add a two-way road between nodes ``u`` and ``v``.
+
+        Returns the pair of directed segments ``(u→v, v→u)``.
+        """
+        if u not in self._nodes or v not in self._nodes:
+            raise KeyError("both endpoints must be added before the road")
+        if u == v:
+            raise ValueError("self-loop roads are not allowed")
+        speed = free_speed_ms if free_speed_ms is not None else FREE_SPEED_MS[road_class]
+        forward = RoadSegment((u, v), self._nodes[u], self._nodes[v], road_class, speed)
+        backward = RoadSegment((v, u), self._nodes[v], self._nodes[u], road_class, speed)
+        for seg in (forward, backward):
+            if seg.segment_id not in self._segments:
+                self._segments[seg.segment_id] = seg
+                self._out[seg.segment_id[0]].append(seg.segment_id[1])
+        return forward, backward
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All intersection ids."""
+        return list(self._nodes)
+
+    @property
+    def segments(self) -> List[RoadSegment]:
+        """All directed segments."""
+        return list(self._segments.values())
+
+    @property
+    def segment_ids(self) -> List[SegmentId]:
+        """All directed segment ids."""
+        return list(self._segments)
+
+    def node_position(self, node_id: NodeId) -> Point:
+        """Planar position of a node."""
+        return self._nodes[node_id]
+
+    def segment(self, segment_id: SegmentId) -> RoadSegment:
+        """Look up a directed segment by id."""
+        return self._segments[segment_id]
+
+    def has_segment(self, segment_id: SegmentId) -> bool:
+        """True if the directed segment exists."""
+        return segment_id in self._segments
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """Nodes reachable by one directed segment from ``node_id``."""
+        return list(self._out.get(node_id, []))
+
+    def total_length_m(self) -> float:
+        """Total *undirected* road length in metres."""
+        return sum(s.length_m for s in self._segments.values()) / 2.0
+
+    def path_segments(self, nodes: Sequence[NodeId]) -> List[RoadSegment]:
+        """Directed segments along a node path, validating adjacency."""
+        segs: List[RoadSegment] = []
+        for u, v in zip(nodes, nodes[1:]):
+            if (u, v) not in self._segments:
+                raise KeyError(f"no road segment {u}->{v}")
+            segs.append(self._segments[(u, v)])
+        return segs
+
+    def shortest_path(self, origin: NodeId, goal: NodeId) -> List[NodeId]:
+        """Free-flow-time shortest path (Dijkstra).  Raises if unreachable."""
+        import heapq
+
+        if origin not in self._nodes or goal not in self._nodes:
+            raise KeyError("unknown node id")
+        dist: Dict[NodeId, float] = {origin: 0.0}
+        prev: Dict[NodeId, NodeId] = {}
+        heap: List[Tuple[float, NodeId]] = [(0.0, origin)]
+        visited: set = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == goal:
+                break
+            for nxt in self._out[node]:
+                seg = self._segments[(node, nxt)]
+                nd = d + seg.free_travel_time_s
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = node
+                    heapq.heappush(heap, (nd, nxt))
+        if goal not in dist:
+            raise ValueError(f"node {goal} unreachable from {origin}")
+        path = [goal]
+        while path[-1] != origin:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def undirected_segment_ids(self) -> List[SegmentId]:
+        """One canonical id per physical road (the ``u < v`` direction)."""
+        return [sid for sid in self._segments if sid[0] < sid[1]]

@@ -1,0 +1,247 @@
+"""Bus routes over the road network.
+
+A :class:`BusRoute` is one *direction* of a bus service: an ordered node
+path through the road network together with the ordered list of served
+stops.  The pair of directions of a service share a ``service_name``
+(e.g. "179") but are distinct routes, matching how the backend treats
+direction (recovered from timestamps, §III-A).
+
+:class:`RouteNetwork` aggregates all routes and precomputes the
+station-order relation ``R(x, y)`` that constrains per-trip mapping
+(§III-C3), including feasible concatenations of routes at transfer
+stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.city.geometry import Point, heading
+from repro.city.road_network import NodeId, RoadNetwork, SegmentId
+from repro.city.stops import BusStop, Station, StationId, StopRegistry
+
+
+@dataclass(frozen=True)
+class RouteStop:
+    """One served stop along a route, in route order."""
+
+    order: int
+    station_id: StationId
+    stop_id: str
+    node_id: NodeId
+    cumulative_m: float
+
+
+class BusRoute:
+    """One direction of a bus service over the road network."""
+
+    def __init__(
+        self,
+        route_id: str,
+        service_name: str,
+        direction: int,
+        node_path: Sequence[NodeId],
+        network: RoadNetwork,
+        registry: StopRegistry,
+        station_nodes: Optional[Dict[NodeId, StationId]] = None,
+    ) -> None:
+        """Build a route from a node path.
+
+        ``station_nodes`` maps node ids to station ids for nodes that have
+        a station; when omitted, every path node is expected to host a
+        station whose id equals the node id.
+        """
+        if len(node_path) < 2:
+            raise ValueError("a route needs at least two nodes")
+        self.route_id = route_id
+        self.service_name = service_name
+        self.direction = direction
+        self.node_path: List[NodeId] = list(node_path)
+        self.segments: List[SegmentId] = [
+            seg.segment_id for seg in network.path_segments(self.node_path)
+        ]
+        self._network = network
+        self._registry = registry
+        self.stops: List[RouteStop] = self._collect_stops(station_nodes)
+        if len(self.stops) < 2:
+            raise ValueError(f"route {route_id} serves fewer than two stops")
+        self._station_order: Dict[StationId, int] = {
+            rs.station_id: rs.order for rs in self.stops
+        }
+
+    def _collect_stops(
+        self, station_nodes: Optional[Dict[NodeId, StationId]]
+    ) -> List[RouteStop]:
+        stops: List[RouteStop] = []
+        cumulative = 0.0
+        seen_stations: Set[StationId] = set()
+        for idx, node in enumerate(self.node_path):
+            if idx > 0:
+                seg = self._network.segment(
+                    (self.node_path[idx - 1], node)
+                )
+                cumulative += seg.length_m
+            if station_nodes is not None:
+                station_id = station_nodes.get(node)
+                if station_id is None:
+                    continue
+            else:
+                station_id = node
+                if not self._registry.has_station(station_id):
+                    continue
+            if station_id in seen_stations:
+                # Loop routes revisit their terminal; keep the first visit
+                # so the station order map stays unambiguous.
+                continue
+            seen_stations.add(station_id)
+            station = self._registry.station(station_id)
+            platform = station.platform_for_heading(self._heading_at(idx))
+            stops.append(
+                RouteStop(
+                    order=len(stops),
+                    station_id=station_id,
+                    stop_id=platform.stop_id,
+                    node_id=node,
+                    cumulative_m=cumulative,
+                )
+            )
+        return stops
+
+    def _heading_at(self, node_index: int) -> float:
+        """Travel heading at a path node (outgoing leg, or incoming at the end)."""
+        if node_index + 1 < len(self.node_path):
+            a = self._network.node_position(self.node_path[node_index])
+            b = self._network.node_position(self.node_path[node_index + 1])
+        else:
+            a = self._network.node_position(self.node_path[node_index - 1])
+            b = self._network.node_position(self.node_path[node_index])
+        return heading(a, b) % (2 * 3.141592653589793)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def length_m(self) -> float:
+        """Route length in metres."""
+        return self.stops[-1].cumulative_m
+
+    @property
+    def station_sequence(self) -> List[StationId]:
+        """Served stations in route order."""
+        return [rs.station_id for rs in self.stops]
+
+    def station_order(self, station_id: StationId) -> Optional[int]:
+        """Index of a station along this route, or None if not served."""
+        return self._station_order.get(station_id)
+
+    def serves(self, station_id: StationId) -> bool:
+        """True if this route serves the station."""
+        return station_id in self._station_order
+
+    def segments_between(self, from_order: int, to_order: int) -> List[SegmentId]:
+        """Directed road segments between two served stops (by stop order)."""
+        if not (0 <= from_order < to_order < len(self.stops)):
+            raise ValueError("need 0 <= from < to < #stops")
+        start_node = self.stops[from_order].node_id
+        end_node = self.stops[to_order].node_id
+        start_idx = self.node_path.index(start_node)
+        end_idx = self.node_path.index(end_node)
+        return [
+            (u, v)
+            for u, v in zip(
+                self.node_path[start_idx:end_idx],
+                self.node_path[start_idx + 1 : end_idx + 1],
+            )
+        ]
+
+    def distance_between(self, from_order: int, to_order: int) -> float:
+        """Road distance in metres between two served stops."""
+        if not (0 <= from_order < to_order < len(self.stops)):
+            raise ValueError("need 0 <= from < to < #stops")
+        return self.stops[to_order].cumulative_m - self.stops[from_order].cumulative_m
+
+
+class RouteNetwork:
+    """All routes of a city plus the station-order relation.
+
+    ``downstream(x, y)`` is true when a bus may pass station ``y`` after
+    station ``x`` on a single route; ``reachable_with_transfer`` extends
+    this over concatenations of routes that share a transfer station,
+    which is what the paper's per-trip mapping allows (§III-C3).
+    """
+
+    def __init__(self, routes: Sequence[BusRoute]):
+        if not routes:
+            raise ValueError("route network needs at least one route")
+        self.routes: List[BusRoute] = list(routes)
+        self._by_id: Dict[str, BusRoute] = {r.route_id: r for r in self.routes}
+        if len(self._by_id) != len(self.routes):
+            raise ValueError("duplicate route ids")
+        self._downstream: Dict[StationId, Set[StationId]] = {}
+        for route in self.routes:
+            seq = route.station_sequence
+            for i, x in enumerate(seq):
+                self._downstream.setdefault(x, set()).update(seq[i + 1 :])
+        self._transfer_cache: Dict[Tuple[StationId, StationId], bool] = {}
+
+    def route(self, route_id: str) -> BusRoute:
+        """Look up a route by id."""
+        return self._by_id[route_id]
+
+    @property
+    def route_ids(self) -> List[str]:
+        """All route ids."""
+        return list(self._by_id)
+
+    @property
+    def station_ids(self) -> List[StationId]:
+        """All stations served by at least one route."""
+        served: Set[StationId] = set()
+        for route in self.routes:
+            served.update(route.station_sequence)
+        return sorted(served)
+
+    def routes_serving(self, station_id: StationId) -> List[BusRoute]:
+        """Routes that serve a station."""
+        return [r for r in self.routes if r.serves(station_id)]
+
+    def downstream(self, x: StationId, y: StationId) -> bool:
+        """True if some single route passes ``y`` after ``x``."""
+        return y in self._downstream.get(x, ())
+
+    def reachable_with_transfer(self, x: StationId, y: StationId) -> bool:
+        """True if ``y`` follows ``x`` on a feasible route concatenation.
+
+        One transfer is considered (route A from ``x`` to a shared station
+        ``t``, then route B from ``t`` to ``y``); deeper concatenations add
+        nothing for single bus trips, which never change vehicle.
+        """
+        key = (x, y)
+        cached = self._transfer_cache.get(key)
+        if cached is not None:
+            return cached
+        result = False
+        if self.downstream(x, y):
+            result = True
+        else:
+            for t in self._downstream.get(x, ()):
+                if self.downstream(t, y):
+                    result = True
+                    break
+        self._transfer_cache[key] = result
+        return result
+
+    def covered_segments(self) -> Set[SegmentId]:
+        """Directed road segments traversed by at least one route."""
+        covered: Set[SegmentId] = set()
+        for route in self.routes:
+            covered.update(route.segments)
+        return covered
+
+    def segment_coverage_count(self) -> Dict[SegmentId, int]:
+        """How many routes traverse each covered directed segment."""
+        counts: Dict[SegmentId, int] = {}
+        for route in self.routes:
+            for seg in route.segments:
+                counts[seg] = counts.get(seg, 0) + 1
+        return counts

@@ -1,0 +1,170 @@
+"""Bus stops and stations.
+
+The paper aggregates the two physical stops that face each other across
+a two-way road into a single location reference (§III-B): they have
+nearly identical cellular fingerprints, and the travel direction is
+recovered from trip timestamps.  We model both levels explicitly:
+
+* :class:`BusStop` — one physical platform on one side of the road.
+* :class:`Station` — the aggregated location (typically two platforms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.city.geometry import Point
+
+StationId = int
+StopId = str
+
+#: Perpendicular offset of a platform from the road centreline (metres).
+PLATFORM_OFFSET_M = 12.0
+
+
+@dataclass(frozen=True)
+class BusStop:
+    """A physical bus stop platform.
+
+    ``heading_rad`` is the direction of travel of buses serving this
+    platform; the platform sits to the left of the carriageway.
+    """
+
+    stop_id: StopId
+    station_id: StationId
+    name: str
+    position: Point
+    heading_rad: float
+
+    @property
+    def heading_label(self) -> str:
+        """Compass-ish label (E/N/W/S) of the travel direction."""
+        octant = int(round(self.heading_rad / (math.pi / 2))) % 4
+        return "ENWS"[octant]
+
+
+@dataclass
+class Station:
+    """An aggregated stop location (both sides of the road)."""
+
+    station_id: StationId
+    name: str
+    position: Point
+    stops: List[BusStop] = field(default_factory=list)
+
+    def platform_for_heading(self, heading_rad: float) -> BusStop:
+        """The platform whose travel direction best matches ``heading_rad``."""
+        if not self.stops:
+            raise ValueError(f"station {self.station_id} has no platforms")
+        def angular_gap(stop: BusStop) -> float:
+            diff = abs(stop.heading_rad - heading_rad) % (2 * math.pi)
+            return min(diff, 2 * math.pi - diff)
+        return min(self.stops, key=angular_gap)
+
+
+class StopRegistry:
+    """Registry of all stations and platforms in a city.
+
+    Provides the platform→station aggregation the backend relies on when
+    treating opposite-side fingerprints as one location reference.
+    """
+
+    def __init__(self) -> None:
+        self._stations: Dict[StationId, Station] = {}
+        self._stops: Dict[StopId, BusStop] = {}
+
+    def add_station(self, station: Station) -> None:
+        """Register a station and all of its platforms."""
+        if station.station_id in self._stations:
+            raise ValueError(f"duplicate station id {station.station_id}")
+        self._stations[station.station_id] = station
+        for stop in station.stops:
+            if stop.stop_id in self._stops:
+                raise ValueError(f"duplicate stop id {stop.stop_id}")
+            self._stops[stop.stop_id] = stop
+
+    def add_platform(self, stop: BusStop) -> None:
+        """Attach a platform to an existing station."""
+        station = self._stations.get(stop.station_id)
+        if station is None:
+            raise KeyError(f"unknown station {stop.station_id}")
+        if stop.stop_id in self._stops:
+            raise ValueError(f"duplicate stop id {stop.stop_id}")
+        station.stops.append(stop)
+        self._stops[stop.stop_id] = stop
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def stations(self) -> List[Station]:
+        """All stations."""
+        return list(self._stations.values())
+
+    @property
+    def platforms(self) -> List[BusStop]:
+        """All physical platforms."""
+        return list(self._stops.values())
+
+    def station(self, station_id: StationId) -> Station:
+        """Look up a station by id."""
+        return self._stations[station_id]
+
+    def platform(self, stop_id: StopId) -> BusStop:
+        """Look up a platform by id."""
+        return self._stops[stop_id]
+
+    def station_of(self, stop_id: StopId) -> Station:
+        """The station a platform belongs to."""
+        return self._stations[self._stops[stop_id].station_id]
+
+    def has_station(self, station_id: StationId) -> bool:
+        """True if the station exists."""
+        return station_id in self._stations
+
+    def nearest_station(self, position: Point) -> Station:
+        """Station closest to ``position`` (linear scan; registries are small)."""
+        if not self._stations:
+            raise ValueError("registry is empty")
+        return min(
+            self._stations.values(),
+            key=lambda s: s.position.distance_to(position),
+        )
+
+
+def make_two_sided_station(
+    station_id: StationId,
+    name: str,
+    position: Point,
+    heading_rad: float,
+    offset_m: float = PLATFORM_OFFSET_M,
+) -> Station:
+    """Build a station with platforms on both sides of a two-way road.
+
+    The forward platform serves travel direction ``heading_rad``; the
+    opposite platform serves the reverse direction, offset to the other
+    side of the centreline.
+    """
+    normal = (-math.sin(heading_rad), math.cos(heading_rad))
+    forward = BusStop(
+        stop_id=f"S{station_id:04d}{_dir_char(heading_rad)}",
+        station_id=station_id,
+        name=name,
+        position=position.offset(normal[0] * offset_m, normal[1] * offset_m),
+        heading_rad=heading_rad,
+    )
+    reverse_heading = (heading_rad + math.pi) % (2 * math.pi)
+    backward = BusStop(
+        stop_id=f"S{station_id:04d}{_dir_char(reverse_heading)}",
+        station_id=station_id,
+        name=name,
+        position=position.offset(-normal[0] * offset_m, -normal[1] * offset_m),
+        heading_rad=reverse_heading,
+    )
+    return Station(station_id, name, position, [forward, backward])
+
+
+def _dir_char(heading_rad: float) -> str:
+    octant = int(round(heading_rad / (math.pi / 2))) % 4
+    return "ENWS"[octant]

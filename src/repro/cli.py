@@ -1,0 +1,209 @@
+"""Command-line interface: operate the system without writing code.
+
+Subcommands mirror a real deployment's workflow::
+
+    repro build-city  --out feed/           # publish the GTFS-like feed
+    repro survey      --out db.json         # war-drive the fingerprint DB
+    repro simulate    --start 07:30 --end 10:00 --out map.geojson
+    repro process     --db db.json --trips trips.jsonl   # offline reprocessing
+    repro power                              # Table III on stdout
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Participatory bus-probe urban traffic monitoring "
+                    "(ICDCS'15 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-city", help="generate the synthetic city feed")
+    build.add_argument("--out", required=True, help="output GTFS directory")
+    build.add_argument("--seed", type=int, default=7)
+
+    survey = sub.add_parser("survey", help="survey the bus-stop fingerprint DB")
+    survey.add_argument("--out", required=True, help="output database JSON path")
+    survey.add_argument("--seed", type=int, default=7)
+    survey.add_argument("--samples-per-stop", type=int, default=5)
+
+    simulate = sub.add_parser("simulate", help="run a sensing campaign")
+    simulate.add_argument("--start", default="07:30")
+    simulate.add_argument("--end", default="10:00")
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--headway", type=float, default=None,
+                          help="dispatch headway in seconds")
+    simulate.add_argument("--routes", nargs="*", default=None,
+                          help="route ids (default: all)")
+    simulate.add_argument("--out", default=None,
+                          help="write the final map snapshot as GeoJSON")
+    simulate.add_argument("--trips-out", default=None,
+                          help="also dump raw uploads as JSON Lines")
+
+    process = sub.add_parser("process", help="re-run the backend on stored trips")
+    process.add_argument("--db", required=True, help="fingerprint database JSON")
+    process.add_argument("--trips", required=True, help="uploads JSON Lines file")
+    process.add_argument("--seed", type=int, default=7,
+                         help="seed of the city the trips came from")
+
+    campaign = sub.add_parser(
+        "campaign", help="run a multi-day sparse+intensive campaign"
+    )
+    campaign.add_argument("--sparse-days", type=int, default=2)
+    campaign.add_argument("--intensive-days", type=int, default=2)
+    campaign.add_argument("--sparse-rate", type=float, default=0.03)
+    campaign.add_argument("--intensive-rate", type=float, default=0.25)
+    campaign.add_argument("--start", default="07:30")
+    campaign.add_argument("--end", default="09:30")
+    campaign.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("power", help="print the Table III power model")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "build-city": _cmd_build_city,
+        "survey": _cmd_survey,
+        "simulate": _cmd_simulate,
+        "process": _cmd_process,
+        "campaign": _cmd_campaign,
+        "power": _cmd_power,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_build_city(args: argparse.Namespace) -> int:
+    from repro.city import CitySpec, build_city
+    from repro.city.gtfs import export_city
+
+    city = build_city(CitySpec(seed=args.seed))
+    export_city(city, args.out)
+    print(f"wrote GTFS feed to {args.out}: "
+          f"{len(city.registry.stations)} stations, "
+          f"{len(city.route_network.routes)} directed routes, "
+          f"{100 * city.route_coverage_ratio():.0f}% road coverage")
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.sim.world import World
+    from repro.wire import save_database
+
+    world = World(seed=args.seed, survey_samples_per_stop=args.samples_per_stop)
+    save_database(world.database, args.out)
+    print(f"surveyed {len(world.database)} stop fingerprints -> {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.world import World
+    from repro.util.units import parse_hhmm
+    from repro.wire import dump_trips, snapshot_to_geojson
+
+    world = World(seed=args.seed)
+    result = world.run(
+        parse_hhmm(args.start),
+        parse_hhmm(args.end),
+        route_ids=args.routes,
+        headway_s=args.headway,
+        with_official_feed=False,
+    )
+    stats = world.server.stats
+    snapshot = world.server.traffic_map.published_snapshot(parse_hhmm(args.end))
+    print(f"campaign {args.start}-{args.end}: {len(result.traces)} bus trips, "
+          f"{stats.trips_received} uploads, {stats.trips_mapped} mapped")
+    print(f"map: {100 * snapshot.coverage:.0f}% coverage, "
+          f"mean {snapshot.mean_speed_kmh():.1f} km/h")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            json.dump(snapshot_to_geojson(snapshot, world.city.network), out)
+        print(f"wrote map snapshot -> {args.out}")
+    if args.trips_out:
+        with open(args.trips_out, "w", encoding="utf-8") as out:
+            dump_trips(result.uploads, out)
+        print(f"wrote {len(result.uploads)} uploads -> {args.trips_out}")
+    return 0
+
+
+def _cmd_process(args: argparse.Namespace) -> int:
+    from repro.core import BackendServer
+    from repro.sim.world import World
+    from repro.wire import load_database, load_trips
+
+    database = load_database(args.db)
+    with open(args.trips, encoding="utf-8") as handle:
+        uploads = load_trips(handle)
+    world = World(seed=args.seed)
+    server = BackendServer(
+        world.city.network, world.city.route_network, database, world.config
+    )
+    server.receive_trips(uploads)
+    stats = server.stats
+    print(f"processed {stats.trips_received} trips: {stats.trips_mapped} mapped, "
+          f"{stats.samples_discarded}/{stats.samples_received} samples discarded, "
+          f"{stats.segments_updated} segment updates")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sim.campaign import Campaign, CampaignPhase
+    from repro.sim.world import World
+
+    world = World(seed=args.seed)
+    campaign = Campaign(world, start=args.start, end=args.end)
+    phases = []
+    if args.sparse_days > 0:
+        phases.append(
+            CampaignPhase("sparse", args.sparse_days, args.sparse_rate)
+        )
+    if args.intensive_days > 0:
+        phases.append(
+            CampaignPhase("intensive", args.intensive_days, args.intensive_rate)
+        )
+    if not phases:
+        print("nothing to run: both phases have zero days", file=sys.stderr)
+        return 2
+    result = campaign.run(phases)
+    print(f"{'day':<5} {'phase':<10} {'bus trips':>9} {'uploads':>8} "
+          f"{'mapped':>7} {'coverage':>9}")
+    for day in result.days:
+        print(f"{day.day_index:<5} {day.phase:<10} {day.bus_trips:>9} "
+              f"{day.uploads:>8} {day.trips_mapped:>7} "
+              f"{100 * day.map_coverage:>8.0f}%")
+    for phase in {p.name for p in phases}:
+        print(f"mean uploads/day in {phase}: "
+              f"{result.uploads_per_day(phase):.0f}")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.phone.power import PowerModel, TABLE_III_SETTINGS
+
+    model = PowerModel()
+    table = model.table_iii(rng=0, sessions=5)
+    print(f"{'sensor setting':<26} {'HTC (mW)':>10} {'Nexus (mW)':>11}")
+    for label, _ in TABLE_III_SETTINGS:
+        htc, _ = table[label]["htc"]
+        nexus, _ = table[label]["nexus"]
+        print(f"{label:<26} {htc:>10.0f} {nexus:>11.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The paper's contribution: the backend traffic-monitoring pipeline."""
+
+from repro.core.clustering import (
+    CandidateStop,
+    MatchedSample,
+    SampleCluster,
+    cluster_trip_samples,
+    link_affinity,
+)
+from repro.core.arrival import (
+    ArrivalPrediction,
+    ArrivalPredictor,
+    expected_dwell_s,
+    infer_route,
+)
+from repro.core.bootstrap import BootstrapStats, DatabaseBootstrapper
+from repro.core.fingerprint import FingerprintDatabase, StoredFingerprint
+from repro.core.fusion import BayesianSpeedFuser, FusedSpeed
+from repro.core.matching import (
+    MatchResult,
+    SampleMatcher,
+    batch_smith_waterman,
+    common_id_count,
+    smith_waterman,
+)
+from repro.core.region import RegionEstimate, infer_region_speeds, segment_adjacency
+from repro.core.server import BackendServer, ServerStats, TripReport
+from repro.core.traffic_map import (
+    SegmentReading,
+    SpeedLevel,
+    TrafficMapEstimator,
+    TrafficSnapshot,
+    speed_level,
+)
+from repro.core.traffic_model import SpeedEstimate, TrafficModel, fit_b
+from repro.core.trip_mapping import (
+    MappedStop,
+    MappedTrip,
+    RouteConstraint,
+    enumerate_best_sequence,
+    map_trip,
+)
+
+__all__ = [
+    "CandidateStop",
+    "MatchedSample",
+    "SampleCluster",
+    "cluster_trip_samples",
+    "link_affinity",
+    "ArrivalPrediction",
+    "ArrivalPredictor",
+    "expected_dwell_s",
+    "infer_route",
+    "BootstrapStats",
+    "DatabaseBootstrapper",
+    "FingerprintDatabase",
+    "StoredFingerprint",
+    "BayesianSpeedFuser",
+    "FusedSpeed",
+    "MatchResult",
+    "SampleMatcher",
+    "batch_smith_waterman",
+    "common_id_count",
+    "smith_waterman",
+    "RegionEstimate",
+    "infer_region_speeds",
+    "segment_adjacency",
+    "BackendServer",
+    "ServerStats",
+    "TripReport",
+    "SegmentReading",
+    "SpeedLevel",
+    "TrafficMapEstimator",
+    "TrafficSnapshot",
+    "speed_level",
+    "SpeedEstimate",
+    "TrafficModel",
+    "fit_b",
+    "MappedStop",
+    "MappedTrip",
+    "RouteConstraint",
+    "enumerate_best_sequence",
+    "map_trip",
+]

@@ -1,0 +1,170 @@
+"""Bus arrival-time prediction on top of the live traffic map.
+
+The paper grew out of the authors' bus-arrival predictor (MobiSys'12,
+their ref. [27]) and §I lists commuter travel planning as the first
+consumer of the traffic map.  This module closes that loop: given where
+a bus currently is (e.g. the last stop a rider's mapped trip resolved),
+predict its arrival time at every downstream stop by
+
+* reading the fused automobile speed of each remaining segment from the
+  traffic map (free-flow fallback where the map has no data),
+* inverting the Eq. 3 transit model to get the expected *bus* running
+  time, and
+* adding the expected dwell at each intermediate stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.routes import BusRoute, RouteNetwork
+from repro.config import BusConfig, RiderConfig, TrafficModelConfig
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.core.trip_mapping import MappedTrip
+from repro.sim.bus import BUS_FREE_SPEED_MS
+from repro.util.units import kmh_to_ms
+
+
+@dataclass(frozen=True)
+class ArrivalPrediction:
+    """Predicted arrival at one downstream stop."""
+
+    station_id: int
+    stop_order: int
+    arrival_s: float
+    horizon_stops: int          # how many stops ahead of the bus
+
+
+def expected_dwell_s(
+    bus: Optional[BusConfig] = None, riders: Optional[RiderConfig] = None
+) -> float:
+    """Expected dwell at a served stop under the rider model.
+
+    E[dwell] = base + per-passenger * E[boarders + alighters]; in steady
+    state as many riders alight as board, so the expectation doubles the
+    boarding rate.
+    """
+    bus = bus or BusConfig()
+    riders = riders or RiderConfig()
+    return bus.dwell_base_s + bus.dwell_per_passenger_s * 2.0 * riders.boarding_rate_per_stop
+
+
+class ArrivalPredictor:
+    """Predicts downstream arrival times for buses on known routes."""
+
+    def __init__(
+        self,
+        route_network: RouteNetwork,
+        traffic_map: TrafficMapEstimator,
+        model: Optional[TrafficModelConfig] = None,
+        bus_free_speed_ms: float = BUS_FREE_SPEED_MS,
+        dwell_s: Optional[float] = None,
+    ):
+        self.route_network = route_network
+        self.traffic_map = traffic_map
+        self.model = model or TrafficModelConfig()
+        self.bus_free_speed_ms = bus_free_speed_ms
+        self.dwell_s = dwell_s if dwell_s is not None else expected_dwell_s()
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(
+        self,
+        route_id: str,
+        from_station: int,
+        depart_s: float,
+        max_horizon: Optional[int] = None,
+    ) -> List[ArrivalPrediction]:
+        """Arrival times at every stop after ``from_station`` on the route.
+
+        ``depart_s`` is when the bus leaves ``from_station``.  The
+        traffic map is read as of ``depart_s`` (its latest fused state).
+        """
+        route = self.route_network.route(route_id)
+        start_order = route.station_order(from_station)
+        if start_order is None:
+            raise ValueError(
+                f"station {from_station} is not on route {route_id}"
+            )
+        predictions: List[ArrivalPrediction] = []
+        t = depart_s
+        last_order = len(route.stops) - 1
+        if max_horizon is not None:
+            last_order = min(last_order, start_order + max_horizon)
+        network = self.traffic_map.network
+        for order in range(start_order + 1, last_order + 1):
+            for segment_id in route.segments_between(order - 1, order):
+                segment = network.segment(segment_id)
+                t += self._segment_btt_s(segment, depart_s)
+            predictions.append(
+                ArrivalPrediction(
+                    station_id=route.stops[order].station_id,
+                    stop_order=order,
+                    arrival_s=t,
+                    horizon_stops=order - start_order,
+                )
+            )
+            if order != last_order:
+                t += self.dwell_s
+        return predictions
+
+    def _segment_btt_s(self, segment, at_s: float) -> float:
+        """Expected bus running time over one segment, from the map."""
+        belief = self.traffic_map.segment_estimate(segment.segment_id, at_s)
+        if belief is None:
+            car_speed_ms = segment.free_speed_ms
+        else:
+            car_speed_ms = max(kmh_to_ms(belief.mean_kmh), 0.5)
+        att = segment.length_m / car_speed_ms
+        a = segment.free_travel_time_s
+        btt_free = segment.length_m / self.bus_free_speed_ms
+        # Invert Eq. 3 (delay form): BTT = BTT_free + (ATT - a) / b.
+        btt = btt_free + max(0.0, att - a) / self.model.b
+        return btt
+
+    # -- live-trip entry point -----------------------------------------------------
+
+    def predict_for_trip(
+        self, mapped: MappedTrip, max_horizon: Optional[int] = None
+    ) -> List[ArrivalPrediction]:
+        """Predictions for a rider's live (partially mapped) trip.
+
+        Infers which route the bus is running from the mapped station
+        sequence, anchors at the last resolved stop, and predicts the
+        rest of that route.
+        """
+        route = infer_route(mapped, self.route_network)
+        if route is None:
+            raise ValueError("trip is not consistent with any known route")
+        last = mapped.stops[-1]
+        return self.predict(
+            route.route_id, last.station_id, last.depart_s, max_horizon
+        )
+
+
+def infer_route(mapped: MappedTrip, route_network: RouteNetwork) -> Optional[BusRoute]:
+    """The route best explaining a mapped station sequence.
+
+    Scores each route by the number of consecutive mapped pairs that
+    appear in its stop order (adjacent or with skips); requires the last
+    mapped station to be on the route so prediction can anchor there.
+    """
+    sequence = mapped.station_sequence()
+    if not sequence:
+        return None
+    best: Optional[Tuple[int, BusRoute]] = None
+    for route in route_network.routes:
+        if route.station_order(sequence[-1]) is None:
+            continue
+        score = 0
+        for x, y in zip(sequence, sequence[1:]):
+            ox = route.station_order(x)
+            oy = route.station_order(y)
+            if ox is not None and oy is not None and oy > ox:
+                score += 1
+        if best is None or score > best[0]:
+            best = (score, route)
+    if best is None or (len(sequence) > 1 and best[0] == 0):
+        return None
+    return best[1]

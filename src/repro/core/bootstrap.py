@@ -1,0 +1,112 @@
+"""Online fingerprint-database bootstrap.
+
+§III-B notes the bus-stop database "can be built online/offline", and
+§VI proposes bootstrapping a new deployment by having *bus drivers*
+install the app first: a driver's phone rides a known route end to end,
+so every burst of beeps it hears can be labelled with the next stop of
+that route — no war-driving needed.
+
+:class:`DatabaseBootstrapper` consumes such driver trips.  A driver
+trip is a *survey ride*: the driver phone records a sample burst at
+**every** stop of the route in order (buses open their doors — and the
+driver app chirps — at each stop on a survey run), so burst k labels
+stop k.  Samples accumulate per station and a station is promoted into
+the database once enough consistent samples have arrived (medoid
+selection, as in the offline survey).  Convergence is measurable with
+:meth:`coverage_fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.routes import BusRoute
+from repro.config import ClusteringConfig, MatchingConfig
+from repro.core.fingerprint import FingerprintDatabase
+from repro.phone.trip_recorder import TripUpload
+
+
+@dataclass
+class BootstrapStats:
+    """Progress counters of the online bootstrap."""
+
+    driver_trips: int = 0
+    samples_consumed: int = 0
+    stations_pending: int = 0
+    stations_promoted: int = 0
+
+
+class DatabaseBootstrapper:
+    """Builds a :class:`FingerprintDatabase` from driver-phone trips."""
+
+    def __init__(
+        self,
+        matching: Optional[MatchingConfig] = None,
+        clustering: Optional[ClusteringConfig] = None,
+        min_samples_to_promote: int = 3,
+    ):
+        if min_samples_to_promote < 1:
+            raise ValueError("need at least one sample to promote a station")
+        self.matching = matching or MatchingConfig()
+        self.clustering = clustering or ClusteringConfig()
+        self.min_samples_to_promote = min_samples_to_promote
+        self.database = FingerprintDatabase(self.matching)
+        self._pending: Dict[int, List[Tuple[int, ...]]] = {}
+        self.stats = BootstrapStats()
+
+    def ingest_driver_trip(
+        self,
+        upload: TripUpload,
+        route: BusRoute,
+        first_stop_order: int = 0,
+    ) -> int:
+        """Consume one driver trip along ``route``.
+
+        The driver boards at ``first_stop_order`` (usually the terminal,
+        0) and rides to the end, so the k-th beep burst heard belongs to
+        the route's (first_stop_order + k)-th stop.  Returns the number
+        of stations promoted into the database by this trip.
+        """
+        self.stats.driver_trips += 1
+        # Split the driver's samples into per-stop bursts by time gap —
+        # no database exists yet to match against, but taps at one stop
+        # arrive within t0 of each other while stops are further apart.
+        bursts: List[List] = []
+        for sample in upload.samples:
+            if not sample.tower_ids:
+                continue
+            if bursts and sample.time_s - bursts[-1][-1].time_s <= self.clustering.max_interval_s:
+                bursts[-1].append(sample)
+            else:
+                bursts.append([sample])
+
+        promoted = 0
+        stop_order = first_stop_order
+        for burst in bursts:
+            if stop_order >= len(route.stops):
+                break
+            station_id = route.stops[stop_order].station_id
+            for sample in burst:
+                self._pending.setdefault(station_id, []).append(sample.tower_ids)
+                self.stats.samples_consumed += 1
+            promoted += self._maybe_promote(station_id)
+            stop_order += 1
+        self.stats.stations_pending = sum(
+            1 for sid in self._pending if sid not in self.database
+        )
+        return promoted
+
+    def _maybe_promote(self, station_id: int) -> int:
+        samples = self._pending.get(station_id, [])
+        if station_id in self.database or len(samples) < self.min_samples_to_promote:
+            return 0
+        self.database.set_from_samples(station_id, samples)
+        self.stats.stations_promoted += 1
+        return 1
+
+    def coverage_fraction(self, station_ids: Sequence[int]) -> float:
+        """Fraction of the given stations already in the database."""
+        if not station_ids:
+            raise ValueError("no stations to measure coverage over")
+        return sum(1 for sid in station_ids if sid in self.database) / len(station_ids)

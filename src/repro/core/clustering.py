@@ -1,0 +1,146 @@
+"""Per-bus-stop co-clustering of a trip's cellular samples.
+
+§III-C2: several passengers board at each stop, so each stop yields a
+burst of matched samples.  Two samples ``e_i``, ``e_j`` belong to the
+same cluster when they are close in time *and* match similarly:
+
+    (t0 − |t_j − t_i|) / t0 + L(e_i, e_j) > ε
+
+with the match-affinity
+
+    L = (s0 − |s_j − s_i|) / s0   if both matched the same stop, else 0
+
+and s0 = 7, t0 = 30 s, ε = 0.6 (Fig. 5 shows accuracy plateaus for
+ε ≈ 0.3–1.3).  Each resulting cluster carries a pool of candidate stops
+with the paper's per-candidate probability p_k(i) and mean similarity
+s̄_k(i) feeding the per-trip sequence mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ClusteringConfig
+from repro.core.matching import MatchResult
+from repro.phone.cellular import CellularSample
+
+
+@dataclass(frozen=True)
+class MatchedSample:
+    """A cellular sample together with its per-sample match outcome."""
+
+    sample: CellularSample
+    match: MatchResult
+
+    @property
+    def time_s(self) -> float:
+        """Capture time of the sample."""
+        return self.sample.time_s
+
+
+@dataclass(frozen=True)
+class CandidateStop:
+    """One candidate stop of a cluster with the paper's weights."""
+
+    station_id: int
+    probability: float          # p_k(i): fraction of samples matching it
+    mean_similarity: float      # s̄_k(i): mean score of those samples
+
+    @property
+    def weight(self) -> float:
+        """The Eq. (2) per-cluster term p·s̄ for this candidate."""
+        return self.probability * self.mean_similarity
+
+
+@dataclass
+class SampleCluster:
+    """A burst of samples attributed to a single (unknown) bus stop."""
+
+    samples: List[MatchedSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def arrival_s(self) -> float:
+        """Earliest sample time: the bus-stop arrival point (Fig. 6)."""
+        return min(s.time_s for s in self.samples)
+
+    @property
+    def depart_s(self) -> float:
+        """Latest sample time: the bus-stop departing point (Fig. 6)."""
+        return max(s.time_s for s in self.samples)
+
+    def candidates(self) -> List[CandidateStop]:
+        """Candidate stops with p_k(i) and s̄_k(i), best weight first."""
+        by_station: Dict[int, List[float]] = {}
+        for member in self.samples:
+            if member.match.station_id is not None:
+                by_station.setdefault(member.match.station_id, []).append(
+                    member.match.score
+                )
+        total = len(self.samples)
+        pool = [
+            CandidateStop(
+                station_id=station_id,
+                probability=len(scores) / total,
+                mean_similarity=sum(scores) / len(scores),
+            )
+            for station_id, scores in by_station.items()
+        ]
+        pool.sort(key=lambda c: (-c.weight, c.station_id))
+        return pool
+
+
+def link_affinity(
+    a: MatchedSample, b: MatchedSample, config: ClusteringConfig
+) -> float:
+    """The paper's pairwise clustering affinity (Eq. 1 left-hand side)."""
+    time_term = (config.max_interval_s - abs(b.time_s - a.time_s)) / config.max_interval_s
+    if (
+        a.match.station_id is not None
+        and a.match.station_id == b.match.station_id
+    ):
+        match_term = (
+            config.max_similarity - abs(b.match.score - a.match.score)
+        ) / config.max_similarity
+    else:
+        match_term = 0.0
+    return time_term + match_term
+
+
+def cluster_trip_samples(
+    matched: Sequence[MatchedSample],
+    config: Optional[ClusteringConfig] = None,
+) -> List[SampleCluster]:
+    """Cluster a trip's accepted samples into per-stop bursts.
+
+    Rejected samples (below the γ threshold) must already be filtered
+    out by the caller.  Samples are processed in time order; each joins
+    the best-affinity open cluster when the affinity clears ε, else it
+    opens a new cluster.  Clusters are returned in time order.
+    """
+    config = config or ClusteringConfig()
+    ordered = sorted(matched, key=lambda m: m.time_s)
+    clusters: List[SampleCluster] = []
+    for member in ordered:
+        best_cluster: Optional[SampleCluster] = None
+        best_affinity = config.threshold
+        # Only recent clusters can absorb the sample: anything whose last
+        # sample is older than t0 has a non-positive time term anyway.
+        for cluster in reversed(clusters):
+            if member.time_s - cluster.depart_s > 2.0 * config.max_interval_s:
+                break
+            affinity = max(
+                link_affinity(existing, member, config)
+                for existing in cluster.samples
+            )
+            if affinity > best_affinity:
+                best_affinity = affinity
+                best_cluster = cluster
+        if best_cluster is None:
+            clusters.append(SampleCluster(samples=[member]))
+        else:
+            best_cluster.samples.append(member)
+    return clusters

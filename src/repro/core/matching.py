@@ -1,0 +1,221 @@
+"""Per-sample fingerprint matching with a modified Smith-Waterman score.
+
+§III-C1: cellular samples and bus-stop fingerprints are sequences of
+cell tower ids ordered by descending RSS.  Absolute RSS varies between
+visits but the *rank order* largely survives, so similarity is scored
+by local sequence alignment: the modified Smith-Waterman algorithm with
+match +1 and tuned gap/mismatch penalties of 0.3 (the paper sweeps
+0.1–0.9 and picks 0.3).  Table I's worked example — 3 matches, 1 gap,
+1 mismatch → 2.4 — is a doctest below.
+
+A sample is assigned to the best-scoring stop if that score clears the
+acceptance threshold γ = 2; ties are broken by the number of common
+cell ids (§III-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MatchingConfig
+
+
+def smith_waterman(
+    upload: Sequence[int],
+    database: Sequence[int],
+    config: Optional[MatchingConfig] = None,
+) -> float:
+    """Local-alignment similarity of two ordered cell-id sequences.
+
+    >>> cfg = MatchingConfig()
+    >>> round(smith_waterman([1, 2, 3, 4, 5], [1, 7, 3, 5], cfg), 1)
+    2.4
+    """
+    config = config or MatchingConfig()
+    n, m = len(upload), len(database)
+    if n == 0 or m == 0:
+        return 0.0
+    match = config.match_score
+    mismatch = -config.mismatch_penalty
+    gap = -config.gap_penalty
+
+    best = 0.0
+    previous = np.zeros(m + 1)
+    current = np.zeros(m + 1)
+    for i in range(1, n + 1):
+        current[0] = 0.0
+        a = upload[i - 1]
+        for j in range(1, m + 1):
+            substitution = previous[j - 1] + (match if a == database[j - 1] else mismatch)
+            value = max(0.0, substitution, previous[j] + gap, current[j - 1] + gap)
+            current[j] = value
+            if value > best:
+                best = value
+        previous, current = current, previous
+    return float(best)
+
+
+def batch_smith_waterman(
+    uploads: Sequence[Sequence[int]],
+    databases: Sequence[Sequence[int]],
+    config: Optional[MatchingConfig] = None,
+) -> np.ndarray:
+    """Smith-Waterman scores for B (upload, database) pairs at once.
+
+    Identical results to :func:`smith_waterman` pair by pair, but the DP
+    is vectorised across the batch dimension — the hot path when the
+    server matches every sample of an upload against its candidate
+    stops.  Sequences are padded with distinct sentinels (-1 / -2) that
+    can never match, which leaves local-alignment maxima unchanged.
+    """
+    if len(uploads) != len(databases):
+        raise ValueError("uploads and databases must pair up")
+    config = config or MatchingConfig()
+    batch = len(uploads)
+    if batch == 0:
+        return np.zeros(0)
+    n_max = max((len(u) for u in uploads), default=0)
+    m_max = max((len(d) for d in databases), default=0)
+    if n_max == 0 or m_max == 0:
+        return np.zeros(batch)
+
+    query = np.full((batch, n_max), -1, dtype=np.int64)
+    ref = np.full((batch, m_max), -2, dtype=np.int64)
+    for idx, (u, d) in enumerate(zip(uploads, databases)):
+        query[idx, : len(u)] = u
+        ref[idx, : len(d)] = d
+
+    match = config.match_score
+    mismatch = -config.mismatch_penalty
+    gap = -config.gap_penalty
+
+    best = np.zeros(batch)
+    previous = np.zeros((batch, m_max + 1))
+    for i in range(1, n_max + 1):
+        current = np.zeros((batch, m_max + 1))
+        a = query[:, i - 1]
+        for j in range(1, m_max + 1):
+            score = np.where(a == ref[:, j - 1], match, mismatch)
+            value = previous[:, j - 1] + score
+            np.maximum(value, previous[:, j] + gap, out=value)
+            np.maximum(value, current[:, j - 1] + gap, out=value)
+            np.maximum(value, 0.0, out=value)
+            current[:, j] = value
+            np.maximum(best, value, out=best)
+        previous = current
+    return best
+
+
+def common_id_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of cell ids shared by two sequences."""
+    return len(set(a) & set(b))
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one cellular sample against the database."""
+
+    station_id: Optional[int]       # None: score below γ → sample discarded
+    score: float
+    common_ids: int
+
+    @property
+    def accepted(self) -> bool:
+        """True when the sample was assigned to a stop."""
+        return self.station_id is not None
+
+
+class SampleMatcher:
+    """Matches ordered cell-id sequences against stop fingerprints."""
+
+    def __init__(
+        self,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        config: Optional[MatchingConfig] = None,
+    ):
+        if not fingerprints:
+            raise ValueError("matcher needs a non-empty fingerprint database")
+        self.config = config or MatchingConfig()
+        self._fingerprints = dict(fingerprints)
+        # Inverted index: only stops sharing at least one cell id with the
+        # sample can score above zero, so score only those.
+        self._stops_by_tower: Dict[int, List[int]] = {}
+        for station_id, towers in self._fingerprints.items():
+            for tower in towers:
+                self._stops_by_tower.setdefault(tower, []).append(station_id)
+
+    def similarity(self, tower_ids: Sequence[int], station_id: int) -> float:
+        """Smith-Waterman similarity of a sample to one stop's fingerprint."""
+        return smith_waterman(tower_ids, self._fingerprints[station_id], self.config)
+
+    def match(self, tower_ids: Sequence[int]) -> MatchResult:
+        """Best stop for a sample, or a rejection below the γ threshold."""
+        candidates: set = set()
+        for tower in tower_ids:
+            candidates.update(self._stops_by_tower.get(tower, ()))
+        best: Optional[Tuple[float, int, int]] = None   # (score, common, station)
+        for station_id in candidates:
+            score = self.similarity(tower_ids, station_id)
+            if score < self.config.accept_threshold:
+                continue
+            common = common_id_count(tower_ids, self._fingerprints[station_id])
+            key = (score, common, -station_id)          # deterministic tiebreak
+            if best is None or key > best:
+                best = key
+        if best is None:
+            return MatchResult(station_id=None, score=0.0, common_ids=0)
+        score, common, neg_station = best
+        return MatchResult(station_id=-neg_station, score=score, common_ids=common)
+
+    def match_many(
+        self, samples: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
+        """Match a batch of samples (one upload) in one vectorised pass.
+
+        Produces exactly the same results as calling :meth:`match` per
+        sample; candidate filtering and the batched Smith-Waterman keep
+        the server's hot path fast.
+        """
+        pair_uploads: List[Sequence[int]] = []
+        pair_dbs: List[Sequence[int]] = []
+        pair_owner: List[int] = []
+        pair_station: List[int] = []
+        for idx, tower_ids in enumerate(samples):
+            candidates: set = set()
+            for tower in tower_ids:
+                candidates.update(self._stops_by_tower.get(tower, ()))
+            for station_id in sorted(candidates):
+                pair_uploads.append(tower_ids)
+                pair_dbs.append(self._fingerprints[station_id])
+                pair_owner.append(idx)
+                pair_station.append(station_id)
+
+        scores = batch_smith_waterman(pair_uploads, pair_dbs, self.config)
+        best: List[Optional[Tuple[float, int, int]]] = [None] * len(samples)
+        for owner, station_id, score in zip(pair_owner, pair_station, scores):
+            if score < self.config.accept_threshold:
+                continue
+            common = common_id_count(samples[owner], self._fingerprints[station_id])
+            key = (float(score), common, -station_id)
+            if best[owner] is None or key > best[owner]:
+                best[owner] = key
+        results: List[MatchResult] = []
+        for entry in best:
+            if entry is None:
+                results.append(MatchResult(station_id=None, score=0.0, common_ids=0))
+            else:
+                score, common, neg_station = entry
+                results.append(
+                    MatchResult(station_id=-neg_station, score=score, common_ids=common)
+                )
+        return results
+
+    def scores(self, tower_ids: Sequence[int]) -> Dict[int, float]:
+        """Similarity against every stop (analysis helper; no threshold)."""
+        return {
+            station_id: self.similarity(tower_ids, station_id)
+            for station_id in self._fingerprints
+        }

@@ -1,0 +1,123 @@
+"""Region-wide traffic inference from bus-covered segments.
+
+The paper's future work (§VI): "deriving the overall traffic of a
+region from the bus covered road segments", citing transportation
+models that extrapolate sparse probes.  We implement the standard
+graph-smoothing approach: traffic states of adjacent road segments are
+correlated, so uncovered segments take the congestion level diffused
+from observed neighbours.
+
+Smoothing operates on the *congestion factor* (speed / free speed), not
+the raw speed, so major and minor roads mix sensibly; observed segments
+stay pinned to their observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.city.road_network import RoadNetwork, SegmentId
+from repro.util.units import kmh_to_ms, ms_to_kmh
+
+
+@dataclass(frozen=True)
+class RegionEstimate:
+    """Inferred speed of one segment with its provenance."""
+
+    segment_id: SegmentId
+    speed_kmh: float
+    observed: bool
+    hops_from_observed: int     # 0 when observed directly
+
+
+def segment_adjacency(network: RoadNetwork) -> Dict[SegmentId, List[SegmentId]]:
+    """Directed segments adjacent through a shared endpoint.
+
+    A segment (u, v) is coupled to continuations (v, w), feeders (w, u),
+    and its own reverse carriageway (weakly, congestion is often
+    directional — the reverse is still included because it shares the
+    physical road environment).
+    """
+    by_node: Dict[int, List[SegmentId]] = {}
+    for segment_id in network.segment_ids:
+        u, v = segment_id
+        by_node.setdefault(u, []).append(segment_id)
+        by_node.setdefault(v, []).append(segment_id)
+    adjacency: Dict[SegmentId, List[SegmentId]] = {}
+    for segment_id in network.segment_ids:
+        u, v = segment_id
+        neighbours: Set[SegmentId] = set()
+        for node in (u, v):
+            neighbours.update(by_node.get(node, ()))
+        neighbours.discard(segment_id)
+        adjacency[segment_id] = sorted(neighbours)
+    return adjacency
+
+
+def infer_region_speeds(
+    network: RoadNetwork,
+    observed_kmh: Mapping[SegmentId, float],
+    iterations: int = 60,
+    default_congestion: float = 0.85,
+) -> Dict[SegmentId, RegionEstimate]:
+    """Extend observed segment speeds to the whole network.
+
+    Jacobi diffusion of congestion factors over the segment adjacency
+    graph, with observed segments held fixed.  ``default_congestion``
+    seeds components with no observation at a typical daytime level.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    adjacency = segment_adjacency(network)
+
+    observed_factor: Dict[SegmentId, float] = {}
+    for segment_id, speed_kmh in observed_kmh.items():
+        segment = network.segment(segment_id)
+        factor = kmh_to_ms(speed_kmh) / segment.free_speed_ms
+        observed_factor[segment_id] = min(max(factor, 0.05), 1.2)
+
+    hops = _hops_from_observed(adjacency, set(observed_factor))
+
+    factors: Dict[SegmentId, float] = {
+        seg: observed_factor.get(seg, default_congestion)
+        for seg in network.segment_ids
+    }
+    unknown = [seg for seg in network.segment_ids if seg not in observed_factor]
+    for _ in range(iterations):
+        updates: Dict[SegmentId, float] = {}
+        for seg in unknown:
+            neighbours = adjacency[seg]
+            if not neighbours:
+                continue
+            updates[seg] = sum(factors[n] for n in neighbours) / len(neighbours)
+        factors.update(updates)
+
+    estimates: Dict[SegmentId, RegionEstimate] = {}
+    for segment_id in network.segment_ids:
+        segment = network.segment(segment_id)
+        estimates[segment_id] = RegionEstimate(
+            segment_id=segment_id,
+            speed_kmh=ms_to_kmh(factors[segment_id] * segment.free_speed_ms),
+            observed=segment_id in observed_factor,
+            hops_from_observed=hops.get(segment_id, -1),
+        )
+    return estimates
+
+
+def _hops_from_observed(
+    adjacency: Mapping[SegmentId, List[SegmentId]],
+    observed: Set[SegmentId],
+) -> Dict[SegmentId, int]:
+    """BFS distance of every segment from the observed set."""
+    from collections import deque
+
+    hops = {seg: 0 for seg in observed}
+    queue = deque(observed)
+    while queue:
+        seg = queue.popleft()
+        for neighbour in adjacency.get(seg, ()):
+            if neighbour not in hops:
+                hops[neighbour] = hops[seg] + 1
+                queue.append(neighbour)
+    return hops

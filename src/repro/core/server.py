@@ -1,0 +1,201 @@
+"""The backend server: the full §III pipeline over uploaded trips.
+
+For every anonymous :class:`TripUpload` the server runs
+
+    per-sample matching  →  per-bus-stop clustering  →  per-trip mapping
+    →  travel-time extraction  →  BTT→ATT model  →  Bayesian map update
+
+exactly as Fig. 4 sketches, and maintains the live traffic map with its
+T = 5 min publication cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.road_network import RoadNetwork, SegmentId
+from repro.city.routes import BusRoute, RouteNetwork
+from repro.config import SystemConfig
+from repro.core.clustering import MatchedSample, SampleCluster, cluster_trip_samples
+from repro.core.fingerprint import FingerprintDatabase
+from repro.core.matching import SampleMatcher
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.core.traffic_model import TrafficModel
+from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
+from repro.phone.trip_recorder import TripUpload
+from repro.util.units import ms_to_kmh
+
+#: Plausibility band for a measured bus leg; outside it the reading is junk.
+_MIN_BUS_SPEED_KMH = 2.0
+_MAX_BUS_SPEED_KMH = 65.0
+
+
+@dataclass
+class ServerStats:
+    """Counters over everything the server has processed."""
+
+    trips_received: int = 0
+    trips_duplicate: int = 0
+    trips_mapped: int = 0
+    samples_received: int = 0
+    samples_discarded: int = 0
+    clusters_formed: int = 0
+    legs_estimated: int = 0
+    legs_rejected: int = 0
+    segments_updated: int = 0
+
+
+@dataclass
+class TripReport:
+    """Diagnostics of one trip's journey through the pipeline."""
+
+    trip_key: str
+    accepted_samples: int
+    discarded_samples: int
+    clusters: List[SampleCluster]
+    mapped: Optional[MappedTrip]
+    estimates: List[Tuple[SegmentId, float, float]] = field(default_factory=list)
+    # (segment, speed_kmh, observation time)
+
+
+class BackendServer:
+    """Receives crowd uploads and maintains the city traffic map."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        route_network: RouteNetwork,
+        database: FingerprintDatabase,
+        config: Optional[SystemConfig] = None,
+    ):
+        self.config = config or SystemConfig()
+        self.network = network
+        self.route_network = route_network
+        self.database = database
+        self.matcher = SampleMatcher(database.as_dict(), self.config.matching)
+        self.constraint = RouteConstraint(route_network, self.config.trip_mapping)
+        self.model = TrafficModel(self.config.traffic_model)
+        self.traffic_map = TrafficMapEstimator(network, self.config.fusion)
+        self.stats = ServerStats()
+        self._seen_trip_keys: set = set()
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def receive_trip(self, upload: TripUpload) -> TripReport:
+        """Run one uploaded trip through the full pipeline.
+
+        Re-delivered uploads (flaky phone connectivity retries the POST)
+        are detected by trip key and ignored, so a trip never counts
+        twice in the fused map.
+        """
+        if upload.trip_key in self._seen_trip_keys:
+            self.stats.trips_duplicate += 1
+            return TripReport(
+                trip_key=upload.trip_key,
+                accepted_samples=0,
+                discarded_samples=len(upload.samples),
+                clusters=[],
+                mapped=None,
+            )
+        self._seen_trip_keys.add(upload.trip_key)
+        self.stats.trips_received += 1
+        self.stats.samples_received += len(upload.samples)
+
+        matched: List[MatchedSample] = []
+        discarded = 0
+        results = self.matcher.match_many([s.tower_ids for s in upload.samples])
+        for sample, result in zip(upload.samples, results):
+            if result.accepted:
+                matched.append(MatchedSample(sample=sample, match=result))
+            else:
+                discarded += 1
+        self.stats.samples_discarded += discarded
+
+        clusters = cluster_trip_samples(matched, self.config.clustering)
+        self.stats.clusters_formed += len(clusters)
+
+        mapped = map_trip(clusters, self.constraint) if clusters else None
+        report = TripReport(
+            trip_key=upload.trip_key,
+            accepted_samples=len(matched),
+            discarded_samples=discarded,
+            clusters=clusters,
+            mapped=mapped,
+        )
+        if mapped is None or len(mapped.stops) < 2:
+            return report
+        self.stats.trips_mapped += 1
+        self._estimate_legs(mapped, report)
+        return report
+
+    def receive_trips(self, uploads: Sequence[TripUpload]) -> List[TripReport]:
+        """Process a batch of uploads in time order."""
+        ordered = sorted(uploads, key=lambda u: u.start_s if u.samples else 0.0)
+        return [self.receive_trip(upload) for upload in ordered]
+
+    def publish(self, at_s: float) -> None:
+        """Publish the current map (the T = 5 min refresh cycle)."""
+        self.traffic_map.publish(at_s)
+
+    # -- travel-time extraction (§III-D) -------------------------------------------
+
+    def _estimate_legs(self, mapped: MappedTrip, report: TripReport) -> None:
+        for prev, cur in zip(mapped.stops, mapped.stops[1:]):
+            if prev.station_id == cur.station_id:
+                continue                      # duplicate cluster of one stop
+            # The "departing point" is the last tap heard at the stop, but
+            # doors stay open a little longer — subtract the calibrated
+            # dwell tail so the leg time is true running time.
+            btt = (
+                cur.arrival_s
+                - prev.depart_s
+                - self.config.traffic_model.dwell_tail_s
+            )
+            if btt <= 0:
+                self.stats.legs_rejected += 1
+                continue
+            segments = self._segments_between(prev.station_id, cur.station_id)
+            if not segments:
+                self.stats.legs_rejected += 1
+                continue
+            total_length = sum(self.network.segment(s).length_m for s in segments)
+            bus_speed_kmh = ms_to_kmh(total_length / btt)
+            if not (_MIN_BUS_SPEED_KMH <= bus_speed_kmh <= _MAX_BUS_SPEED_KMH):
+                self.stats.legs_rejected += 1
+                continue
+            self.stats.legs_estimated += 1
+            # A missing stop merges adjacent road segments into one leg
+            # (§III-D); the running time is split over the spanned
+            # segments in proportion to their length, which assumes a
+            # uniform speed over the leg.
+            for segment_id in segments:
+                segment = self.network.segment(segment_id)
+                seg_btt = btt * segment.length_m / total_length
+                estimate = self.model.estimate(
+                    seg_btt, segment.length_m, segment.free_speed_ms
+                )
+                self.traffic_map.update(
+                    segment_id, estimate.speed_kmh, cur.arrival_s
+                )
+                self.stats.segments_updated += 1
+                report.estimates.append(
+                    (segment_id, estimate.speed_kmh, cur.arrival_s)
+                )
+
+    def _segments_between(self, x: int, y: int) -> List[SegmentId]:
+        """Directed segments a bus covers from station x to station y.
+
+        When several routes serve the pair, the one with the fewest
+        intermediate stops is the natural explanation of the leg.
+        """
+        best: Optional[Tuple[int, List[SegmentId]]] = None
+        for route in self.route_network.routes:
+            from_order = route.station_order(x)
+            to_order = route.station_order(y)
+            if from_order is None or to_order is None or to_order <= from_order:
+                continue
+            hops = to_order - from_order
+            if best is None or hops < best[0]:
+                best = (hops, route.segments_between(from_order, to_order))
+        return best[1] if best else []

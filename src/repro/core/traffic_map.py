@@ -1,0 +1,206 @@
+"""The live city traffic map assembled from fused segment speeds.
+
+Speeds are reported in the paper's five Fig. 9 display levels and the
+map keeps a history of published snapshots (one per T = 5 min update
+period), which is what consumers like the Fig. 10 comparison read.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.road_network import RoadNetwork, SegmentId
+from repro.config import FusionConfig
+from repro.core.fusion import BayesianSpeedFuser, FusedSpeed
+
+
+class SpeedLevel(IntEnum):
+    """Fig. 9's five display levels (km/h bands)."""
+
+    VERY_SLOW = 1       # < 20
+    SLOW = 2            # 20–30
+    MODERATE = 3        # 30–40
+    NORMAL = 4          # 40–50
+    FAST = 5            # > 50
+
+
+def speed_level(speed_kmh: float) -> SpeedLevel:
+    """Map a speed to its Fig. 9 display level."""
+    if speed_kmh < 20.0:
+        return SpeedLevel.VERY_SLOW
+    if speed_kmh < 30.0:
+        return SpeedLevel.SLOW
+    if speed_kmh < 40.0:
+        return SpeedLevel.MODERATE
+    if speed_kmh < 50.0:
+        return SpeedLevel.NORMAL
+    return SpeedLevel.FAST
+
+
+@dataclass(frozen=True)
+class SegmentReading:
+    """One segment's state in a snapshot."""
+
+    segment_id: SegmentId
+    speed_kmh: float
+    sigma_kmh: float
+    level: SpeedLevel
+    age_s: float
+
+
+@dataclass
+class TrafficSnapshot:
+    """The traffic map at one instant."""
+
+    at_s: float
+    readings: Dict[SegmentId, SegmentReading]
+    total_segments: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of directed road segments with a fresh estimate."""
+        return len(self.readings) / self.total_segments if self.total_segments else 0.0
+
+    def level_histogram(self) -> Dict[SpeedLevel, int]:
+        """Count of segments per display level."""
+        histogram = {level: 0 for level in SpeedLevel}
+        for reading in self.readings.values():
+            histogram[reading.level] += 1
+        return histogram
+
+    def mean_speed_kmh(self) -> float:
+        """Unweighted mean over covered segments."""
+        if not self.readings:
+            return 0.0
+        return sum(r.speed_kmh for r in self.readings.values()) / len(self.readings)
+
+
+class TrafficMapEstimator:
+    """Fuses speed observations and serves snapshots + a published history."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: Optional[FusionConfig] = None,
+        max_age_s: float = 3600.0,
+    ):
+        self.network = network
+        self.config = config or FusionConfig()
+        self.max_age_s = max_age_s
+        self.fuser = BayesianSpeedFuser(self.config)
+        # Published frames: (publish time, {segment: (mean, sigma, last update)}).
+        self._history: List[
+            Tuple[float, Dict[SegmentId, Tuple[float, float, float]]]
+        ] = []
+
+    # -- ingest -----------------------------------------------------------------
+
+    def update(
+        self,
+        segment_id: SegmentId,
+        speed_kmh: float,
+        t: float,
+        sigma_kmh: Optional[float] = None,
+    ) -> FusedSpeed:
+        """Fold one automobile-speed observation into the map."""
+        if not self.network.has_segment(segment_id):
+            raise KeyError(f"unknown segment {segment_id}")
+        return self.fuser.update(segment_id, speed_kmh, t, sigma_kmh)
+
+    # -- queries ----------------------------------------------------------------
+
+    def segment_estimate(
+        self, segment_id: SegmentId, t: Optional[float] = None
+    ) -> Optional[FusedSpeed]:
+        """Current fused belief for a segment (staleness-inflated at ``t``)."""
+        return self.fuser.current(segment_id, t)
+
+    def snapshot(self, at_s: float) -> TrafficSnapshot:
+        """The map right now: every segment with a non-stale estimate."""
+        readings: Dict[SegmentId, SegmentReading] = {}
+        for segment_id in self.fuser.keys:
+            belief = self.fuser.current(segment_id, at_s)
+            age = at_s - belief.last_update_s
+            if age > self.max_age_s or age < 0:
+                continue
+            readings[segment_id] = SegmentReading(
+                segment_id=segment_id,
+                speed_kmh=belief.mean_kmh,
+                sigma_kmh=belief.sigma_kmh,
+                level=speed_level(belief.mean_kmh),
+                age_s=age,
+            )
+        return TrafficSnapshot(
+            at_s=at_s,
+            readings=readings,
+            total_segments=len(self.network.segment_ids),
+        )
+
+    # -- published history (the T = 5 min feed) ---------------------------------
+
+    def publish(self, at_s: float) -> None:
+        """Freeze the current estimates as the published map for ``at_s``."""
+        if self._history and at_s <= self._history[-1][0]:
+            raise ValueError("publish times must be strictly increasing")
+        frame: Dict[SegmentId, Tuple[float, float, float]] = {}
+        for segment_id in self.fuser.keys:
+            belief = self.fuser.current(segment_id, at_s)
+            if 0.0 <= at_s - belief.last_update_s <= self.max_age_s:
+                frame[segment_id] = (
+                    belief.mean_kmh,
+                    belief.sigma_kmh,
+                    belief.last_update_s,
+                )
+        self._history.append((at_s, frame))
+
+    @property
+    def publish_times(self) -> List[float]:
+        """Times of all published frames."""
+        return [t for t, _ in self._history]
+
+    def published_speed(
+        self, segment_id: SegmentId, t: float
+    ) -> Optional[float]:
+        """Speed from the latest frame published at or before ``t``."""
+        frame = self._frame_at(t)
+        if frame is None:
+            return None
+        entry = frame[1].get(segment_id)
+        return entry[0] if entry else None
+
+    def published_snapshot(self, t: float) -> TrafficSnapshot:
+        """The map *as it was published* at time ``t`` (historical view).
+
+        Unlike :meth:`snapshot` — which reads the live fused beliefs and
+        is only meaningful for "now" — this reconstructs the frame a
+        consumer saw at ``t`` during the campaign (Fig. 9's snapshots).
+        """
+        frame = self._frame_at(t)
+        readings: Dict[SegmentId, SegmentReading] = {}
+        if frame is not None:
+            publish_time, entries = frame
+            for segment_id, (mean, sigma, last_update) in entries.items():
+                readings[segment_id] = SegmentReading(
+                    segment_id=segment_id,
+                    speed_kmh=mean,
+                    sigma_kmh=sigma,
+                    level=speed_level(mean),
+                    age_s=publish_time - last_update,
+                )
+        return TrafficSnapshot(
+            at_s=t,
+            readings=readings,
+            total_segments=len(self.network.segment_ids),
+        )
+
+    def _frame_at(
+        self, t: float
+    ) -> Optional[Tuple[float, Dict[SegmentId, Tuple[float, float, float]]]]:
+        times = [entry[0] for entry in self._history]
+        idx = bisect.bisect_right(times, t) - 1
+        if idx < 0:
+            return None
+        return self._history[idx]

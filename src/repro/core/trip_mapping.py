@@ -1,0 +1,176 @@
+"""Per-trip mapping: route-constrained sequence estimation (§III-C3).
+
+Given a trip's time-ordered sample clusters, each with a pool of
+candidate stops, find the stop sequence that maximises the paper's
+Eq. (2):
+
+    S* = argmax  p₁s̄₁ + Σ_{k≥2} p_k s̄_k · R(b_{k−1}, b_k)
+
+where R encodes the bus-route order constraint: buses only visit stops
+downstream of where they already are.  The paper describes enumerating
+all N = Π B_k sequences; because the objective decomposes over
+consecutive pairs, a Viterbi-style dynamic program finds the same
+argmax in O(Σ B_k²) — the exponential enumeration is unnecessary (and
+is used in tests as the oracle to verify the DP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.routes import RouteNetwork
+from repro.config import TripMappingConfig
+from repro.core.clustering import CandidateStop, SampleCluster
+
+
+@dataclass(frozen=True)
+class MappedStop:
+    """One cluster resolved to a stop, with its timing."""
+
+    station_id: int
+    arrival_s: float
+    depart_s: float
+    cluster_size: int
+    weight: float               # the Eq. (2) term this choice contributed
+
+
+@dataclass
+class MappedTrip:
+    """The trajectory of one uploaded trip, mapped onto bus stops."""
+
+    stops: List[MappedStop]
+    score: float
+
+    def station_sequence(self) -> List[int]:
+        """Resolved stations in travel order."""
+        return [s.station_id for s in self.stops]
+
+
+class RouteConstraint:
+    """The paper's R(x, y) relation over the route network."""
+
+    def __init__(
+        self,
+        route_network: RouteNetwork,
+        config: Optional[TripMappingConfig] = None,
+    ):
+        self.routes = route_network
+        self.config = config or TripMappingConfig()
+
+    def weight(self, x: int, y: int) -> float:
+        """R(x, y): order-feasibility weight of visiting y right after x."""
+        if x == y:
+            return self.config.same_stop_weight
+        if self.routes.downstream(x, y):
+            return self.config.downstream_weight
+        if self.config.allow_transfers and self.routes.reachable_with_transfer(x, y):
+            return self.config.downstream_weight
+        return 0.0
+
+
+def map_trip(
+    clusters: Sequence[SampleCluster],
+    constraint: RouteConstraint,
+    min_weight: float = 1e-9,
+) -> Optional[MappedTrip]:
+    """Resolve each cluster to its most likely stop under route constraints.
+
+    Returns None when no cluster has any candidate (nothing matched).
+    Clusters whose chosen candidate contributes (numerically) zero weight
+    — i.e. the best sequence routes "around" them — are dropped from the
+    result rather than mapped arbitrarily.
+    """
+    pools: List[List[CandidateStop]] = [c.candidates() for c in clusters]
+    kept_indices = [i for i, pool in enumerate(pools) if pool]
+    if not kept_indices:
+        return None
+    kept_pools = [pools[i] for i in kept_indices]
+
+    # Viterbi over candidate pools: score[k][i] = best achievable sum of
+    # Eq. (2) terms for clusters 0..k ending with candidate i.
+    scores: List[List[float]] = []
+    backptr: List[List[int]] = []
+    first = [candidate.weight for candidate in kept_pools[0]]
+    scores.append(first)
+    backptr.append([-1] * len(first))
+    for k in range(1, len(kept_pools)):
+        row: List[float] = []
+        back: List[int] = []
+        for candidate in kept_pools[k]:
+            best_prev = 0
+            best_value = -1.0
+            for j, prev in enumerate(kept_pools[k - 1]):
+                value = scores[k - 1][j] + candidate.weight * constraint.weight(
+                    prev.station_id, candidate.station_id
+                )
+                if value > best_value:
+                    best_value = value
+                    best_prev = j
+            row.append(best_value)
+            back.append(best_prev)
+        scores.append(row)
+        backptr.append(back)
+
+    # Backtrack from the best final candidate.
+    last = max(range(len(scores[-1])), key=lambda i: scores[-1][i])
+    choice = [0] * len(kept_pools)
+    choice[-1] = last
+    for k in range(len(kept_pools) - 1, 0, -1):
+        choice[k - 1] = backptr[k][choice[k]]
+
+    stops: List[MappedStop] = []
+    for position, (pool_index, cluster_index) in enumerate(
+        zip(choice, kept_indices)
+    ):
+        candidate = kept_pools[position][pool_index]
+        cluster = clusters[cluster_index]
+        if position > 0:
+            prev_candidate = kept_pools[position - 1][choice[position - 1]]
+            contributed = candidate.weight * constraint.weight(
+                prev_candidate.station_id, candidate.station_id
+            )
+        else:
+            contributed = candidate.weight
+        if position > 0 and contributed <= min_weight:
+            # The constraint zeroed this cluster out: it is inconsistent
+            # with the surrounding trajectory (a stray mismatch).
+            continue
+        stops.append(
+            MappedStop(
+                station_id=candidate.station_id,
+                arrival_s=cluster.arrival_s,
+                depart_s=cluster.depart_s,
+                cluster_size=len(cluster),
+                weight=contributed,
+            )
+        )
+    if not stops:
+        return None
+    return MappedTrip(stops=stops, score=float(scores[-1][last]))
+
+
+def enumerate_best_sequence(
+    clusters: Sequence[SampleCluster],
+    constraint: RouteConstraint,
+) -> Tuple[List[int], float]:
+    """Brute-force Eq. (2) maximiser (the paper's description).
+
+    Exponential in the number of clusters — used as a test oracle for
+    :func:`map_trip` on small instances.
+    """
+    import itertools
+
+    pools = [c.candidates() for c in clusters if c.candidates()]
+    if not pools:
+        return [], 0.0
+    best_seq: List[int] = []
+    best_score = -1.0
+    for combo in itertools.product(*pools):
+        score = combo[0].weight
+        for prev, cur in zip(combo, combo[1:]):
+            score += cur.weight * constraint.weight(prev.station_id, cur.station_id)
+        if score > best_score:
+            best_score = score
+            best_seq = [c.station_id for c in combo]
+    return best_seq, float(best_score)

@@ -1,0 +1,35 @@
+"""Evaluation utilities: metrics, official-feed comparison, baselines."""
+
+from repro.eval.comparison import (
+    SeriesPoint,
+    SpeedDifferenceStudy,
+    collect_speed_differences,
+    segment_time_series,
+)
+from repro.eval.figures import ascii_cdf, ascii_chart
+from repro.eval.google_maps import GoogleMapsIndicator, IndicatorLevel
+from repro.eval.metrics import (
+    Cdf,
+    mean_absolute_error,
+    pearson_correlation,
+    root_mean_square_error,
+)
+from repro.eval.reporting import render_cdf_series, render_comparison, render_table
+
+__all__ = [
+    "SeriesPoint",
+    "SpeedDifferenceStudy",
+    "collect_speed_differences",
+    "segment_time_series",
+    "ascii_cdf",
+    "ascii_chart",
+    "GoogleMapsIndicator",
+    "IndicatorLevel",
+    "Cdf",
+    "mean_absolute_error",
+    "pearson_correlation",
+    "root_mean_square_error",
+    "render_cdf_series",
+    "render_comparison",
+    "render_table",
+]

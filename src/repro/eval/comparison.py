@@ -1,0 +1,125 @@
+"""Comparison of the system's estimates against the official taxi feed.
+
+Implements the paper's §IV-C evaluation protocol:
+
+* **Fig. 10** — per-segment time series of v_A (our estimate), v_T
+  (official taxi speed) and the Google-style level over a day, in
+  15-minute windows.
+* **Fig. 11** — the Δv = |v_T − v_A| distribution split into the
+  paper's three speed classes (low < 40, medium 40–50, high > 50 km/h,
+  classed by v_A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.city.road_network import SegmentId
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.eval.google_maps import GoogleMapsIndicator, IndicatorLevel
+from repro.eval.metrics import Cdf
+from repro.sim.taxi import OfficialTrafficFeed
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One window of the Fig. 10 time series."""
+
+    time_s: float
+    estimated_kmh: Optional[float]      # v_A
+    official_kmh: Optional[float]       # v_T
+    google_level: Optional[IndicatorLevel]
+
+
+def segment_time_series(
+    segment_id: SegmentId,
+    traffic_map: TrafficMapEstimator,
+    official: OfficialTrafficFeed,
+    start_s: float,
+    end_s: float,
+    window_s: float = 900.0,
+    google: Optional[GoogleMapsIndicator] = None,
+) -> List[SeriesPoint]:
+    """The Fig. 10 series for one segment over ``[start_s, end_s)``."""
+    if end_s <= start_s:
+        raise ValueError("end must be after start")
+    points: List[SeriesPoint] = []
+    t = start_s
+    while t < end_s:
+        mid = t + window_s / 2.0
+        points.append(
+            SeriesPoint(
+                time_s=mid,
+                estimated_kmh=traffic_map.published_speed(segment_id, mid),
+                official_kmh=official.speed_kmh(segment_id, mid),
+                google_level=google.level(segment_id, mid) if google else None,
+            )
+        )
+        t += window_s
+    return points
+
+
+#: Fig. 11 speed-class boundaries on v_A (km/h).
+LOW_SPEED_MAX_KMH = 40.0
+HIGH_SPEED_MIN_KMH = 50.0
+
+
+@dataclass
+class SpeedDifferenceStudy:
+    """The Δv populations of Fig. 11, split by v_A speed class."""
+
+    low: List[float] = field(default_factory=list)
+    medium: List[float] = field(default_factory=list)
+    high: List[float] = field(default_factory=list)
+
+    def add(self, estimated_kmh: float, official_kmh: float) -> None:
+        """Record one comparable (v_A, v_T) window."""
+        delta = abs(official_kmh - estimated_kmh)
+        if estimated_kmh < LOW_SPEED_MAX_KMH:
+            self.low.append(delta)
+        elif estimated_kmh > HIGH_SPEED_MIN_KMH:
+            self.high.append(delta)
+        else:
+            self.medium.append(delta)
+
+    @property
+    def total(self) -> int:
+        """Total comparable windows."""
+        return len(self.low) + len(self.medium) + len(self.high)
+
+    def cdfs(self) -> Dict[str, Cdf]:
+        """Δv CDFs per class (classes with no data are omitted)."""
+        out: Dict[str, Cdf] = {}
+        for name, values in (("low", self.low), ("medium", self.medium), ("high", self.high)):
+            if values:
+                out[name] = Cdf.of(values)
+        return out
+
+    def median_by_class(self) -> Dict[str, float]:
+        """Median Δv per class."""
+        return {name: cdf.median for name, cdf in self.cdfs().items()}
+
+
+def collect_speed_differences(
+    segment_ids: Sequence[SegmentId],
+    traffic_map: TrafficMapEstimator,
+    official: OfficialTrafficFeed,
+    start_s: float,
+    end_s: float,
+    window_s: float = 900.0,
+) -> SpeedDifferenceStudy:
+    """Scan all segments and windows where both v_A and v_T exist (Fig. 11)."""
+    study = SpeedDifferenceStudy()
+    for segment_id in segment_ids:
+        t = start_s
+        while t < end_s:
+            mid = t + window_s / 2.0
+            estimated = traffic_map.published_speed(segment_id, mid)
+            official_kmh = official.speed_kmh(segment_id, mid)
+            if estimated is not None and official_kmh is not None:
+                study.add(estimated, official_kmh)
+            t += window_s
+    return study

@@ -1,0 +1,133 @@
+"""ASCII figure rendering: the paper's plots, in a terminal.
+
+The benches print tables of the series they regenerate; these helpers
+additionally draw them — a CDF curve (Figs. 1, 2, 11) or an x/y line
+chart with multiple series (Fig. 10) — so the *shape* comparisons the
+paper makes visually can be eyeballed straight from the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.metrics import Cdf
+
+#: Glyphs assigned to successive series in a chart.
+_GLYPHS = "*o+x#@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII chart.
+
+    Points are snapped to a ``width``×``height`` character grid; each
+    series gets its own glyph, listed in the legend.  Missing data is
+    simply absent — gaps stay blank.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be readable")
+    points = [
+        (x, y) for values in series.values() for x, y in values if y is not None
+    ]
+    if not points:
+        raise ValueError("no plottable points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, values) in zip(_GLYPHS, series.items()):
+        for x, y in values:
+            if y is None:
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    lines.append(f"{y_hi:8.1f} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_lo:8.1f} |" + "".join(grid[-1]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<12.1f}{x_label:^{max(width - 24, 4)}}{x_hi:>12.1f}"
+    )
+    legend = "   ".join(
+        f"{glyph} {name}" for glyph, name in zip(_GLYPHS, series.keys())
+    )
+    lines.append(" " * 10 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_traffic_map(
+    city,
+    snapshot,
+    cell_m: float = 420.0,
+) -> str:
+    """Render a traffic snapshot as the Fig. 9-style city map.
+
+    The region is rasterised into ``cell_m`` cells; each cell shows the
+    display level (1–5) averaged over the covered directed segments
+    whose midpoint falls in it, or '.' where no data exists.  North is
+    up, west is left.
+    """
+    from repro.core.traffic_map import speed_level
+
+    spec = city.spec
+    cols = max(1, int(round(spec.width_m / cell_m)) + 1)
+    rows = max(1, int(round(spec.height_m / cell_m)) + 1)
+    sums = [[0.0] * cols for _ in range(rows)]
+    counts = [[0] * cols for _ in range(rows)]
+    for segment_id, reading in snapshot.readings.items():
+        segment = city.network.segment(segment_id)
+        midpoint = segment.start.midpoint(segment.end)
+        col = min(cols - 1, max(0, int(round(midpoint.x / cell_m))))
+        row = min(rows - 1, max(0, int(round(midpoint.y / cell_m))))
+        sums[row][col] += reading.speed_kmh
+        counts[row][col] += 1
+
+    lines = []
+    for row in range(rows - 1, -1, -1):          # north on top
+        cells = []
+        for col in range(cols):
+            if counts[row][col]:
+                level = speed_level(sums[row][col] / counts[row][col])
+                cells.append(str(int(level)))
+            else:
+                cells.append(".")
+        lines.append(" ".join(cells))
+    legend = "levels: 1=<20  2=20-30  3=30-40  4=40-50  5=>50 km/h   .=no data"
+    return "\n".join(lines) + "\n" + legend
+
+
+def ascii_cdf(
+    cdfs: Dict[str, Cdf],
+    width: int = 64,
+    height: int = 16,
+    value_label: str = "value",
+) -> str:
+    """Plot one or more CDFs (cumulative fraction vs value)."""
+    if not cdfs:
+        raise ValueError("nothing to plot")
+    series: Dict[str, Sequence[Tuple[float, float]]] = {
+        name: [(value, fraction) for value, fraction in cdf.series(80)]
+        for name, cdf in cdfs.items()
+    }
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label=value_label,
+        y_label="cumulative fraction",
+    )

@@ -1,0 +1,92 @@
+"""A Google-Maps-style coarse traffic indicator (the Fig. 10 baseline).
+
+The paper contrasts its fine-grained speed estimates against the rough
+4-level indicator ("very slow / slow / normal / fast") a consumer map
+shows: levels only, slow refresh, and partial road coverage (Fig. 9(c)
+shows the baseline covering far fewer roads in the study area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Optional, Sequence, Set
+
+from repro.city.road_network import RoadClass, RoadNetwork, SegmentId
+from repro.config import GoogleMapsConfig
+from repro.sim.traffic import TrafficField
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.units import ms_to_kmh
+
+
+class IndicatorLevel(IntEnum):
+    """The four consumer-map traffic levels."""
+
+    VERY_SLOW = 1
+    SLOW = 2
+    NORMAL = 3
+    FAST = 4
+
+
+class GoogleMapsIndicator:
+    """Coarse, slowly refreshing, partially covering traffic levels."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        traffic: TrafficField,
+        config: Optional[GoogleMapsConfig] = None,
+        seed: SeedLike = None,
+    ):
+        self.network = network
+        self.traffic = traffic
+        self.config = config or GoogleMapsConfig()
+        self._covered = self._pick_covered(ensure_rng(seed))
+
+    def _pick_covered(self, rng) -> Set[SegmentId]:
+        """Major roads first, then random minors up to the coverage budget."""
+        segments = self.network.segments
+        budget = int(round(self.config.coverage_fraction * len(segments)))
+        majors = [s.segment_id for s in segments if s.road_class is RoadClass.MAJOR]
+        minors = [s.segment_id for s in segments if s.road_class is not RoadClass.MAJOR]
+        covered = set(majors[:budget])
+        remaining = budget - len(covered)
+        if remaining > 0 and minors:
+            extra = rng.choice(len(minors), size=min(remaining, len(minors)), replace=False)
+            covered.update(minors[i] for i in extra)
+        return covered
+
+    @property
+    def covered_segments(self) -> Set[SegmentId]:
+        """Segments the indicator reports at all."""
+        return set(self._covered)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of directed segments with any indicator data."""
+        total = len(self.network.segment_ids)
+        return len(self._covered) / total if total else 0.0
+
+    def level_for_speed(self, speed_kmh: float) -> IndicatorLevel:
+        """Quantise a speed into the 4 consumer levels."""
+        low, mid, high = self.config.level_bounds_kmh
+        if speed_kmh < low:
+            return IndicatorLevel.VERY_SLOW
+        if speed_kmh < mid:
+            return IndicatorLevel.SLOW
+        if speed_kmh < high:
+            return IndicatorLevel.NORMAL
+        return IndicatorLevel.FAST
+
+    def level(self, segment_id: SegmentId, t: float) -> Optional[IndicatorLevel]:
+        """The displayed level at time ``t`` (None off-coverage).
+
+        The display refreshes only every ``update_period_s``: the level
+        reflects the speed at the *last refresh*, which is what makes
+        the baseline insensitive to instant variation (Fig. 10).
+        """
+        if segment_id not in self._covered:
+            return None
+        refresh_t = (t // self.config.update_period_s) * self.config.update_period_s
+        speed_kmh = ms_to_kmh(self.traffic.car_speed_ms(segment_id, refresh_t))
+        return self.level_for_speed(speed_kmh)

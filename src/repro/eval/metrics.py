@@ -1,0 +1,78 @@
+"""Statistical helpers shared by the evaluation benches: CDFs, errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution."""
+
+    values: np.ndarray          # sorted
+
+    @classmethod
+    def of(cls, samples: Iterable[float]) -> "Cdf":
+        """Build from raw samples."""
+        values = np.sort(np.asarray(list(samples), dtype=float))
+        if values.size == 0:
+            raise ValueError("cannot build a CDF from no samples")
+        return cls(values=values)
+
+    def fraction_below(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right")) / self.values.size
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        return float(np.percentile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    def series(self, points: int = 50) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        qs = np.linspace(0.0, 100.0, points)
+        return [(float(np.percentile(self.values, q)), q / 100.0) for q in qs]
+
+
+def mean_absolute_error(a: Sequence[float], b: Sequence[float]) -> float:
+    """MAE between paired sequences."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("sequences must pair up")
+    if a.size == 0:
+        raise ValueError("empty sequences")
+    return float(np.mean(np.abs(a - b)))
+
+
+def root_mean_square_error(a: Sequence[float], b: Sequence[float]) -> float:
+    """RMSE between paired sequences."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("sequences must pair up")
+    if a.size == 0:
+        raise ValueError("empty sequences")
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def pearson_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson r between paired sequences (tracks 'follows the variation')."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.size < 2:
+        raise ValueError("need two equal-length sequences of >= 2 points")
+    if np.std(a) == 0 or np.std(b) == 0:
+        raise ValueError("correlation undefined for a constant sequence")
+    return float(np.corrcoef(a, b)[0, 1])

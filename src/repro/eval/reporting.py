@@ -1,0 +1,60 @@
+"""Plain-text rendering of the benches' tables and figure series.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output consistent and readable in captured pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    materialised: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf_series(
+    series: Sequence[Tuple[float, float]],
+    value_label: str = "value",
+    points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95),
+) -> str:
+    """Compact CDF rendering at standard quantiles."""
+    if not series:
+        raise ValueError("empty series")
+    lines = [f"{'fraction':>9}  {value_label}"]
+    for target in points:
+        best = min(series, key=lambda pair: abs(pair[1] - target))
+        lines.append(f"{best[1]:9.2f}  {best[0]:.2f}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    label: str, paper_value: object, measured_value: object
+) -> str:
+    """One 'paper vs measured' line for EXPERIMENTS.md-style records."""
+    return f"{label}: paper={_fmt(paper_value)}  measured={_fmt(measured_value)}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,42 @@
+"""Phone-side sensing stack: beep DSP, motion filter, sampling, recording."""
+
+from repro.phone.accel import TransitModeFilter, motion_variance
+from repro.phone.app import DspMode, PhoneAgent, record_participant_trips
+from repro.phone.beep import BeepDetector, BeepEvent, detect_beeps
+from repro.phone.cellular import CellularSample, CellularSampler
+from repro.phone.goertzel import (
+    band_powers,
+    fft_band_power,
+    fft_op_count,
+    goertzel_op_count,
+    goertzel_power,
+    goertzel_power_vectorized,
+)
+from repro.phone.power import Handset, PowerModel, Sensor, TABLE_III_SETTINGS
+from repro.phone.trip_recorder import RecorderState, TripRecorder, TripUpload
+
+__all__ = [
+    "TransitModeFilter",
+    "motion_variance",
+    "DspMode",
+    "PhoneAgent",
+    "record_participant_trips",
+    "BeepDetector",
+    "BeepEvent",
+    "detect_beeps",
+    "CellularSample",
+    "CellularSampler",
+    "band_powers",
+    "fft_band_power",
+    "fft_op_count",
+    "goertzel_op_count",
+    "goertzel_power",
+    "goertzel_power_vectorized",
+    "Handset",
+    "PowerModel",
+    "Sensor",
+    "TABLE_III_SETTINGS",
+    "RecorderState",
+    "TripRecorder",
+    "TripUpload",
+]

@@ -1,0 +1,50 @@
+"""Accelerometer-based transit-mode filter.
+
+Rapid-train stations use the same IC-card readers as buses, so beep
+detection alone would start bogus "bus" trips on trains.  The paper
+filters these out by thresholding the acceleration variance: buses
+accelerate, brake and turn frequently while trains ride smoothly
+(§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import AccelConfig
+
+
+def motion_variance(samples: np.ndarray, sample_rate_hz: float, window_s: float) -> float:
+    """Mean windowed variance of an accelerometer magnitude trace.
+
+    The trace is split into ``window_s`` windows and the variances are
+    averaged, which is robust to slow drift over long rides.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("empty accelerometer trace")
+    window = max(2, int(round(window_s * sample_rate_hz)))
+    if samples.size <= window:
+        return float(np.var(samples))
+    n_windows = samples.size // window
+    trimmed = samples[: n_windows * window].reshape(n_windows, window)
+    return float(np.mean(np.var(trimmed, axis=1)))
+
+
+class TransitModeFilter:
+    """Classifies a ride as bus-like or train-like by motion variance."""
+
+    def __init__(self, config: Optional[AccelConfig] = None):
+        self.config = config or AccelConfig()
+
+    def variance(self, samples: np.ndarray) -> float:
+        """Windowed motion variance of the trace."""
+        return motion_variance(
+            samples, self.config.sample_rate_hz, self.config.window_s
+        )
+
+    def is_bus(self, samples: np.ndarray) -> bool:
+        """True when the trace's variance exceeds the bus threshold."""
+        return self.variance(samples) > self.config.variance_threshold

@@ -1,0 +1,130 @@
+"""IC-card beep detection over a live audio stream.
+
+Implements §III-B: the phone measures the normalised signal strength of
+the beep frequency bands (1 kHz + 3 kHz in Singapore) over a sliding
+window of w = 300 ms and confirms a beep when the band strength jumps
+more than three standard deviations above its running noise statistics.
+A refractory gap separates distinct beeps (boarding passengers tap one
+after another).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import BeepConfig
+from repro.phone.goertzel import band_powers, total_power
+
+
+@dataclass(frozen=True)
+class BeepEvent:
+    """A detected beep: the time of its detection window."""
+
+    time_s: float
+    score: float                # jump size in noise standard deviations
+
+
+class _RunningStats:
+    """Welford running mean/variance of the noise-band ratio."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return float("inf")     # refuse to fire before stats settle
+        return max((self._m2 / (self.count - 1)) ** 0.5, 1e-9)
+
+
+class BeepDetector:
+    """Sliding-window dual-tone beep detector.
+
+    Feed audio with :meth:`process`; detected beeps are returned as
+    :class:`BeepEvent` with absolute stream timestamps.  The detector is
+    stateful so audio may arrive in chunks.
+    """
+
+    #: Window hop as a fraction of the window (2/3 overlap).
+    HOP_FRACTION = 1.0 / 3.0
+    #: Windows needed before detections may fire.
+    WARMUP_WINDOWS = 6
+
+    def __init__(self, config: Optional[BeepConfig] = None):
+        self.config = config or BeepConfig()
+        self._window = int(
+            round(self.config.window_ms / 1000.0 * self.config.sample_rate_hz)
+        )
+        self._hop = max(1, int(self._window * self.HOP_FRACTION))
+        self._buffer = np.empty(0)
+        self._consumed_samples = 0      # samples already slid past
+        self._stats = _RunningStats()
+        self._last_beep_s = -float("inf")
+
+    @property
+    def window_samples(self) -> int:
+        """Sliding window length in samples."""
+        return self._window
+
+    def process(self, chunk: np.ndarray) -> List[BeepEvent]:
+        """Consume an audio chunk; return beeps detected within it."""
+        chunk = np.asarray(chunk, dtype=float)
+        if chunk.ndim != 1:
+            raise ValueError("audio chunk must be one-dimensional")
+        self._buffer = np.concatenate([self._buffer, chunk])
+        events: List[BeepEvent] = []
+        while len(self._buffer) >= self._window:
+            window = self._buffer[: self._window]
+            event = self._score_window(window)
+            if event is not None:
+                events.append(event)
+            self._buffer = self._buffer[self._hop :]
+            self._consumed_samples += self._hop
+        return events
+
+    def _score_window(self, window: np.ndarray) -> Optional[BeepEvent]:
+        sr = self.config.sample_rate_hz
+        band = float(
+            np.sum(band_powers(window, sr, self.config.tone_frequencies_hz))
+        )
+        ratio = band / (total_power(window) + 1e-12)
+
+        time_s = (self._consumed_samples + self._window) / sr
+        warmed_up = self._stats.count >= self.WARMUP_WINDOWS
+        jump = (ratio - self._stats.mean) / self._stats.std if warmed_up else 0.0
+
+        # A real beep both jumps out of the noise statistics *and* carries a
+        # non-trivial fraction of the window's energy in the tone bands —
+        # the absolute floor keeps tiny noise wobbles from firing when the
+        # running variance happens to be small.
+        if (
+            warmed_up
+            and jump > self.config.jump_sigma
+            and ratio >= self.config.min_band_ratio
+        ):
+            if time_s - self._last_beep_s >= self.config.min_gap_ms / 1000.0:
+                self._last_beep_s = time_s
+                return BeepEvent(time_s=time_s, score=float(jump))
+            return None
+        # Only non-beep windows update the noise statistics.
+        self._stats.update(ratio)
+        return None
+
+
+def detect_beeps(
+    audio: np.ndarray, config: Optional[BeepConfig] = None
+) -> List[BeepEvent]:
+    """One-shot beep detection over a whole buffer."""
+    detector = BeepDetector(config)
+    return detector.process(audio)

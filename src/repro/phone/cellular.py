@@ -1,0 +1,52 @@
+"""Phone-side cellular sampling: the data unit the system uploads.
+
+A :class:`CellularSample` is what the phone attaches to every detected
+beep: a timestamp plus the visible cell tower ids in descending-RSS
+order (§III-B).  It is the *only* location-bearing datum that leaves
+the phone — no GPS, no coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.city.geometry import Point
+from repro.radio.scanner import CellularScanner, Observation
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class CellularSample:
+    """A timestamped cellular scan captured at a beep."""
+
+    time_s: float
+    tower_ids: Tuple[int, ...]
+    rss_dbm: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rss_dbm and len(self.rss_dbm) != len(self.tower_ids):
+            raise ValueError("rss_dbm length must match tower_ids")
+
+    def __len__(self) -> int:
+        return len(self.tower_ids)
+
+    @classmethod
+    def from_observation(cls, time_s: float, observation: Observation) -> "CellularSample":
+        """Wrap a radio-layer observation with its capture time."""
+        return cls(
+            time_s=time_s,
+            tower_ids=observation.tower_ids,
+            rss_dbm=observation.rss_dbm,
+        )
+
+
+class CellularSampler:
+    """Thin phone-side wrapper over the modem's neighbour-cell list."""
+
+    def __init__(self, scanner: CellularScanner):
+        self._scanner = scanner
+
+    def sample(self, where: Point, time_s: float, rng: SeedLike = None) -> CellularSample:
+        """Capture one cellular sample at the phone's physical location."""
+        return CellularSample.from_observation(time_s, self._scanner.scan(where, rng))

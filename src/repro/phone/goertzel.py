@@ -1,0 +1,112 @@
+"""Goertzel algorithm for single-frequency power extraction.
+
+The paper detects IC-card beeps by watching the 1 kHz and 3 kHz bands
+and uses the Goertzel algorithm instead of an FFT because only M target
+frequencies are needed: complexity O(K_g·N·M) versus O(K_f·N·log N),
+with a much smaller per-op constant — worth ≈60 mW on the phone
+(§III-B, §IV-D).
+
+Both the Goertzel extractor and the FFT-based equivalent are provided,
+plus operation-count models used by the complexity/power ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def goertzel_power(samples: np.ndarray, sample_rate_hz: float, freq_hz: float) -> float:
+    """Normalised signal power at ``freq_hz`` via the Goertzel recurrence.
+
+    Returns ``|X(k)|² / N²`` for the nearest DFT bin, comparable across
+    window lengths.
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("empty sample window")
+    if not (0.0 < freq_hz < sample_rate_hz / 2.0):
+        raise ValueError("frequency must lie in (0, Nyquist)")
+    k = int(round(n * freq_hz / sample_rate_hz))
+    omega = 2.0 * math.pi * k / n
+    coeff = 2.0 * math.cos(omega)
+    s_prev = s_prev2 = 0.0
+    for x in samples:
+        s = x + coeff * s_prev - s_prev2
+        s_prev2 = s_prev
+        s_prev = s
+    power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2
+    return float(power) / (n * n)
+
+
+def goertzel_power_vectorized(
+    samples: np.ndarray, sample_rate_hz: float, freq_hz: float
+) -> float:
+    """Same value as :func:`goertzel_power`, computed without the Python loop.
+
+    Uses the DFT-bin identity |X(k)|²/N² directly; numerically equal to
+    the recurrence and much faster for the simulator's bulk processing.
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("empty sample window")
+    if not (0.0 < freq_hz < sample_rate_hz / 2.0):
+        raise ValueError("frequency must lie in (0, Nyquist)")
+    k = int(round(n * freq_hz / sample_rate_hz))
+    angles = 2.0 * math.pi * k * np.arange(n) / n
+    re = float(np.dot(samples, np.cos(angles)))
+    im = float(np.dot(samples, np.sin(angles)))
+    return (re * re + im * im) / (n * n)
+
+
+def band_powers(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    freqs_hz: Sequence[float],
+    fast: bool = True,
+) -> np.ndarray:
+    """Powers at each target frequency (fast vectorised form by default)."""
+    extractor = goertzel_power_vectorized if fast else goertzel_power
+    return np.array([extractor(samples, sample_rate_hz, f) for f in freqs_hz])
+
+
+def fft_band_power(samples: np.ndarray, sample_rate_hz: float, freq_hz: float) -> float:
+    """FFT route to the same bin power (the paper's earlier approach [27])."""
+    samples = np.asarray(samples, dtype=float)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("empty sample window")
+    spectrum = np.fft.rfft(samples)
+    k = int(round(n * freq_hz / sample_rate_hz))
+    k = min(k, len(spectrum) - 1)
+    return float(np.abs(spectrum[k]) ** 2) / (n * n)
+
+
+def total_power(samples: np.ndarray) -> float:
+    """Mean squared amplitude of the window."""
+    samples = np.asarray(samples, dtype=float)
+    if len(samples) == 0:
+        raise ValueError("empty sample window")
+    return float(np.mean(samples**2))
+
+
+def goertzel_op_count(n: int, m: int, k_g: float = 1.0) -> float:
+    """Operation-count model O(K_g·N·M) for M Goertzel frequencies."""
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    return k_g * n * m
+
+
+def fft_op_count(n: int, k_f: float = 2.5) -> float:
+    """Operation-count model O(K_f·N·log2 N) for a full FFT.
+
+    ``K_f`` defaults above the Goertzel constant: the paper notes FFT
+    code is "comparatively more complex" so K_f >> K_g (§IV-D).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return k_f * n * math.log2(n) if n > 1 else 0.0

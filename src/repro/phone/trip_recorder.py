@@ -1,0 +1,136 @@
+"""Trip lifecycle state machine on the phone.
+
+§III-B: "Once detecting the beep, the mobile phone starts recording a
+trip.  For each thereafter detected beep event, the mobile phone
+attaches a timestamp and the set of visible cell tower signals. ...
+The mobile phone concludes the current trip if no beep is detected for
+10 minutes, and starts uploading another independent trip when new
+beeps are thereafter detected."
+
+The recorder also applies the accelerometer gate: the trip only starts
+when the motion filter says the ride looks like a bus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.config import TripRecorderConfig
+from repro.phone.cellular import CellularSample
+
+
+@dataclass(frozen=True)
+class TripUpload:
+    """One completed trip as uploaded (anonymously) to the backend."""
+
+    trip_key: str
+    samples: Tuple[CellularSample, ...]
+
+    def __post_init__(self) -> None:
+        times = [s.time_s for s in self.samples]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trip samples must be time-ordered")
+
+    @property
+    def start_s(self) -> float:
+        """Time of the first sample."""
+        if not self.samples:
+            raise ValueError("empty trip")
+        return self.samples[0].time_s
+
+    @property
+    def end_s(self) -> float:
+        """Time of the last sample."""
+        if not self.samples:
+            raise ValueError("empty trip")
+        return self.samples[-1].time_s
+
+
+class RecorderState(Enum):
+    """Lifecycle states of the recorder."""
+
+    IDLE = "idle"
+    RECORDING = "recording"
+
+
+class TripRecorder:
+    """Turns a stream of beep-triggered samples into discrete trips."""
+
+    _keys = itertools.count()
+
+    def __init__(
+        self,
+        config: Optional[TripRecorderConfig] = None,
+        phone_id: str = "phone",
+    ):
+        self.config = config or TripRecorderConfig()
+        self.phone_id = phone_id
+        self.state = RecorderState.IDLE
+        self._samples: List[CellularSample] = []
+        self._last_beep_s: Optional[float] = None
+        self._completed: List[TripUpload] = []
+
+    # -- event feed ---------------------------------------------------------
+
+    def on_beep(self, sample: CellularSample, looks_like_bus: bool = True) -> None:
+        """A beep was detected and a cellular sample captured.
+
+        ``looks_like_bus`` carries the accelerometer filter verdict; a
+        train-like ride never opens a trip (§III-B).
+        """
+        self._check_clock(sample.time_s)
+        self._maybe_timeout(sample.time_s)
+        if self.state is RecorderState.IDLE:
+            if not looks_like_bus:
+                return
+            self.state = RecorderState.RECORDING
+        self._samples.append(sample)
+        self._last_beep_s = sample.time_s
+
+    def on_tick(self, now_s: float) -> None:
+        """Advance the clock (e.g. from a periodic alarm)."""
+        self._check_clock(now_s)
+        self._maybe_timeout(now_s)
+
+    def drain_completed(self) -> List[TripUpload]:
+        """Completed trips ready for upload (cleared on read)."""
+        done = self._completed
+        self._completed = []
+        return done
+
+    def flush(self, now_s: float) -> List[TripUpload]:
+        """Force-conclude any open trip (e.g. app shutdown) and drain."""
+        self._check_clock(now_s)
+        self._conclude()
+        return self.drain_completed()
+
+    # -- internals ------------------------------------------------------------
+
+    def _maybe_timeout(self, now_s: float) -> None:
+        if (
+            self.state is RecorderState.RECORDING
+            and self._last_beep_s is not None
+            and now_s - self._last_beep_s >= self.config.trip_timeout_s
+        ):
+            self._conclude()
+
+    def _conclude(self) -> None:
+        if self._samples:
+            self._completed.append(
+                TripUpload(
+                    trip_key=f"{self.phone_id}#{next(self._keys)}",
+                    samples=tuple(self._samples),
+                )
+            )
+        self._samples = []
+        self._last_beep_s = None
+        self.state = RecorderState.IDLE
+
+    def _check_clock(self, now_s: float) -> None:
+        if self._last_beep_s is not None and now_s < self._last_beep_s:
+            raise ValueError(
+                f"time went backwards: {now_s:.1f} < {self._last_beep_s:.1f}"
+            )

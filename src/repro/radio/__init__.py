@@ -1,0 +1,17 @@
+"""Cellular radio substrate: towers, propagation, scanning, GPS error model."""
+
+from repro.radio.gps import GpsCondition, GpsErrorModel
+from repro.radio.propagation import PropagationModel
+from repro.radio.scanner import CellularScanner, Observation
+from repro.radio.towers import CellTower, deploy_towers, towers_for_city
+
+__all__ = [
+    "GpsCondition",
+    "GpsErrorModel",
+    "PropagationModel",
+    "CellularScanner",
+    "Observation",
+    "CellTower",
+    "deploy_towers",
+    "towers_for_city",
+]

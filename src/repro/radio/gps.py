@@ -1,0 +1,90 @@
+"""Urban-canyon GPS error model (paper Fig. 1).
+
+The paper motivates dropping GPS with a measurement study in downtown
+Singapore: median fix error ≈40 m stationary and ≈68 m on buses, with
+90th percentiles ≈75 m and ≈130 m, because high-rises block
+line-of-sight and the bus body attenuates further.  We model the error
+magnitude as lognormal — the standard heavy-tailed choice for multipath
+position error — with parameters solved from the reported median and
+90th percentile, and a uniform error bearing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.city.geometry import Point
+from repro.config import GpsConfig
+from repro.util.rng import SeedLike, ensure_rng
+
+#: Standard normal quantile for the 90th percentile.
+_Z90 = 1.2815515655446004
+
+
+class GpsCondition(Enum):
+    """Measurement condition of the Fig. 1 study."""
+
+    STATIONARY = "stationary"
+    ON_BUS = "on_bus"
+
+
+@dataclass(frozen=True)
+class _LognormalParams:
+    mu: float
+    sigma: float
+
+
+class GpsErrorModel:
+    """Samples GPS fix errors and noisy position fixes."""
+
+    def __init__(self, config: Optional[GpsConfig] = None):
+        self.config = config or GpsConfig()
+        self._params = {
+            GpsCondition.STATIONARY: _solve(
+                self.config.stationary_median_m, self.config.stationary_p90_m
+            ),
+            GpsCondition.ON_BUS: _solve(
+                self.config.onbus_median_m, self.config.onbus_p90_m
+            ),
+        }
+
+    def sample_errors(
+        self, condition: GpsCondition, n: int, rng: SeedLike = None
+    ) -> np.ndarray:
+        """Sample ``n`` fix error magnitudes in metres."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        rng = ensure_rng(rng)
+        params = self._params[condition]
+        return rng.lognormal(params.mu, params.sigma, size=n)
+
+    def fix(
+        self, true_position: Point, condition: GpsCondition, rng: SeedLike = None
+    ) -> Point:
+        """One noisy GPS fix around the true position."""
+        rng = ensure_rng(rng)
+        error = float(self.sample_errors(condition, 1, rng)[0])
+        bearing = rng.uniform(0.0, 2.0 * math.pi)
+        return true_position.offset(error * math.cos(bearing), error * math.sin(bearing))
+
+    def median_error_m(self, condition: GpsCondition) -> float:
+        """Model median error (analytic, equals the configured value)."""
+        return math.exp(self._params[condition].mu)
+
+    def p90_error_m(self, condition: GpsCondition) -> float:
+        """Model 90th-percentile error (analytic)."""
+        params = self._params[condition]
+        return math.exp(params.mu + _Z90 * params.sigma)
+
+
+def _solve(median_m: float, p90_m: float) -> _LognormalParams:
+    if median_m <= 0 or p90_m <= median_m:
+        raise ValueError("need 0 < median < p90 to fit a lognormal")
+    mu = math.log(median_m)
+    sigma = (math.log(p90_m) - mu) / _Z90
+    return _LognormalParams(mu, sigma)

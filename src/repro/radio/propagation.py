@@ -1,0 +1,89 @@
+"""Cellular signal propagation: log-distance path loss + shadowing.
+
+The backend never uses absolute RSS — only the *rank order* of visible
+towers at a place (§III-C).  What matters physically is therefore:
+
+* the mean RSS from a tower at a location is stable over time
+  (path loss + **static spatial shadowing**), so a bus stop has a
+  stable fingerprint; and
+* individual measurements fluctuate by a few dB (**temporal noise**,
+  fast fading, bodies, bus metal), so ranks occasionally swap — which
+  is exactly why the paper needs an order-tolerant matcher.
+
+The shadowing field is deterministic in (seed, tower, location): it is
+bilinearly interpolated from unit-normal draws keyed by grid corners,
+giving a smooth field with ``shadow_grid_m`` correlation length that
+never depends on evaluation order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.city.geometry import Point
+from repro.config import RadioConfig
+from repro.radio.towers import CellTower
+from repro.util.rng import SeedLike, ensure_rng, field_rng
+
+
+class PropagationModel:
+    """Deterministic mean RSS field plus per-measurement noise."""
+
+    def __init__(self, config: Optional[RadioConfig] = None, seed: int = 0):
+        self.config = config or RadioConfig()
+        self._seed = int(seed)
+        self._corner_cache: dict = {}
+
+    # -- mean field ---------------------------------------------------------
+
+    def mean_rss_dbm(self, tower: CellTower, where: Point) -> float:
+        """Long-term average RSS of ``tower`` at ``where`` (no temporal noise)."""
+        distance = max(tower.position.distance_to(where), 1.0)
+        path_loss = (
+            self.config.path_loss_ref_db
+            + 10.0 * self.config.path_loss_exponent * math.log10(distance)
+        )
+        return tower.tx_power_dbm - path_loss - self._shadow_db(tower.tower_id, where)
+
+    def _shadow_db(self, tower_id: int, where: Point) -> float:
+        """Static spatial shadowing, bilinear over a noise lattice."""
+        grid = self.config.shadow_grid_m
+        gx = where.x / grid
+        gy = where.y / grid
+        x0, y0 = math.floor(gx), math.floor(gy)
+        fx, fy = gx - x0, gy - y0
+        v00 = self._corner(tower_id, x0, y0)
+        v10 = self._corner(tower_id, x0 + 1, y0)
+        v01 = self._corner(tower_id, x0, y0 + 1)
+        v11 = self._corner(tower_id, x0 + 1, y0 + 1)
+        value = (
+            v00 * (1 - fx) * (1 - fy)
+            + v10 * fx * (1 - fy)
+            + v01 * (1 - fx) * fy
+            + v11 * fx * fy
+        )
+        return value * self.config.shadowing_sigma_db
+
+    def _corner(self, tower_id: int, ix: int, iy: int) -> float:
+        key = (tower_id, ix, iy)
+        cached = self._corner_cache.get(key)
+        if cached is None:
+            cached = float(
+                field_rng(self._seed, "shadow", tower_id, ix, iy).standard_normal()
+            )
+            self._corner_cache[key] = cached
+        return cached
+
+    # -- measurements --------------------------------------------------------
+
+    def measure_rss_dbm(
+        self, tower: CellTower, where: Point, rng: SeedLike = None
+    ) -> float:
+        """One RSS measurement: mean field plus temporal fluctuation."""
+        rng = ensure_rng(rng)
+        return self.mean_rss_dbm(tower, where) + rng.normal(
+            0.0, self.config.temporal_sigma_db
+        )

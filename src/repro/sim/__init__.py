@@ -1,0 +1,47 @@
+"""Physical-world simulation: traffic, buses, riders, taxis, audio, events."""
+
+from repro.sim.audio import MotionTrace, synthesize_cabin_audio, synthesize_motion
+from repro.sim.bus import (
+    BusTripTrace,
+    ParticipantRide,
+    SegmentTraversal,
+    StopVisit,
+    TapEvent,
+    bus_running_time_s,
+    dispatch_times,
+    simulate_bus_trip,
+)
+from repro.sim.campaign import Campaign, CampaignPhase, CampaignResult, DayStats
+from repro.sim.events import Simulator
+from repro.sim.taxi import AvlReport, OfficialTrafficFeed, TaxiFleet, taxi_speed_ms
+from repro.sim.traffic import DailyProfile, Hotspot, TrafficField, default_hotspots_for
+from repro.sim.uplink import UplinkChannel, UplinkStats
+
+__all__ = [
+    "MotionTrace",
+    "synthesize_cabin_audio",
+    "synthesize_motion",
+    "BusTripTrace",
+    "ParticipantRide",
+    "SegmentTraversal",
+    "StopVisit",
+    "TapEvent",
+    "bus_running_time_s",
+    "dispatch_times",
+    "simulate_bus_trip",
+    "Campaign",
+    "CampaignPhase",
+    "CampaignResult",
+    "DayStats",
+    "Simulator",
+    "AvlReport",
+    "OfficialTrafficFeed",
+    "TaxiFleet",
+    "taxi_speed_ms",
+    "DailyProfile",
+    "Hotspot",
+    "TrafficField",
+    "default_hotspots_for",
+    "UplinkChannel",
+    "UplinkStats",
+]

@@ -1,0 +1,135 @@
+"""Synthesis of the phone's raw sensor channels: cabin audio and motion.
+
+The phone-side stack (``repro.phone``) operates on real signal arrays,
+so the simulator must produce them:
+
+* **Audio** — 8 kHz PCM of a bus cabin: broadband engine/babble noise
+  (low-frequency weighted) plus IC-card reader beeps, each a dual-tone
+  (1 kHz + 3 kHz in Singapore, §III-B) burst of ~120 ms.
+* **Accelerometer** — magnitude traces distinguishing buses (frequent
+  acceleration/braking/turns) from rapid trains (smooth), which the
+  paper thresholds on variance to reject train rides (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import AccelConfig, BeepConfig
+from repro.util.rng import SeedLike, ensure_rng
+
+
+def synthesize_cabin_audio(
+    duration_s: float,
+    beep_times_s: Sequence[float],
+    config: Optional[BeepConfig] = None,
+    noise_rms: float = 0.05,
+    beep_amplitude: float = 0.25,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """8 kHz float PCM of a bus cabin with beeps at the given offsets.
+
+    Beeps starting within ``duration_s`` are included even if they get
+    truncated by the end of the buffer.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    config = config or BeepConfig()
+    rng = ensure_rng(rng)
+    n = int(round(duration_s * config.sample_rate_hz))
+    audio = _engine_noise(n, noise_rms, config.sample_rate_hz, rng)
+    for beep_start in beep_times_s:
+        if not (0.0 <= beep_start < duration_s):
+            raise ValueError(f"beep at {beep_start}s outside buffer [0, {duration_s})")
+        _add_beep(audio, beep_start, beep_amplitude, config, rng)
+    return audio
+
+
+def _engine_noise(
+    n: int, rms: float, sample_rate_hz: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Low-frequency-weighted noise: engine rumble + cabin babble."""
+    from scipy.signal import lfilter
+
+    white = rng.standard_normal(n)
+    # One-pole low-pass (≈300 Hz corner) gives the rumble its colour.
+    alpha = float(np.exp(-2.0 * np.pi * 300.0 / sample_rate_hz))
+    rumble = lfilter([1.0 - alpha], [1.0, -alpha], white)
+    mixed = 3.0 * rumble + 0.25 * rng.standard_normal(n)
+    scale = rms / (np.sqrt(np.mean(mixed**2)) + 1e-12)
+    return mixed * scale
+
+
+def _add_beep(
+    audio: np.ndarray,
+    start_s: float,
+    amplitude: float,
+    config: BeepConfig,
+    rng: np.random.Generator,
+) -> None:
+    sr = config.sample_rate_hz
+    start = int(round(start_s * sr))
+    length = min(int(round(config.beep_duration_ms / 1000.0 * sr)), len(audio) - start)
+    if length <= 0:
+        return
+    t = np.arange(length) / sr
+    burst = np.zeros(length)
+    for freq in config.tone_frequencies_hz:
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        burst += np.sin(2.0 * np.pi * freq * t + phase)
+    burst /= len(config.tone_frequencies_hz)
+    # Quick attack/decay envelope so the burst doesn't click.
+    ramp = min(16, length // 4)
+    envelope = np.ones(length)
+    if ramp > 0:
+        envelope[:ramp] = np.linspace(0.0, 1.0, ramp)
+        envelope[-ramp:] = np.linspace(1.0, 0.0, ramp)
+    audio[start : start + length] += amplitude * burst * envelope
+
+
+@dataclass(frozen=True)
+class MotionTrace:
+    """An accelerometer magnitude trace with its ground-truth mode."""
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    mode: str                   # "bus" or "train"
+
+
+def synthesize_motion(
+    mode: str,
+    duration_s: float,
+    config: Optional[AccelConfig] = None,
+    rng: SeedLike = None,
+) -> MotionTrace:
+    """Accelerometer magnitude (gravity removed) for a bus or train ride.
+
+    Buses exhibit frequent speed changes and turns: strong low-frequency
+    excursions (~0.8 m/s² swings every ~15 s) plus road vibration.
+    Trains ride rails: small smooth accelerations and little vibration.
+    """
+    if mode not in ("bus", "train"):
+        raise ValueError("mode must be 'bus' or 'train'")
+    config = config or AccelConfig()
+    rng = ensure_rng(rng)
+    n = int(round(duration_s * config.sample_rate_hz))
+    t = np.arange(n) / config.sample_rate_hz
+    if mode == "bus":
+        maneuver = np.zeros(n)
+        # Random accelerate/brake/turn episodes.
+        n_events = max(1, int(duration_s / 15.0))
+        for _ in range(n_events):
+            centre = rng.uniform(0.0, duration_s)
+            width = rng.uniform(2.0, 5.0)
+            strength = rng.uniform(0.6, 1.4) * rng.choice([-1.0, 1.0])
+            maneuver += strength * np.exp(-0.5 * ((t - centre) / width) ** 2)
+        vibration = 0.25 * rng.standard_normal(n)
+        samples = maneuver + vibration
+    else:
+        glide = 0.08 * np.sin(2.0 * np.pi * t / max(duration_s, 30.0))
+        vibration = 0.05 * rng.standard_normal(n)
+        samples = glide + vibration
+    return MotionTrace(samples=samples, sample_rate_hz=config.sample_rate_hz, mode=mode)

@@ -1,0 +1,272 @@
+"""Bus operation simulation: one bus serving one route dispatch.
+
+Produces the physical ground truth the backend later tries to recover:
+per-stop arrival/departure times, boarding/alighting counts (hence
+IC-card taps), and per-segment bus running times.
+
+Bus running time on a segment follows the delay-proportional transit
+model that also underlies the paper's Eq. (3): buses absorb congestion
+delay at ``1/b`` times the automobile rate (b = 0.5 → twice the car
+delay), on top of their own free running time:
+
+    BTT = BTT_free + (ATT − ATT_free) / b   (× lognormal noise)
+
+Inverting this is exactly ``ATT = a + b·(BTT − BTT_free)`` with
+``a = ATT_free = length / free automobile speed``, the paper's linear
+model read as a congestion-delay relation (the reading under which its
+stated ``a`` is consistent at free flow).  §III-D's regression fit of b
+is reproduced in ``benchmarks/bench_ablation_penalty.py``'s sibling
+``bench_table2``/traffic-model tests.
+
+Buses skip stops where nobody boards or alights (§III-D), which is what
+creates the merged-segment cases the backend must handle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.city.road_network import SegmentId
+from repro.city.routes import BusRoute
+from repro.config import BusConfig, RiderConfig
+from repro.sim.traffic import TrafficField
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TapEvent:
+    """One IC-card tap (one boarding rider) at a stop."""
+
+    time_s: float
+    stop_order: int
+    rider_id: int
+    is_participant: bool
+
+
+@dataclass(frozen=True)
+class StopVisit:
+    """Ground truth of the bus at one route stop."""
+
+    stop_order: int
+    station_id: int
+    stop_id: str
+    arrival_s: float
+    depart_s: float
+    boarders: int
+    alighters: int
+    served: bool                # False when the bus rolled past
+
+
+@dataclass(frozen=True)
+class SegmentTraversal:
+    """Ground-truth running interval of the bus over one road segment."""
+
+    segment_id: SegmentId
+    enter_s: float
+    exit_s: float
+
+    @property
+    def running_time_s(self) -> float:
+        """Bus running time over the segment."""
+        return self.exit_s - self.enter_s
+
+
+@dataclass(frozen=True)
+class ParticipantRide:
+    """A rider carrying the sensing app: their boarding/alighting stops."""
+
+    rider_id: int
+    board_order: int
+    alight_order: int
+
+
+@dataclass
+class BusTripTrace:
+    """Everything that physically happened on one bus trip."""
+
+    trip_id: str
+    route_id: str
+    dispatch_s: float
+    visits: List[StopVisit] = field(default_factory=list)
+    taps: List[TapEvent] = field(default_factory=list)
+    traversals: List[SegmentTraversal] = field(default_factory=list)
+    participants: List[ParticipantRide] = field(default_factory=list)
+
+    @property
+    def end_s(self) -> float:
+        """Time the bus reached the last stop."""
+        return self.visits[-1].arrival_s if self.visits else self.dispatch_s
+
+    def served_visits(self) -> List[StopVisit]:
+        """Visits where the bus actually stopped."""
+        return [v for v in self.visits if v.served]
+
+
+@dataclass
+class _Rider:
+    rider_id: int
+    alight_order: int
+    is_participant: bool
+
+
+#: Bus free running speed (m/s): ~43 km/h, below the automobile free speed.
+BUS_FREE_SPEED_MS = 12.0
+
+
+def bus_running_time_s(
+    segment_length_m: float,
+    car_travel_time_s: float,
+    car_free_time_s: float,
+    b: float,
+    rng: Optional[np.random.Generator] = None,
+    noise_std: float = 0.0,
+    max_speed_ms: float = 13.9,
+) -> float:
+    """Ground-truth bus running time over one segment.
+
+    Delay-proportional model (see module docstring) with optional
+    lognormal noise, clamped to physically sensible speeds.
+    """
+    if b <= 0:
+        raise ValueError("b must be positive")
+    btt_free = segment_length_m / BUS_FREE_SPEED_MS
+    btt = btt_free + max(0.0, car_travel_time_s - car_free_time_s) / b
+    if rng is not None and noise_std > 0:
+        btt *= float(rng.lognormal(0.0, noise_std))
+    min_time = segment_length_m / max_speed_ms
+    max_time = segment_length_m / 1.0       # never below walking pace
+    return float(min(max(btt, min_time), max_time))
+
+
+def simulate_bus_trip(
+    route: BusRoute,
+    dispatch_s: float,
+    traffic: TrafficField,
+    rider_ids: Iterator[int],
+    rng: SeedLike = None,
+    bus_config: Optional[BusConfig] = None,
+    rider_config: Optional[RiderConfig] = None,
+    model_b: float = 0.5,
+) -> BusTripTrace:
+    """Simulate one bus running the full route from ``dispatch_s``.
+
+    ``rider_ids`` supplies globally unique rider identifiers (share one
+    ``itertools.count`` across trips).  Returns the ground-truth trace.
+    """
+    rng = ensure_rng(rng)
+    bus_config = bus_config or BusConfig()
+    rider_config = rider_config or RiderConfig()
+    trace = BusTripTrace(
+        trip_id=f"{route.route_id}@{int(dispatch_s)}",
+        route_id=route.route_id,
+        dispatch_s=dispatch_s,
+    )
+    onboard: List[_Rider] = []
+    t = dispatch_s
+    n_stops = len(route.stops)
+
+    for order, route_stop in enumerate(route.stops):
+        arrival = t
+        is_last = order == n_stops - 1
+
+        alighting = [r for r in onboard if r.alight_order <= order] if not is_last else list(onboard)
+        onboard = [r for r in onboard if r not in alighting]
+
+        boarders = 0
+        taps: List[TapEvent] = []
+        if not is_last:
+            rate = rider_config.boarding_rate_per_stop * _demand_factor(traffic, arrival)
+            boarders = int(rng.poisson(rate))
+            tap_time = arrival + 2.0
+            for _ in range(boarders):
+                rider_id = next(rider_ids)
+                is_participant = bool(rng.random() < rider_config.participation_rate)
+                ride_len = max(1, int(rng.geometric(1.0 / rider_config.mean_ride_stops)))
+                rider = _Rider(rider_id, min(order + ride_len, n_stops - 1), is_participant)
+                onboard.append(rider)
+                tap_time += float(rng.uniform(0.8, 2.2))
+                taps.append(TapEvent(tap_time, order, rider_id, is_participant))
+                if is_participant:
+                    trace.participants.append(
+                        ParticipantRide(rider_id, order, rider.alight_order)
+                    )
+
+        served = bool(alighting) or boarders > 0 or order == 0 or is_last
+        if served:
+            dwell = bus_config.dwell_base_s + bus_config.dwell_per_passenger_s * (
+                boarders + len(alighting)
+            )
+            dwell *= float(rng.uniform(0.85, 1.25))
+        else:
+            dwell = 0.0
+        depart = arrival + dwell
+
+        trace.visits.append(
+            StopVisit(
+                stop_order=order,
+                station_id=route_stop.station_id,
+                stop_id=route_stop.stop_id,
+                arrival_s=arrival,
+                depart_s=depart,
+                boarders=boarders,
+                alighters=len(alighting),
+                served=served,
+            )
+        )
+        trace.taps.extend(taps)
+
+        if is_last:
+            break
+
+        # Drive the segments to the next served stop position.
+        t = depart
+        for seg_id in route.segments_between(order, order + 1):
+            segment = traffic.network.segment(seg_id)
+            att = traffic.car_travel_time_s(seg_id, t)
+            btt = bus_running_time_s(
+                segment.length_m,
+                att,
+                segment.free_travel_time_s,
+                b=model_b,
+                rng=rng,
+                noise_std=bus_config.btt_noise_std,
+                max_speed_ms=bus_config.max_speed_ms,
+            )
+            trace.traversals.append(SegmentTraversal(seg_id, t, t + btt))
+            t += btt
+
+    # Fix up participants who planned to ride past the terminal.
+    trace.participants = [
+        ParticipantRide(p.rider_id, p.board_order, min(p.alight_order, n_stops - 1))
+        for p in trace.participants
+    ]
+    return trace
+
+
+def dispatch_times(
+    start_s: float,
+    end_s: float,
+    headway_s: float,
+    rng: SeedLike = None,
+    jitter_fraction: float = 0.15,
+) -> List[float]:
+    """Dispatch times with headway jitter over a service window."""
+    if headway_s <= 0:
+        raise ValueError("headway must be positive")
+    rng = ensure_rng(rng)
+    times: List[float] = []
+    t = start_s
+    while t < end_s:
+        times.append(t + float(rng.uniform(-1, 1)) * jitter_fraction * headway_s)
+        t += headway_s
+    return [max(start_s, time) for time in times]
+
+
+def _demand_factor(traffic: TrafficField, t: float) -> float:
+    """Boarding demand multiplier from the daily profile (peaks are busier)."""
+    morning, evening = traffic.profile.bumps(t)
+    return 1.0 + 0.9 * morning + 0.6 * evening

@@ -1,0 +1,158 @@
+"""Multi-day sensing campaigns: the paper's two-phase experiment.
+
+§IV-A: the deployment ran for two months.  In the first (sparse) phase
+the 22 participants rode buses as they normally would, yielding limited
+data concentrated on frequently taken routes; for evaluation the
+authors then incentivised intensive riding for 19 days.
+
+:class:`Campaign` runs a :class:`~repro.sim.world.World` over many
+service days with per-phase participation rates, keeps the backend
+state across days (the fingerprint database and fused map carry over),
+and aggregates per-day statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.units import SECONDS_PER_DAY, parse_hhmm
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-init cycle
+    from repro.sim.world import SimulationResult, World
+
+
+@dataclass(frozen=True)
+class CampaignPhase:
+    """One phase of a campaign: a number of days at a participation rate."""
+
+    name: str
+    days: int
+    participation_rate: float
+    route_ids: Optional[Tuple[str, ...]] = None   # None: all routes
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("a phase needs at least one day")
+        if not 0.0 < self.participation_rate <= 1.0:
+            raise ValueError("participation rate must be in (0, 1]")
+
+
+@dataclass
+class DayStats:
+    """What one service day produced."""
+
+    day_index: int
+    phase: str
+    bus_trips: int
+    uploads: int
+    trips_mapped: int
+    segments_updated: int
+    map_coverage: float
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a multi-day campaign."""
+
+    world: World
+    days: List[DayStats]
+    day_results: List[SimulationResult]
+
+    def phase_days(self, phase_name: str) -> List[DayStats]:
+        """Per-day stats of one phase."""
+        return [d for d in self.days if d.phase == phase_name]
+
+    def uploads_per_day(self, phase_name: str) -> float:
+        """Mean uploads per day within a phase."""
+        days = self.phase_days(phase_name)
+        if not days:
+            raise KeyError(f"no days in phase {phase_name!r}")
+        return float(np.mean([d.uploads for d in days]))
+
+
+class Campaign:
+    """Runs a world through consecutive service days."""
+
+    def __init__(
+        self,
+        world: World,
+        start: str = "07:00",
+        end: str = "20:00",
+        headway_s: Optional[float] = None,
+        with_official_feed: bool = False,
+    ):
+        self.world = world
+        self.start_s = parse_hhmm(start)
+        self.end_s = parse_hhmm(end)
+        self.headway_s = headway_s
+        self.with_official_feed = with_official_feed
+
+    def run(self, phases: Sequence[CampaignPhase]) -> CampaignResult:
+        """Execute the phases back to back; backend state persists."""
+        if not phases:
+            raise ValueError("campaign needs at least one phase")
+        base_riders = self.world.config.riders
+        days: List[DayStats] = []
+        results: List[SimulationResult] = []
+        day_index = 0
+        prev_stats = _StatsSnapshot.capture(self.world)
+        for phase in phases:
+            self.world.config = dataclasses.replace(
+                self.world.config,
+                riders=dataclasses.replace(
+                    base_riders, participation_rate=phase.participation_rate
+                ),
+            )
+            for _ in range(phase.days):
+                offset = day_index * SECONDS_PER_DAY
+                result = self.world.run(
+                    self.start_s + offset,
+                    self.end_s + offset,
+                    route_ids=phase.route_ids,
+                    headway_s=self.headway_s,
+                    with_official_feed=self.with_official_feed,
+                )
+                results.append(result)
+                snapshot = self.world.server.traffic_map.published_snapshot(
+                    self.end_s + offset
+                )
+                current = _StatsSnapshot.capture(self.world)
+                days.append(
+                    DayStats(
+                        day_index=day_index,
+                        phase=phase.name,
+                        bus_trips=len(result.traces),
+                        uploads=current.trips_received - prev_stats.trips_received,
+                        trips_mapped=current.trips_mapped - prev_stats.trips_mapped,
+                        segments_updated=(
+                            current.segments_updated - prev_stats.segments_updated
+                        ),
+                        map_coverage=snapshot.coverage,
+                    )
+                )
+                prev_stats = current
+                day_index += 1
+        self.world.config = dataclasses.replace(
+            self.world.config, riders=base_riders
+        )
+        return CampaignResult(world=self.world, days=days, day_results=results)
+
+
+@dataclass(frozen=True)
+class _StatsSnapshot:
+    trips_received: int
+    trips_mapped: int
+    segments_updated: int
+
+    @classmethod
+    def capture(cls, world: World) -> "_StatsSnapshot":
+        stats = world.server.stats
+        return cls(
+            trips_received=stats.trips_received,
+            trips_mapped=stats.trips_mapped,
+            segments_updated=stats.segments_updated,
+        )

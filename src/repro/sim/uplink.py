@@ -1,0 +1,67 @@
+"""The upload channel: phones reach the server over WiFi or 3G (§III-B).
+
+Real uplinks lose, delay and reorder uploads.  :class:`UplinkChannel`
+models that: each upload is dropped with a configurable probability,
+otherwise delivered after a base latency plus an exponential tail (a
+phone waiting for its next WiFi window).  The world simulation routes
+every upload through the channel, so the backend genuinely experiences
+out-of-order delivery — and the Eq. 4 fuser must cope (observations
+carry their *capture* timestamps, not their delivery times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import UplinkConfig
+from repro.phone.trip_recorder import TripUpload
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class UplinkStats:
+    """Delivery accounting."""
+
+    offered: int = 0
+    delivered: int = 0
+    lost: int = 0
+
+
+class UplinkChannel:
+    """Applies loss and delay to a stream of (ready_time, upload) pairs."""
+
+    def __init__(self, config: Optional[UplinkConfig] = None, rng: SeedLike = None):
+        self.config = config or UplinkConfig()
+        if not 0.0 <= self.config.loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if self.config.base_delay_s < 0 or self.config.mean_extra_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        self._rng = ensure_rng(rng)
+        self.stats = UplinkStats()
+
+    def transmit(
+        self, ready_s: float, upload: TripUpload
+    ) -> Optional[Tuple[float, TripUpload]]:
+        """One upload attempt; returns (arrival time, upload) or None if lost."""
+        self.stats.offered += 1
+        if self._rng.random() < self.config.loss_probability:
+            self.stats.lost += 1
+            return None
+        delay = self.config.base_delay_s
+        if self.config.mean_extra_delay_s > 0:
+            delay += float(self._rng.exponential(self.config.mean_extra_delay_s))
+        self.stats.delivered += 1
+        return (ready_s + delay, upload)
+
+    def transmit_all(
+        self, ready_uploads: List[Tuple[float, TripUpload]]
+    ) -> List[Tuple[float, TripUpload]]:
+        """Channel a batch; the result is in *arrival* order (reordered)."""
+        delivered = []
+        for ready_s, upload in ready_uploads:
+            outcome = self.transmit(ready_s, upload)
+            if outcome is not None:
+                delivered.append(outcome)
+        delivered.sort(key=lambda pair: pair[0])
+        return delivered

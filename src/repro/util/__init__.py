@@ -1,0 +1,20 @@
+"""Small shared utilities: RNG plumbing, unit conversions, time helpers."""
+
+from repro.util.rng import derive_rng, ensure_rng
+from repro.util.units import (
+    kmh_to_ms,
+    ms_to_kmh,
+    hhmm,
+    parse_hhmm,
+    SECONDS_PER_DAY,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "kmh_to_ms",
+    "ms_to_kmh",
+    "hhmm",
+    "parse_hhmm",
+    "SECONDS_PER_DAY",
+]

@@ -1,0 +1,38 @@
+"""Unit conversions and clock helpers.
+
+Internally the library is SI: metres, seconds, metres/second.  Speeds
+are converted to km/h only at reporting boundaries, matching the units
+the paper prints.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_DAY = 24 * 3600
+
+
+def kmh_to_ms(speed_kmh: float) -> float:
+    """Convert km/h to m/s."""
+    return speed_kmh / 3.6
+
+
+def ms_to_kmh(speed_ms: float) -> float:
+    """Convert m/s to km/h."""
+    return speed_ms * 3.6
+
+
+def parse_hhmm(text: str) -> float:
+    """Parse ``"HH:MM"`` (or ``"HH:MM:SS"``) into seconds since midnight."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"expected HH:MM or HH:MM:SS, got {text!r}")
+    hours, minutes = int(parts[0]), int(parts[1])
+    seconds = int(parts[2]) if len(parts) == 3 else 0
+    if not (0 <= minutes < 60 and 0 <= seconds < 60):
+        raise ValueError(f"minutes/seconds out of range in {text!r}")
+    return hours * 3600.0 + minutes * 60.0 + seconds
+
+
+def hhmm(seconds_since_midnight: float) -> str:
+    """Format seconds since midnight as ``"HH:MM"`` (wraps past midnight)."""
+    total = int(seconds_since_midnight) % SECONDS_PER_DAY
+    return f"{total // 3600:02d}:{(total % 3600) // 60:02d}"

@@ -1,0 +1,83 @@
+"""Shared fixtures: a small fast city plus its radio stack.
+
+Most tests use the ``small_city`` world (≈3×2 km, 4 services) so the
+whole suite stays quick; integration tests that need the paper-scale
+region build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.city import CitySpec, build_city
+from repro.config import SystemConfig
+from repro.core import FingerprintDatabase
+from repro.phone import CellularSampler
+from repro.radio import CellularScanner, PropagationModel, towers_for_city
+from repro.sim import TrafficField, default_hotspots_for
+
+SMALL_SPEC = CitySpec(
+    name="testville",
+    width_m=3000.0,
+    height_m=2000.0,
+    spacing_m=420.0,
+    services=("179", "199", "243", "103"),
+    partial_services=("103",),
+    jogs_per_route=1,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture(scope="session")
+def small_city():
+    return build_city(SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def radio_stack(small_city, config):
+    towers = towers_for_city(small_city, seed=5)
+    propagation = PropagationModel(config.radio, seed=5)
+    scanner = CellularScanner(towers, propagation, config.radio)
+    return towers, propagation, scanner
+
+
+@pytest.fixture(scope="session")
+def scanner(radio_stack):
+    return radio_stack[2]
+
+
+@pytest.fixture(scope="session")
+def sampler(scanner):
+    return CellularSampler(scanner)
+
+
+@pytest.fixture(scope="session")
+def database(small_city, scanner, config) -> FingerprintDatabase:
+    return FingerprintDatabase.survey(
+        small_city.registry,
+        scanner,
+        samples_per_stop=5,
+        config=config.matching,
+        rng=np.random.default_rng(123),
+    )
+
+
+@pytest.fixture(scope="session")
+def traffic(small_city) -> TrafficField:
+    spec = small_city.spec
+    return TrafficField(
+        small_city.network,
+        hotspots=default_hotspots_for(spec.width_m, spec.height_m),
+        seed=9,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

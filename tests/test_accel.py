@@ -1,0 +1,57 @@
+"""Tests for the accelerometer transit-mode filter."""
+
+import numpy as np
+import pytest
+
+from repro.config import AccelConfig
+from repro.phone.accel import TransitModeFilter, motion_variance
+from repro.sim.audio import synthesize_motion
+
+
+class TestMotionVariance:
+    def test_constant_signal_zero(self):
+        assert motion_variance(np.ones(1000), 50.0, 5.0) == pytest.approx(0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            motion_variance(np.array([]), 50.0, 5.0)
+
+    def test_short_trace_falls_back_to_global_variance(self):
+        samples = np.array([0.0, 1.0, 0.0, 1.0])
+        assert motion_variance(samples, 50.0, 100.0) == pytest.approx(np.var(samples))
+
+    def test_windowing_removes_drift(self):
+        # A pure slow ramp has large global variance but tiny windowed one.
+        ramp = np.linspace(0.0, 10.0, 50 * 300)
+        windowed = motion_variance(ramp, 50.0, 5.0)
+        assert windowed < 0.05 * np.var(ramp)
+
+
+class TestTransitModeFilter:
+    @pytest.fixture()
+    def filter_(self, config):
+        return TransitModeFilter(config.accel)
+
+    def test_bus_classified_as_bus(self, filter_):
+        for seed in range(5):
+            trace = synthesize_motion("bus", 120.0, rng=np.random.default_rng(seed))
+            assert filter_.is_bus(trace.samples)
+
+    def test_train_rejected(self, filter_):
+        for seed in range(5):
+            trace = synthesize_motion("train", 120.0, rng=np.random.default_rng(seed))
+            assert not filter_.is_bus(trace.samples)
+
+    def test_threshold_separates_modes(self, filter_, config):
+        bus_vars = [
+            filter_.variance(synthesize_motion("bus", 120.0,
+                             rng=np.random.default_rng(s)).samples)
+            for s in range(8)
+        ]
+        train_vars = [
+            filter_.variance(synthesize_motion("train", 120.0,
+                             rng=np.random.default_rng(s)).samples)
+            for s in range(8)
+        ]
+        threshold = config.accel.variance_threshold
+        assert min(bus_vars) > threshold > max(train_vars)

@@ -1,0 +1,200 @@
+"""Tests for the analysis package: coverage, attribution, incidents."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    IncidentDetector,
+    audit_trip,
+    coverage_over_time,
+    detect_incidents,
+    redundancy_histogram,
+    route_contributions,
+)
+from repro.analysis.attribution import merge_audits
+from repro.core import BackendServer
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.phone import PhoneAgent
+from repro.phone.cellular import CellularSampler
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+class TestRouteContributions:
+    def test_covers_all_services(self, small_city):
+        contributions = route_contributions(small_city)
+        names = {c.service_name for c in contributions}
+        expected = {r.service_name for r in small_city.route_network.routes}
+        assert names == expected
+
+    def test_sorted_by_coverage(self, small_city):
+        contributions = route_contributions(small_city)
+        covered = [c.roads_covered for c in contributions]
+        assert covered == sorted(covered, reverse=True)
+
+    def test_exclusive_bounded_by_covered(self, small_city):
+        for c in route_contributions(small_city):
+            assert 0 <= c.roads_exclusive <= c.roads_covered
+            assert 0.0 <= c.redundancy <= 1.0
+
+    def test_redundancy_histogram_sums_to_covered_roads(self, small_city):
+        histogram = redundancy_histogram(small_city)
+        covered_roads = {
+            tuple(sorted(seg))
+            for seg in small_city.route_network.covered_segments()
+        }
+        assert sum(histogram.values()) == len(covered_roads)
+        assert all(k >= 1 for k in histogram)
+
+
+class TestCoverageOverTime:
+    def test_series(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 40.0, t=100.0)
+        estimator.publish(at_s=200.0)
+        series = coverage_over_time(estimator, [150.0, 250.0])
+        assert series[0] == (150.0, 0.0)       # nothing published yet
+        assert series[1][1] > 0.0
+
+    def test_rejects_empty_times(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        with pytest.raises(ValueError):
+            coverage_over_time(estimator, [])
+
+
+class TestAuditTrip:
+    @pytest.fixture()
+    def audit(self, small_city, traffic, database, sampler, config):
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config
+        )
+        route = small_city.route_network.route("179-0")
+        rng = np.random.default_rng(41)
+        trace = simulate_bus_trip(
+            route, parse_hhmm("08:10"), traffic, itertools.count(), rng=rng
+        )
+        ride = max(trace.participants, key=lambda p: p.alight_order - p.board_order)
+        agent = PhoneAgent(
+            phone_id="audit", sampler=sampler, registry=small_city.registry,
+            config=config, rng=rng,
+        )
+        upload = agent.ride_and_record(trace, ride)[0]
+        return audit_trip(
+            trace, upload, server, traffic, ride.board_order, ride.alight_order
+        )
+
+    def test_sensing_stage(self, audit):
+        assert audit.taps_heard > 0
+        assert 0.8 <= audit.detection_rate <= 1.1
+
+    def test_matching_stage(self, audit):
+        assert audit.matching_accuracy > 0.85
+
+    def test_clustering_stage(self, audit):
+        assert audit.clusters > 2
+        assert audit.cluster_purity > 0.8
+
+    def test_mapping_stage(self, audit):
+        assert audit.stops_identified > 2
+        assert audit.identification_accuracy > 0.85
+
+    def test_estimation_stage(self, audit):
+        assert audit.speed_mae_kmh is not None
+        assert audit.speed_mae_kmh < 10.0
+
+    def test_merge(self, audit):
+        merged = merge_audits([audit, audit])
+        assert merged.taps_heard == 2 * audit.taps_heard
+        assert merged.matching_accuracy == pytest.approx(audit.matching_accuracy)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_audits([])
+
+
+class TestIncidentDetector:
+    def make_series(self, drop_at=None, n=30, base=45.0):
+        series = []
+        for k in range(n):
+            speed = base + 0.5 * np.sin(k)
+            if drop_at is not None and drop_at <= k < drop_at + 4:
+                speed = 15.0
+            series.append((300.0 * k, speed))
+        return series
+
+    def test_clean_series_has_no_incidents(self):
+        detector = IncidentDetector()
+        assert detector.scan((0, 1), self.make_series()) == []
+
+    def test_detects_injected_drop(self):
+        detector = IncidentDetector()
+        incidents = detector.scan((0, 1), self.make_series(drop_at=15))
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.start_s == pytest.approx(300.0 * 15)
+        assert incident.end_s == pytest.approx(300.0 * 19)
+        assert incident.severity > 0.5
+
+    def test_single_frame_glitch_debounced(self):
+        detector = IncidentDetector(min_frames=2)
+        series = self.make_series()
+        series[15] = (series[15][0], 10.0)
+        assert detector.scan((0, 1), series) == []
+
+    def test_open_incident_at_series_end(self):
+        detector = IncidentDetector()
+        series = self.make_series(drop_at=26)
+        incidents = detector.scan((0, 1), series)
+        assert len(incidents) == 1
+        assert incidents[0].end_s is None
+
+    def test_baseline_not_dragged_down(self):
+        """A long incident must not normalise itself."""
+        detector = IncidentDetector()
+        series = self.make_series(n=40)
+        series = series[:15] + [(t, 12.0) for t, _ in series[15:]]
+        incidents = detector.scan((0, 1), series)
+        assert len(incidents) == 1
+        assert incidents[0].end_s is None       # still open at the end
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncidentDetector(baseline_frames=1)
+        with pytest.raises(ValueError):
+            IncidentDetector(drop_fraction=1.5)
+        with pytest.raises(ValueError):
+            IncidentDetector(min_frames=0)
+        with pytest.raises(ValueError):
+            IncidentDetector(lag_frames=-1)
+
+    def test_gradual_glide_into_incident_detected(self):
+        """The fused map descends over a few frames; the lagged baseline
+        must still catch the drop (the motivating case for lag_frames)."""
+        values = [42.0] * 10 + [35.7, 30.6, 26.5, 23.4, 20.9, 18.9,
+                                24.0, 28.0, 31.1, 33.5, 42.0]
+        series = [(300.0 * k, v) for k, v in enumerate(values)]
+        incidents = IncidentDetector().scan((0, 1), series)
+        assert len(incidents) == 1
+        assert incidents[0].severity > 0.4
+
+    def test_detect_incidents_over_map(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        seg = small_city.network.segment_ids[0]
+        times = []
+        for k in range(25):
+            t = 300.0 * (k + 1)
+            speed = 45.0 if not 15 <= k < 20 else 14.0
+            estimator.update(seg, speed, t=t - 10.0)
+            estimator.publish(at_s=t)
+            times.append(t + 1.0)
+        incidents = detect_incidents(estimator, [seg], times)
+        assert len(incidents) == 1
+        assert incidents[0].segment_id == seg
+
+    def test_detect_incidents_rejects_empty_times(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        with pytest.raises(ValueError):
+            detect_incidents(estimator, [], [])

@@ -1,0 +1,153 @@
+"""Tests for bus arrival-time prediction."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import BackendServer
+from repro.core.arrival import ArrivalPredictor, expected_dwell_s, infer_route
+from repro.core.trip_mapping import MappedStop, MappedTrip
+from repro.phone import record_participant_trips
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def warmed_server(small_city, traffic, database, sampler, config):
+    """A server whose map has been fed by a few earlier trips."""
+    server = BackendServer(
+        small_city.network, small_city.route_network, database, config
+    )
+    rng = np.random.default_rng(31)
+    counter = itertools.count()
+    for route_id in ("179-0", "199-0"):
+        route = small_city.route_network.route(route_id)
+        for k in range(3):
+            trace = simulate_bus_trip(
+                route, parse_hhmm("08:00") + 900.0 * k, traffic, counter, rng=rng
+            )
+            server.receive_trips(
+                record_participant_trips(
+                    trace, small_city.registry, sampler, config, rng=rng
+                )
+            )
+    return server
+
+
+def mapped_trip_from(stations, times):
+    stops = [
+        MappedStop(station_id=s, arrival_s=t, depart_s=t + 15.0,
+                   cluster_size=2, weight=5.0)
+        for s, t in zip(stations, times)
+    ]
+    return MappedTrip(stops=stops, score=1.0)
+
+
+class TestExpectedDwell:
+    def test_positive_and_sane(self):
+        dwell = expected_dwell_s()
+        assert 8.0 < dwell < 30.0
+
+
+class TestPredict:
+    def test_predicts_all_downstream_stops(self, small_city, warmed_server):
+        route = small_city.route_network.route("179-0")
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        start = route.stops[2].station_id
+        predictions = predictor.predict("179-0", start, parse_hhmm("09:00"))
+        assert len(predictions) == len(route.stops) - 3
+        assert predictions[0].horizon_stops == 1
+
+    def test_arrivals_monotone(self, small_city, warmed_server):
+        route = small_city.route_network.route("179-0")
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        predictions = predictor.predict(
+            "179-0", route.stops[0].station_id, parse_hhmm("09:00")
+        )
+        times = [p.arrival_s for p in predictions]
+        assert times == sorted(times)
+        assert times[0] > parse_hhmm("09:00")
+
+    def test_horizon_limits_output(self, small_city, warmed_server):
+        route = small_city.route_network.route("179-0")
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        predictions = predictor.predict(
+            "179-0", route.stops[0].station_id, parse_hhmm("09:00"), max_horizon=3
+        )
+        assert len(predictions) == 3
+
+    def test_unknown_station_rejected(self, small_city, warmed_server):
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        with pytest.raises(ValueError):
+            predictor.predict("179-0", 99999, parse_hhmm("09:00"))
+
+    def test_accuracy_against_simulation(
+        self, small_city, traffic, warmed_server
+    ):
+        """Predictions from stop 3 track the simulated ground truth."""
+        route = small_city.route_network.route("179-0")
+        trace = simulate_bus_trip(
+            route, parse_hhmm("08:50"), traffic, itertools.count(),
+            rng=np.random.default_rng(32),
+        )
+        anchor = trace.visits[3]
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        predictions = predictor.predict(
+            "179-0", anchor.station_id, anchor.depart_s, max_horizon=6
+        )
+        actual = {v.stop_order: v.arrival_s for v in trace.visits}
+        errors = [
+            abs(p.arrival_s - actual[p.stop_order]) for p in predictions
+        ]
+        # Within a minute and a half over a six-stop horizon.
+        assert max(errors) < 90.0
+        assert np.mean(errors) < 60.0
+
+
+class TestInferRoute:
+    def test_identifies_the_right_route(self, small_city):
+        route = small_city.route_network.route("179-0")
+        stations = route.station_sequence[2:6]
+        mapped = mapped_trip_from(stations, [100.0, 200.0, 300.0, 400.0])
+        inferred = infer_route(mapped, small_city.route_network)
+        # The stations may be shared, but the inferred route must serve
+        # them in this order.
+        orders = [inferred.station_order(s) for s in stations]
+        assert None not in orders
+        assert orders == sorted(orders)
+
+    def test_direction_matters(self, small_city):
+        route = small_city.route_network.route("179-0")
+        stations = list(reversed(route.station_sequence[2:6]))
+        mapped = mapped_trip_from(stations, [100.0, 200.0, 300.0, 400.0])
+        inferred = infer_route(mapped, small_city.route_network)
+        assert inferred is not None
+        assert inferred.route_id != "179-0"
+
+    def test_garbage_sequence_is_none(self, small_city):
+        mapped = mapped_trip_from([99990], [100.0])
+        assert infer_route(mapped, small_city.route_network) is None
+
+    def test_predict_for_trip(self, small_city, warmed_server):
+        route = small_city.route_network.route("179-0")
+        stations = route.station_sequence[:4]
+        mapped = mapped_trip_from(
+            stations, [parse_hhmm("09:00") + 120.0 * k for k in range(4)]
+        )
+        predictor = ArrivalPredictor(
+            small_city.route_network, warmed_server.traffic_map
+        )
+        predictions = predictor.predict_for_trip(mapped, max_horizon=4)
+        assert predictions
+        assert predictions[0].arrival_s > mapped.stops[-1].depart_s

@@ -1,0 +1,70 @@
+"""Tests for audio and motion synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.config import AccelConfig, BeepConfig
+from repro.phone.goertzel import band_powers, total_power
+from repro.sim.audio import synthesize_cabin_audio, synthesize_motion
+
+
+class TestCabinAudio:
+    def test_length(self, config):
+        audio = synthesize_cabin_audio(2.0, [], config.beep, rng=np.random.default_rng(0))
+        assert len(audio) == 2 * config.beep.sample_rate_hz
+
+    def test_rejects_nonpositive_duration(self, config):
+        with pytest.raises(ValueError):
+            synthesize_cabin_audio(0.0, [], config.beep)
+
+    def test_rejects_out_of_range_beep(self, config):
+        with pytest.raises(ValueError):
+            synthesize_cabin_audio(2.0, [3.0], config.beep)
+
+    def test_beep_raises_tone_band_energy(self, config):
+        cfg = config.beep
+        rng = np.random.default_rng(1)
+        audio = synthesize_cabin_audio(3.0, [1.5], cfg, rng=rng)
+        sr = cfg.sample_rate_hz
+        beep_window = audio[int(1.5 * sr) : int(1.5 * sr) + int(0.12 * sr)]
+        noise_window = audio[int(0.5 * sr) : int(0.5 * sr) + int(0.12 * sr)]
+        beep_ratio = band_powers(beep_window, sr, cfg.tone_frequencies_hz).sum() / total_power(beep_window)
+        noise_ratio = band_powers(noise_window, sr, cfg.tone_frequencies_hz).sum() / total_power(noise_window)
+        assert beep_ratio > 10 * noise_ratio
+
+    def test_noise_rms_calibrated(self, config):
+        audio = synthesize_cabin_audio(
+            2.0, [], config.beep, noise_rms=0.05, rng=np.random.default_rng(2)
+        )
+        assert np.sqrt(np.mean(audio**2)) == pytest.approx(0.05, rel=0.05)
+
+    def test_noise_is_low_frequency_weighted(self, config):
+        cfg = config.beep
+        audio = synthesize_cabin_audio(2.0, [], cfg, rng=np.random.default_rng(3))
+        spectrum = np.abs(np.fft.rfft(audio)) ** 2
+        freqs = np.fft.rfftfreq(len(audio), 1.0 / cfg.sample_rate_hz)
+        low = spectrum[(freqs > 20) & (freqs < 400)].mean()
+        high = spectrum[(freqs > 2500) & (freqs < 3500)].mean()
+        assert low > 5 * high
+
+
+class TestMotion:
+    def test_mode_recorded(self):
+        trace = synthesize_motion("bus", 30.0, rng=np.random.default_rng(0))
+        assert trace.mode == "bus"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            synthesize_motion("bicycle", 30.0)
+
+    def test_bus_rougher_than_train(self):
+        rng = np.random.default_rng(1)
+        bus = synthesize_motion("bus", 120.0, rng=rng)
+        train = synthesize_motion("train", 120.0, rng=rng)
+        assert np.var(bus.samples) > 5 * np.var(train.samples)
+
+    def test_sample_rate(self):
+        cfg = AccelConfig(sample_rate_hz=100.0)
+        trace = synthesize_motion("train", 10.0, cfg, rng=np.random.default_rng(2))
+        assert len(trace.samples) == 1000
+        assert trace.sample_rate_hz == 100.0

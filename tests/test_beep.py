@@ -1,0 +1,76 @@
+"""Tests for the sliding-window beep detector."""
+
+import numpy as np
+import pytest
+
+from repro.config import BeepConfig
+from repro.phone.beep import BeepDetector, detect_beeps
+from repro.sim.audio import synthesize_cabin_audio
+
+
+def make_audio(beep_times, duration=8.0, seed=0, **kwargs):
+    return synthesize_cabin_audio(
+        duration, beep_times, BeepConfig(), rng=np.random.default_rng(seed), **kwargs
+    )
+
+
+class TestDetection:
+    def test_detects_single_beep(self):
+        events = detect_beeps(make_audio([3.0]))
+        assert len(events) == 1
+        # Window end lands just after the beep.
+        assert events[0].time_s == pytest.approx(3.15, abs=0.35)
+
+    def test_detects_multiple_beeps(self):
+        events = detect_beeps(make_audio([2.0, 4.0, 6.0]))
+        assert len(events) == 3
+
+    def test_no_false_positives_on_noise(self):
+        for seed in range(5):
+            assert detect_beeps(make_audio([], seed=seed)) == []
+
+    def test_scores_exceed_threshold(self, config):
+        events = detect_beeps(make_audio([3.0]))
+        assert events[0].score > config.beep.jump_sigma
+
+    def test_detection_rate_high_over_trials(self):
+        detected = 0
+        for seed in range(20):
+            if detect_beeps(make_audio([4.0], seed=seed)):
+                detected += 1
+        assert detected >= 19
+
+    def test_close_taps_merge_into_refractory_gap(self):
+        # Two taps 150 ms apart: the refractory gap yields one event.
+        events = detect_beeps(make_audio([3.0, 3.15]))
+        assert len(events) == 1
+
+    def test_works_at_lower_snr(self):
+        audio = make_audio([3.0], noise_rms=0.1, beep_amplitude=0.2)
+        assert len(detect_beeps(audio)) == 1
+
+
+class TestStreaming:
+    def test_chunked_equals_oneshot(self):
+        audio = make_audio([2.0, 5.0])
+        oneshot = [e.time_s for e in detect_beeps(audio)]
+        detector = BeepDetector()
+        chunked = []
+        for start in range(0, len(audio), 1000):
+            chunked.extend(e.time_s for e in detector.process(audio[start : start + 1000]))
+        assert chunked == pytest.approx(oneshot)
+
+    def test_rejects_multidim_chunk(self):
+        with pytest.raises(ValueError):
+            BeepDetector().process(np.zeros((10, 2)))
+
+    def test_needs_warmup(self):
+        # A beep in the very first windows cannot fire (no noise stats yet).
+        cfg = BeepConfig()
+        audio = make_audio([0.15])
+        events = detect_beeps(audio)
+        assert all(e.time_s > 0.5 for e in events)
+
+    def test_window_samples(self):
+        detector = BeepDetector(BeepConfig(window_ms=300.0, sample_rate_hz=8000))
+        assert detector.window_samples == 2400

@@ -1,0 +1,97 @@
+"""Tests for the online database bootstrap (§III-B / §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleMatcher
+from repro.core.bootstrap import DatabaseBootstrapper
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+
+
+def driver_upload(small_city, scanner, route, rng, samples_per_stop=2,
+                  inter_stop_s=90.0, trip_index=0):
+    """A survey ride: bursts of scans at every stop of the route."""
+    samples = []
+    t = 100.0
+    for route_stop in route.stops:
+        platform = small_city.registry.platform(route_stop.stop_id)
+        for k in range(samples_per_stop):
+            obs = scanner.scan(platform.position, rng)
+            samples.append(CellularSample(time_s=t + 2.0 * k, tower_ids=obs.tower_ids))
+        t += inter_stop_s
+    return TripUpload(trip_key=f"driver-{route.route_id}-{trip_index}",
+                      samples=tuple(samples))
+
+
+@pytest.fixture()
+def route(small_city):
+    return small_city.route_network.route("179-0")
+
+
+class TestBootstrap:
+    def test_single_trip_promotes_with_low_bar(self, small_city, scanner, route, rng):
+        boot = DatabaseBootstrapper(min_samples_to_promote=2)
+        promoted = boot.ingest_driver_trip(
+            driver_upload(small_city, scanner, route, rng), route
+        )
+        assert promoted == len(route.stops)
+        assert boot.coverage_fraction(route.station_sequence) == 1.0
+
+    def test_promotion_waits_for_enough_samples(self, small_city, scanner, route, rng):
+        boot = DatabaseBootstrapper(min_samples_to_promote=4)
+        boot.ingest_driver_trip(
+            driver_upload(small_city, scanner, route, rng), route
+        )
+        assert boot.coverage_fraction(route.station_sequence) == 0.0
+        boot.ingest_driver_trip(
+            driver_upload(small_city, scanner, route, rng, trip_index=1), route
+        )
+        assert boot.coverage_fraction(route.station_sequence) == 1.0
+
+    def test_stats_track_progress(self, small_city, scanner, route, rng):
+        boot = DatabaseBootstrapper(min_samples_to_promote=4)
+        boot.ingest_driver_trip(
+            driver_upload(small_city, scanner, route, rng), route
+        )
+        assert boot.stats.driver_trips == 1
+        assert boot.stats.samples_consumed == 2 * len(route.stops)
+        assert boot.stats.stations_pending == len(route.stops)
+        assert boot.stats.stations_promoted == 0
+
+    def test_multiple_routes_fill_the_city(self, small_city, scanner, rng):
+        boot = DatabaseBootstrapper(min_samples_to_promote=2)
+        for route_id in small_city.route_network.route_ids:
+            r = small_city.route_network.route(route_id)
+            boot.ingest_driver_trip(
+                driver_upload(small_city, scanner, r, rng), r
+            )
+        all_stations = [s.station_id for s in small_city.registry.stations]
+        assert boot.coverage_fraction(all_stations) == 1.0
+
+    def test_bootstrapped_database_actually_matches(
+        self, small_city, scanner, route, rng, config
+    ):
+        """The online-built DB identifies stops about as well as a survey DB."""
+        boot = DatabaseBootstrapper(min_samples_to_promote=3)
+        for k in range(3):
+            boot.ingest_driver_trip(
+                driver_upload(small_city, scanner, route, rng, trip_index=k), route
+            )
+        matcher = SampleMatcher(boot.database.as_dict(), config.matching)
+        total = correct = 0
+        for route_stop in route.stops:
+            platform = small_city.registry.platform(route_stop.stop_id)
+            for _ in range(4):
+                result = matcher.match(scanner.scan(platform.position, rng).tower_ids)
+                total += 1
+                correct += result.station_id == route_stop.station_id
+        assert correct / total > 0.85
+
+    def test_rejects_bad_promotion_bar(self):
+        with pytest.raises(ValueError):
+            DatabaseBootstrapper(min_samples_to_promote=0)
+
+    def test_coverage_requires_stations(self):
+        with pytest.raises(ValueError):
+            DatabaseBootstrapper().coverage_fraction([])

@@ -1,0 +1,70 @@
+"""Tests for the synthetic city generator."""
+
+import pytest
+
+from repro.city import CitySpec, PAPER_SERVICES, build_city
+
+
+class TestBuildCity:
+    def test_default_scale_matches_paper(self, small_city):
+        city = build_city()
+        # Jurong West: 25 km², >100 stops, 8 services (§III-A, §IV-A).
+        assert city.area_km2 == pytest.approx(28.0)
+        assert len(city.registry.stations) > 100
+        services = {r.service_name for r in city.route_network.routes}
+        assert services == set(PAPER_SERVICES)
+
+    def test_two_directions_per_service(self, small_city):
+        by_service = {}
+        for route in small_city.route_network.routes:
+            by_service.setdefault(route.service_name, []).append(route.direction)
+        for directions in by_service.values():
+            assert sorted(directions) == [0, 1]
+
+    def test_directions_reverse_each_other(self, small_city):
+        fwd = small_city.route_network.route("179-0")
+        bwd = small_city.route_network.route("179-1")
+        assert fwd.node_path == list(reversed(bwd.node_path))
+
+    def test_route_paths_are_grid_adjacent(self, small_city):
+        for route in small_city.route_network.routes:
+            # path_segments raises on non-adjacent nodes.
+            small_city.network.path_segments(route.node_path)
+
+    def test_partial_service_is_shorter(self, small_city):
+        partial = small_city.route_network.route("103-0")
+        full = small_city.route_network.route("179-0")
+        assert len(partial.stops) < len(full.stops)
+
+    def test_every_station_has_two_platforms(self, small_city):
+        for station in small_city.registry.stations:
+            assert len(station.stops) == 2
+
+    def test_coverage_above_half_at_paper_scale(self):
+        city = build_city()
+        assert city.route_coverage_ratio() > 0.5
+
+    def test_deterministic(self):
+        a = build_city(CitySpec(seed=3))
+        b = build_city(CitySpec(seed=3))
+        assert [r.node_path for r in a.route_network.routes] == [
+            r.node_path for r in b.route_network.routes
+        ]
+
+    def test_seed_changes_layout(self):
+        a = build_city(CitySpec(seed=3))
+        b = build_city(CitySpec(seed=4))
+        assert [r.node_path for r in a.route_network.routes] != [
+            r.node_path for r in b.route_network.routes
+        ]
+
+    def test_multi_route_ratio_bounded(self, small_city):
+        ratio = small_city.multi_route_ratio(2)
+        assert 0.0 <= ratio <= small_city.route_coverage_ratio()
+
+    def test_stations_only_on_served_nodes(self, small_city):
+        served = set()
+        for route in small_city.route_network.routes:
+            served.update(route.node_path)
+        for station in small_city.registry.stations:
+            assert station.station_id in served

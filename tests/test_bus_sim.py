@@ -1,0 +1,161 @@
+"""Tests for bus trip simulation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.config import BusConfig, RiderConfig
+from repro.sim.bus import (
+    BUS_FREE_SPEED_MS,
+    bus_running_time_s,
+    dispatch_times,
+    simulate_bus_trip,
+)
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def trace(small_city, traffic):
+    route = small_city.route_network.route("179-0")
+    return simulate_bus_trip(
+        route,
+        parse_hhmm("08:00"),
+        traffic,
+        itertools.count(),
+        rng=np.random.default_rng(1),
+    )
+
+
+class TestBusRunningTime:
+    def test_free_flow_equals_bus_free_time(self):
+        # Car at free flow: no extra congestion delay for the bus.
+        btt = bus_running_time_s(420.0, 25.0, 25.0, b=0.5)
+        assert btt == pytest.approx(420.0 / BUS_FREE_SPEED_MS)
+
+    def test_congestion_delay_scaled_by_inverse_b(self):
+        free = 420.0 / BUS_FREE_SPEED_MS
+        btt = bus_running_time_s(420.0, 45.0, 25.0, b=0.5)
+        assert btt == pytest.approx(free + (45.0 - 25.0) / 0.5)
+
+    def test_clamped_to_max_speed(self):
+        btt = bus_running_time_s(420.0, 1.0, 25.0, b=0.5, max_speed_ms=13.9)
+        assert btt >= 420.0 / 13.9 - 1e-9
+
+    def test_rejects_nonpositive_b(self):
+        with pytest.raises(ValueError):
+            bus_running_time_s(420.0, 30.0, 25.0, b=0.0)
+
+    def test_noise_is_multiplicative(self):
+        rng = np.random.default_rng(0)
+        values = {
+            bus_running_time_s(420.0, 45.0, 25.0, b=0.5, rng=rng, noise_std=0.1)
+            for _ in range(5)
+        }
+        assert len(values) == 5
+
+
+class TestSimulateBusTrip:
+    def test_visits_every_stop(self, small_city, trace):
+        route = small_city.route_network.route("179-0")
+        assert len(trace.visits) == len(route.stops)
+
+    def test_times_monotonic(self, trace):
+        for a, b in zip(trace.visits, trace.visits[1:]):
+            assert a.depart_s >= a.arrival_s
+            assert b.arrival_s > a.depart_s - 1e-9
+
+    def test_traversals_cover_route(self, small_city, trace):
+        route = small_city.route_network.route("179-0")
+        assert [t.segment_id for t in trace.traversals] == route.segments
+
+    def test_traversals_contiguous(self, trace):
+        for a, b in zip(trace.traversals, trace.traversals[1:]):
+            assert b.enter_s >= a.exit_s - 1e-9
+
+    def test_taps_only_at_served_stops(self, trace):
+        served = {v.stop_order for v in trace.visits if v.served}
+        assert all(t.stop_order in served for t in trace.taps)
+
+    def test_tap_times_within_dwell(self, trace):
+        visits = {v.stop_order: v for v in trace.visits}
+        for tap in trace.taps:
+            visit = visits[tap.stop_order]
+            assert visit.arrival_s < tap.time_s <= visit.depart_s + 1.0
+
+    def test_everyone_off_at_terminal(self, trace):
+        last = trace.visits[-1]
+        boarded = sum(v.boarders for v in trace.visits)
+        alighted = sum(v.alighters for v in trace.visits)
+        assert boarded == alighted
+        assert last.boarders == 0
+
+    def test_participants_subset_of_taps(self, trace):
+        tap_riders = {t.rider_id for t in trace.taps}
+        assert {p.rider_id for p in trace.participants} <= tap_riders
+
+    def test_participant_rides_forward(self, trace):
+        for ride in trace.participants:
+            assert ride.alight_order > ride.board_order or (
+                ride.alight_order == ride.board_order
+            )
+
+    def test_unserved_stop_has_zero_dwell(self, small_city, traffic):
+        # Starve demand so stops get skipped.
+        config = RiderConfig(boarding_rate_per_stop=0.05)
+        route = small_city.route_network.route("179-0")
+        trace = simulate_bus_trip(
+            route,
+            parse_hhmm("08:00"),
+            traffic,
+            itertools.count(),
+            rng=np.random.default_rng(2),
+            rider_config=config,
+        )
+        skipped = [v for v in trace.visits if not v.served]
+        assert skipped
+        for visit in skipped:
+            assert visit.depart_s == visit.arrival_s
+
+    def test_rider_ids_unique_across_trips(self, small_city, traffic):
+        counter = itertools.count()
+        route = small_city.route_network.route("179-0")
+        t1 = simulate_bus_trip(route, parse_hhmm("08:00"), traffic, counter,
+                               rng=np.random.default_rng(3))
+        t2 = simulate_bus_trip(route, parse_hhmm("09:00"), traffic, counter,
+                               rng=np.random.default_rng(4))
+        ids1 = {t.rider_id for t in t1.taps}
+        ids2 = {t.rider_id for t in t2.taps}
+        assert not ids1 & ids2
+
+    def test_peak_demand_exceeds_offpeak(self, small_city, traffic):
+        route = small_city.route_network.route("179-0")
+        rng = np.random.default_rng(5)
+        peak = [
+            len(simulate_bus_trip(route, parse_hhmm("08:30"), traffic,
+                                  itertools.count(), rng=rng).taps)
+            for _ in range(5)
+        ]
+        off = [
+            len(simulate_bus_trip(route, parse_hhmm("14:00"), traffic,
+                                  itertools.count(), rng=rng).taps)
+            for _ in range(5)
+        ]
+        assert np.mean(peak) > np.mean(off)
+
+
+class TestDispatchTimes:
+    def test_spacing(self):
+        times = dispatch_times(0.0, 3600.0, 600.0, rng=np.random.default_rng(0))
+        assert len(times) == 6
+        assert all(t >= 0.0 for t in times)
+
+    def test_jitter_bounded(self):
+        times = dispatch_times(0.0, 6000.0, 600.0, rng=np.random.default_rng(0),
+                               jitter_fraction=0.1)
+        for i, t in enumerate(times):
+            assert abs(t - i * 600.0) <= 60.0 + 1e-9
+
+    def test_rejects_bad_headway(self):
+        with pytest.raises(ValueError):
+            dispatch_times(0.0, 100.0, 0.0)

@@ -1,0 +1,89 @@
+"""Tests for multi-day campaigns (the paper's two-phase experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.city import build_city
+from repro.sim.campaign import Campaign, CampaignPhase
+from repro.sim.world import World
+
+from conftest import SMALL_SPEC
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    world = World(city=build_city(SMALL_SPEC), seed=17)
+    campaign = Campaign(world, start="08:00", end="09:30", headway_s=1200.0)
+    phases = [
+        CampaignPhase("sparse", days=2, participation_rate=0.03,
+                      route_ids=("179-0", "179-1")),
+        CampaignPhase("intensive", days=2, participation_rate=0.30),
+    ]
+    return campaign.run(phases)
+
+
+class TestCampaign:
+    def test_day_count(self, campaign_result):
+        assert len(campaign_result.days) == 4
+        assert [d.phase for d in campaign_result.days] == [
+            "sparse", "sparse", "intensive", "intensive",
+        ]
+
+    def test_day_indices_sequential(self, campaign_result):
+        assert [d.day_index for d in campaign_result.days] == [0, 1, 2, 3]
+
+    def test_intensive_phase_yields_more_data(self, campaign_result):
+        sparse = campaign_result.uploads_per_day("sparse")
+        intensive = campaign_result.uploads_per_day("intensive")
+        assert intensive > 3 * sparse
+
+    def test_sparse_phase_concentrates_on_few_routes(self, campaign_result):
+        # Sparse days ran only service 179, so daily bus trips differ.
+        sparse_trips = campaign_result.phase_days("sparse")[0].bus_trips
+        intensive_trips = campaign_result.phase_days("intensive")[0].bus_trips
+        assert intensive_trips > sparse_trips
+
+    def test_per_day_uploads_sum_to_server_total(self, campaign_result):
+        total = sum(d.uploads for d in campaign_result.days)
+        assert total == campaign_result.world.server.stats.trips_received
+
+    def test_coverage_grows_with_intensity(self, campaign_result):
+        sparse_cov = np.mean(
+            [d.map_coverage for d in campaign_result.phase_days("sparse")]
+        )
+        intensive_cov = np.mean(
+            [d.map_coverage for d in campaign_result.phase_days("intensive")]
+        )
+        assert intensive_cov > sparse_cov
+
+    def test_publish_times_monotone_across_days(self, campaign_result):
+        times = campaign_result.world.server.traffic_map.publish_times
+        assert times == sorted(times)
+        assert len(times) > 20
+
+    def test_unknown_phase_raises(self, campaign_result):
+        with pytest.raises(KeyError):
+            campaign_result.uploads_per_day("nope")
+
+    def test_config_restored_after_run(self, campaign_result):
+        from repro.config import RiderConfig
+
+        assert (
+            campaign_result.world.config.riders.participation_rate
+            == RiderConfig().participation_rate
+        )
+
+
+class TestPhaseValidation:
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            CampaignPhase("x", days=0, participation_rate=0.1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            CampaignPhase("x", days=1, participation_rate=0.0)
+
+    def test_rejects_empty_campaign(self):
+        world = World(city=build_city(SMALL_SPEC), seed=1)
+        with pytest.raises(ValueError):
+            Campaign(world).run([])

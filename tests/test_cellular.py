@@ -1,0 +1,50 @@
+"""Tests for the phone-side cellular sampling layer."""
+
+import numpy as np
+import pytest
+
+from repro.phone.cellular import CellularSample, CellularSampler
+from repro.radio.scanner import Observation
+
+
+class TestCellularSample:
+    def test_rejects_mismatched_rss(self):
+        with pytest.raises(ValueError):
+            CellularSample(time_s=0.0, tower_ids=(1, 2), rss_dbm=(-50.0,))
+
+    def test_rss_optional(self):
+        sample = CellularSample(time_s=0.0, tower_ids=(1, 2))
+        assert sample.rss_dbm == ()
+        assert len(sample) == 2
+
+    def test_from_observation(self):
+        obs = Observation(tower_ids=(9, 4), rss_dbm=(-50.0, -60.0))
+        sample = CellularSample.from_observation(123.0, obs)
+        assert sample.time_s == 123.0
+        assert sample.tower_ids == (9, 4)
+        assert sample.rss_dbm == (-50.0, -60.0)
+
+    def test_immutable(self):
+        sample = CellularSample(time_s=0.0, tower_ids=(1,))
+        with pytest.raises(AttributeError):
+            sample.time_s = 5.0
+
+
+class TestCellularSampler:
+    def test_sample_carries_time_and_order(self, small_city, sampler, rng):
+        where = small_city.registry.stations[0].stops[0].position
+        sample = sampler.sample(where, 456.0, rng)
+        assert sample.time_s == 456.0
+        assert len(sample.tower_ids) >= 1
+        assert list(sample.rss_dbm) == sorted(sample.rss_dbm, reverse=True)
+
+    def test_repeated_samples_share_strongest_cell_mostly(
+        self, small_city, sampler
+    ):
+        where = small_city.registry.stations[5].stops[0].position
+        rng = np.random.default_rng(7)
+        serving = [
+            sampler.sample(where, float(k), rng).tower_ids[0] for k in range(10)
+        ]
+        most_common = max(set(serving), key=serving.count)
+        assert serving.count(most_common) >= 7

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuildCity:
+    def test_writes_feed(self, tmp_path, capsys):
+        out = str(tmp_path / "feed")
+        assert main(["build-city", "--out", out, "--seed", "3"]) == 0
+        assert os.path.exists(os.path.join(out, "stops.txt"))
+        assert "stations" in capsys.readouterr().out
+
+
+class TestPower:
+    def test_prints_table(self, capsys):
+        assert main(["power"]) == 0
+        output = capsys.readouterr().out
+        assert "GPS" in output
+        assert "Cellular+Mic(Goertzel)" in output
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCampaignCommand:
+    def test_rejects_zero_phases(self, capsys):
+        code = main(["campaign", "--sparse-days", "0", "--intensive-days", "0"])
+        assert code == 2
+
+    @pytest.mark.slow
+    def test_runs_two_phase_campaign(self, capsys):
+        code = main([
+            "campaign", "--sparse-days", "1", "--intensive-days", "1",
+            "--start", "08:00", "--end", "08:40", "--seed", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sparse" in output
+        assert "intensive" in output
+        assert "mean uploads/day" in output
+
+
+@pytest.mark.slow
+class TestEndToEndWorkflow:
+    """The full deployment workflow through the CLI (uses the real city)."""
+
+    def test_survey_simulate_process(self, tmp_path, capsys):
+        db_path = str(tmp_path / "db.json")
+        trips_path = str(tmp_path / "trips.jsonl")
+        map_path = str(tmp_path / "map.geojson")
+
+        assert main(["survey", "--out", db_path, "--seed", "3",
+                     "--samples-per-stop", "3"]) == 0
+        assert os.path.exists(db_path)
+
+        assert main([
+            "simulate", "--seed", "3", "--start", "08:00", "--end", "08:40",
+            "--routes", "179-0", "--headway", "1200",
+            "--out", map_path, "--trips-out", trips_path,
+        ]) == 0
+        with open(map_path) as handle:
+            geojson = json.load(handle)
+        assert geojson["type"] == "FeatureCollection"
+        assert geojson["features"]
+
+        assert main(["process", "--db", db_path, "--trips", trips_path,
+                     "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "mapped" in output

@@ -1,0 +1,129 @@
+"""Tests for per-bus-stop sample clustering (§III-C2)."""
+
+import pytest
+
+from repro.config import ClusteringConfig
+from repro.core.clustering import (
+    MatchedSample,
+    cluster_trip_samples,
+    link_affinity,
+)
+from repro.core.matching import MatchResult
+from repro.phone.cellular import CellularSample
+
+
+def ms(t, station, score=5.0):
+    return MatchedSample(
+        sample=CellularSample(time_s=t, tower_ids=(1, 2, 3)),
+        match=MatchResult(station_id=station, score=score, common_ids=3),
+    )
+
+
+class TestLinkAffinity:
+    def test_same_stop_close_in_time_is_strong(self):
+        cfg = ClusteringConfig()
+        affinity = link_affinity(ms(100.0, 7), ms(103.0, 7), cfg)
+        assert affinity > 1.5
+
+    def test_different_stops_lose_match_term(self):
+        cfg = ClusteringConfig()
+        same = link_affinity(ms(100.0, 7), ms(103.0, 7), cfg)
+        diff = link_affinity(ms(100.0, 7), ms(103.0, 8), cfg)
+        assert same - diff == pytest.approx(
+            (cfg.max_similarity - 0.0) / cfg.max_similarity
+        )
+
+    def test_time_gap_decays_affinity(self):
+        cfg = ClusteringConfig()
+        near = link_affinity(ms(100.0, 7), ms(105.0, 7), cfg)
+        far = link_affinity(ms(100.0, 7), ms(129.0, 7), cfg)
+        assert far < near
+
+    def test_similarity_gap_decays_affinity(self):
+        cfg = ClusteringConfig()
+        close = link_affinity(ms(100.0, 7, 5.0), ms(103.0, 7, 5.0), cfg)
+        spread = link_affinity(ms(100.0, 7, 6.9), ms(103.0, 7, 1.0), cfg)
+        assert spread < close
+
+
+class TestClustering:
+    def test_two_stop_bursts_give_two_clusters(self):
+        samples = [ms(100.0, 7), ms(103.0, 7), ms(106.0, 7),
+                   ms(220.0, 8), ms(224.0, 8)]
+        clusters = cluster_trip_samples(samples)
+        assert [len(c) for c in clusters] == [3, 2]
+
+    def test_cluster_timing_is_arrival_departure(self):
+        clusters = cluster_trip_samples([ms(100.0, 7), ms(109.0, 7)])
+        assert clusters[0].arrival_s == 100.0
+        assert clusters[0].depart_s == 109.0
+
+    def test_out_of_order_input_sorted(self):
+        clusters = cluster_trip_samples([ms(220.0, 8), ms(100.0, 7), ms(103.0, 7)])
+        assert [len(c) for c in clusters] == [2, 1]
+
+    def test_same_stop_after_long_gap_splits(self):
+        # Two visits to one stop (loop route) must stay distinct.
+        clusters = cluster_trip_samples([ms(100.0, 7), ms(800.0, 7)])
+        assert len(clusters) == 2
+
+    def test_noisy_mismatch_absorbed_as_minority_candidate(self):
+        """§III-C2: a cluster may contain mismatched samples; the stray
+        joins its time-adjacent burst and surfaces as a minority
+        candidate rather than polluting the sequence."""
+        samples = [ms(100.0, 7), ms(103.0, 7), ms(104.0, 99, score=2.1),
+                   ms(106.0, 7)]
+        clusters = cluster_trip_samples(samples)
+        assert len(clusters) == 1
+        candidates = {c.station_id: c for c in clusters[0].candidates()}
+        assert candidates[7].probability == pytest.approx(0.75)
+        assert candidates[99].probability == pytest.approx(0.25)
+
+    def test_distant_stray_gets_own_cluster(self):
+        """A stray outside the t0 window cannot join the burst."""
+        samples = [ms(100.0, 7), ms(103.0, 7), ms(160.0, 99, score=2.1)]
+        clusters = cluster_trip_samples(samples)
+        assert [len(c) for c in clusters] == [2, 1]
+
+    def test_threshold_sweep_shape(self):
+        """Tiny ε over-merges adjacent stops; huge ε shatters bursts (Fig. 5)."""
+        # Bursts 25 s apart: inside the t0 window, so only the threshold
+        # decides whether neighbouring stops merge.
+        samples = [ms(100.0 + 25 * k + d, k) for k in range(4) for d in (0.0, 3.0)]
+        tight = cluster_trip_samples(samples, ClusteringConfig(threshold=1.9))
+        loose = cluster_trip_samples(samples, ClusteringConfig(threshold=0.05))
+        default = cluster_trip_samples(samples, ClusteringConfig())
+        assert len(tight) == len(samples)
+        assert len(loose) < len(default) <= len(tight)
+        assert len(default) == 4
+
+    def test_empty_input(self):
+        assert cluster_trip_samples([]) == []
+
+
+class TestCandidates:
+    def test_unanimous_cluster(self):
+        clusters = cluster_trip_samples([ms(100.0, 7, 5.0), ms(102.0, 7, 6.0)])
+        candidates = clusters[0].candidates()
+        assert len(candidates) == 1
+        assert candidates[0].station_id == 7
+        assert candidates[0].probability == 1.0
+        assert candidates[0].mean_similarity == pytest.approx(5.5)
+
+    def test_split_cluster_probabilities(self):
+        cfg = ClusteringConfig(threshold=0.0)  # force everything together
+        clusters = cluster_trip_samples(
+            [ms(100.0, 7, 5.0), ms(101.0, 7, 5.0), ms(102.0, 8, 4.0)], cfg
+        )
+        assert len(clusters) == 1
+        candidates = {c.station_id: c for c in clusters[0].candidates()}
+        assert candidates[7].probability == pytest.approx(2 / 3)
+        assert candidates[8].probability == pytest.approx(1 / 3)
+
+    def test_candidates_sorted_by_weight(self):
+        cfg = ClusteringConfig(threshold=0.0)
+        clusters = cluster_trip_samples(
+            [ms(100.0, 7, 5.0), ms(101.0, 7, 5.0), ms(102.0, 8, 4.0)], cfg
+        )
+        weights = [c.weight for c in clusters[0].candidates()]
+        assert weights == sorted(weights, reverse=True)

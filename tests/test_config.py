@@ -1,0 +1,76 @@
+"""Tests pinning the paper's constants in the default configuration.
+
+If someone "tunes" a default away from the paper's published value,
+these tests make that a conscious, reviewed decision.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+
+
+class TestPaperConstants:
+    def test_beep_tones_are_singapore(self):
+        assert DEFAULT_CONFIG.beep.tone_frequencies_hz == (1000.0, 3000.0)
+
+    def test_audio_rate_8khz(self):
+        assert DEFAULT_CONFIG.beep.sample_rate_hz == 8000
+
+    def test_sliding_window_300ms(self):
+        assert DEFAULT_CONFIG.beep.window_ms == 300.0
+
+    def test_jump_threshold_3_sigma(self):
+        assert DEFAULT_CONFIG.beep.jump_sigma == 3.0
+
+    def test_trip_timeout_10_minutes(self):
+        assert DEFAULT_CONFIG.trip_recorder.trip_timeout_s == 600.0
+
+    def test_smith_waterman_scoring(self):
+        matching = DEFAULT_CONFIG.matching
+        assert matching.match_score == 1.0
+        assert matching.mismatch_penalty == 0.3
+        assert matching.gap_penalty == 0.3
+        assert matching.accept_threshold == 2.0
+
+    def test_clustering_parameters(self):
+        clustering = DEFAULT_CONFIG.clustering
+        assert clustering.max_similarity == 7.0     # s0
+        assert clustering.max_interval_s == 30.0    # t0
+        assert clustering.threshold == 0.6          # ε
+
+    def test_traffic_model_b(self):
+        assert DEFAULT_CONFIG.traffic_model.b == 0.5
+
+    def test_fusion_period_5_minutes(self):
+        assert DEFAULT_CONFIG.fusion.update_period_s == 300.0
+
+    def test_gps_calibration_fig1(self):
+        gps = DEFAULT_CONFIG.gps
+        assert gps.stationary_median_m == 40.0
+        assert gps.onbus_median_m == 68.0
+        assert gps.stationary_p90_m == 75.0
+        assert gps.onbus_p90_m == 130.0
+
+    def test_neighbour_list_band(self):
+        assert DEFAULT_CONFIG.radio.max_visible == 7
+
+
+class TestConfigHygiene:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.matching.match_score = 2.0
+
+    def test_replace_produces_independent_config(self):
+        custom = dataclasses.replace(
+            SystemConfig(),
+            matching=dataclasses.replace(
+                SystemConfig().matching, accept_threshold=3.0
+            ),
+        )
+        assert custom.matching.accept_threshold == 3.0
+        assert DEFAULT_CONFIG.matching.accept_threshold == 2.0
+
+    def test_default_instance_matches_fresh_instance(self):
+        assert DEFAULT_CONFIG == SystemConfig()

@@ -1,0 +1,168 @@
+"""Tests for evaluation utilities: metrics, baseline, comparison, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.eval.comparison import (
+    SpeedDifferenceStudy,
+    collect_speed_differences,
+    segment_time_series,
+)
+from repro.eval.google_maps import GoogleMapsIndicator, IndicatorLevel
+from repro.eval.metrics import (
+    Cdf,
+    mean_absolute_error,
+    pearson_correlation,
+    root_mean_square_error,
+)
+from repro.eval.reporting import render_cdf_series, render_comparison, render_table
+from repro.sim.taxi import AvlReport, OfficialTrafficFeed
+
+
+class TestCdf:
+    def test_fraction_below(self):
+        cdf = Cdf.of([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(0.0) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_median_and_percentile(self):
+        cdf = Cdf.of(range(101))
+        assert cdf.median == pytest.approx(50.0)
+        assert cdf.percentile(90) == pytest.approx(90.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cdf.of([])
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Cdf.of([1.0]).percentile(120)
+
+    def test_series_monotonic(self):
+        series = Cdf.of(np.random.default_rng(0).normal(size=200)).series(20)
+        values = [v for v, _ in series]
+        fractions = [f for _, f in series]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+
+
+class TestErrorMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_rmse(self):
+        assert root_mean_square_error([0, 0], [3, 4]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_correlation(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        assert pearson_correlation(a, [2.0, 4.0, 6.0, 8.0]) == pytest.approx(1.0)
+        assert pearson_correlation(a, [8.0, 6.0, 4.0, 2.0]) == pytest.approx(-1.0)
+
+    def test_mismatched_raise(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1], [1, 2])
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 1])
+
+
+class TestGoogleMapsIndicator:
+    @pytest.fixture()
+    def indicator(self, small_city, traffic):
+        return GoogleMapsIndicator(small_city.network, traffic, seed=1)
+
+    def test_partial_coverage(self, indicator, config):
+        assert indicator.coverage == pytest.approx(
+            config.google_maps.coverage_fraction, abs=0.05
+        )
+
+    def test_off_coverage_is_none(self, small_city, indicator):
+        uncovered = [
+            seg for seg in small_city.network.segment_ids
+            if seg not in indicator.covered_segments
+        ]
+        assert indicator.level(uncovered[0], 30000.0) is None
+
+    def test_levels_quantised(self, indicator):
+        assert indicator.level_for_speed(10.0) is IndicatorLevel.VERY_SLOW
+        assert indicator.level_for_speed(30.0) is IndicatorLevel.SLOW
+        assert indicator.level_for_speed(45.0) is IndicatorLevel.NORMAL
+        assert indicator.level_for_speed(60.0) is IndicatorLevel.FAST
+
+    def test_level_constant_within_refresh_period(self, indicator, config):
+        seg = next(iter(indicator.covered_segments))
+        period = config.google_maps.update_period_s
+        base = (30000.0 // period) * period
+        levels = {indicator.level(seg, base + dt) for dt in (0.0, 600.0, 1200.0)}
+        assert len(levels) == 1
+
+
+class TestComparison:
+    @pytest.fixture()
+    def setup(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        seg = small_city.network.segment_ids[0]
+        feed = OfficialTrafficFeed(window_s=900.0)
+        for k in range(8):
+            t = 30000.0 + 900.0 * k
+            estimator.update(seg, 30.0 + k, t=t)
+            estimator.publish(at_s=t + 10.0)
+            feed.ingest([AvlReport(1, t, seg, (33.0 + k) / 3.6)])
+        return estimator, feed, seg
+
+    def test_series_shape(self, setup):
+        estimator, feed, seg = setup
+        series = segment_time_series(seg, estimator, feed, 30000.0, 30000.0 + 7200.0)
+        assert len(series) == 8
+        assert all(p.estimated_kmh is not None for p in series[1:])
+        assert all(p.official_kmh is not None for p in series)
+
+    def test_series_rejects_bad_window(self, setup):
+        estimator, feed, seg = setup
+        with pytest.raises(ValueError):
+            segment_time_series(seg, estimator, feed, 100.0, 100.0)
+
+    def test_speed_difference_study_classes(self):
+        study = SpeedDifferenceStudy()
+        study.add(estimated_kmh=30.0, official_kmh=34.0)   # low
+        study.add(estimated_kmh=45.0, official_kmh=51.0)   # medium
+        study.add(estimated_kmh=55.0, official_kmh=65.0)   # high
+        assert study.low == [4.0]
+        assert study.medium == [6.0]
+        assert study.high == [10.0]
+        assert study.total == 3
+
+    def test_collect_speed_differences(self, setup, small_city):
+        estimator, feed, seg = setup
+        study = collect_speed_differences(
+            [seg], estimator, feed, 30000.0, 30000.0 + 7200.0
+        )
+        assert study.total >= 6
+        assert "low" in study.median_by_class()
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert "x" in lines[-1]
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_cdf_series(self):
+        series = Cdf.of(range(100)).series(50)
+        text = render_cdf_series(series, "err")
+        assert "err" in text
+        assert len(text.splitlines()) == 7
+
+    def test_render_comparison(self):
+        line = render_comparison("median", 40, 41.2)
+        assert "paper=40" in line
+        assert "measured=41.20" in line

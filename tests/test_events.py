@@ -1,0 +1,121 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda s: log.append("b"))
+        sim.schedule(1.0, lambda s: log.append("a"))
+        sim.schedule(9.0, lambda s: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "xyz":
+            sim.schedule(2.0, lambda s, t=tag: log.append(t))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule(5.0, lambda s: None)
+
+    def test_schedule_in(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_in(2.5, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [12.5]
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda s: None)
+
+    def test_events_may_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(s):
+            log.append(s.now)
+            if s.now < 3:
+                s.schedule_in(1.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunUntil:
+    def test_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(5.0, lambda s: log.append(5))
+        sim.run(until=3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        assert sim.pending == 1
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(5.0, lambda s: log.append(5))
+        sim.run(until=3.0)
+        sim.run()
+        assert log == [1, 5]
+
+
+class TestPeriodic:
+    def test_fires_until_bound(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_every(10.0, lambda s: log.append(s.now), first_at=10.0, until=45.0)
+        sim.run()
+        assert log == [10.0, 20.0, 30.0, 40.0]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0.0, lambda s: None)
+
+    def test_unbounded_runs_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_every(1.0, lambda s: log.append(s.now), first_at=0.0)
+        sim.run(until=4.5)
+        assert log == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestStep:
+    def test_step_processes_one(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append("a"))
+        sim.schedule(2.0, lambda s: log.append("b"))
+        assert sim.step()
+        assert log == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.run()
+        assert sim.processed == 2

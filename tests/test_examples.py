@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts must stay runnable."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        ["quickstart", "morning_campaign", "power_study",
+         "region_inference", "commuter_tools"],
+    )
+    def test_example_file_present_with_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+        assert module.__doc__ and "Run:" in module.__doc__
+
+
+class TestFastExamplesRun:
+    def test_power_study_runs(self, capsys):
+        load_example("power_study").main()
+        output = capsys.readouterr().out
+        assert "Table III" in output
+        assert "Goertzel" in output
+
+    @pytest.mark.slow
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "Backend:" in output
+        assert "Ground truth stations" in output

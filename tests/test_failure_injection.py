@@ -1,0 +1,177 @@
+"""Failure-injection tests: the backend under hostile/flaky conditions.
+
+A crowdsourced system cannot trust its inputs: phones retry uploads,
+clocks drift, databases are partially built, and payloads arrive from
+the wrong city entirely.  The backend must degrade gracefully — discard,
+never crash, never corrupt the map.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import BackendServer, FingerprintDatabase
+from repro.phone import record_participant_trips
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def server(small_city, database, config):
+    return BackendServer(
+        small_city.network, small_city.route_network, database, config
+    )
+
+
+@pytest.fixture()
+def real_uploads(small_city, traffic, sampler, config):
+    route = small_city.route_network.route("179-0")
+    rng = np.random.default_rng(51)
+    counter = itertools.count()
+    uploads = []
+    for k in range(3):
+        trace = simulate_bus_trip(
+            route, parse_hhmm("08:10") + 900.0 * k, traffic, counter, rng=rng
+        )
+        uploads.extend(
+            record_participant_trips(
+                trace, small_city.registry, sampler, config, rng=rng
+            )
+        )
+    assert len(uploads) >= 3
+    return uploads
+
+
+class TestDuplicateUploads:
+    def test_retry_is_idempotent(self, server, real_uploads):
+        upload = max(real_uploads, key=lambda u: len(u.samples))
+        first = server.receive_trip(upload)
+        updates_after_first = server.stats.segments_updated
+        second = server.receive_trip(upload)
+        assert server.stats.trips_duplicate == 1
+        assert server.stats.trips_received == 1
+        assert server.stats.segments_updated == updates_after_first
+        assert second.mapped is None
+
+    def test_distinct_trips_not_deduplicated(self, server, real_uploads):
+        for upload in real_uploads[:3]:
+            server.receive_trip(upload)
+        assert server.stats.trips_received == 3
+        assert server.stats.trips_duplicate == 0
+
+
+class TestGarbageInputs:
+    def test_empty_trip(self, server):
+        report = server.receive_trip(TripUpload("empty", ()))
+        assert report.mapped is None
+
+    def test_unknown_towers_everywhere(self, server):
+        samples = tuple(
+            CellularSample(time_s=100.0 + 5 * k, tower_ids=(10**6 + k, 10**6 + k + 1))
+            for k in range(10)
+        )
+        report = server.receive_trip(TripUpload("alien-city", samples))
+        assert report.discarded_samples == 10
+        assert report.mapped is None
+        assert server.stats.segments_updated == 0
+
+    def test_single_sample_trip(self, server, small_city, sampler, rng):
+        station = small_city.registry.stations[0]
+        sample = sampler.sample(station.stops[0].position, 100.0, rng)
+        report = server.receive_trip(TripUpload("one", (sample,)))
+        assert report.estimates == []
+
+    def test_duplicate_timestamps_within_trip(self, server, small_city, sampler, rng):
+        station = small_city.registry.stations[0]
+        sample = sampler.sample(station.stops[0].position, 100.0, rng)
+        report = server.receive_trip(
+            TripUpload("same-time", (sample, sample, sample))
+        )
+        assert report.accepted_samples <= 3       # must simply not crash
+
+    def test_teleporting_trip_produces_no_estimates(
+        self, server, small_city, sampler, rng
+    ):
+        """Samples hopping across the city violate every route order."""
+        stations = small_city.registry.stations
+        picks = [stations[0], stations[-1], stations[len(stations) // 2]]
+        samples = tuple(
+            sampler.sample(st.stops[0].position, 100.0 + 40.0 * k, rng)
+            for k, st in enumerate(picks)
+        )
+        report = server.receive_trip(TripUpload("teleport", samples))
+        # Legs between unreachable stops are rejected by the constraint
+        # or the speed plausibility filter.
+        for segment_id, speed_kmh, _ in report.estimates:
+            assert 2.0 <= speed_kmh <= 120.0
+
+    def test_impossibly_fast_leg_rejected(self, server, small_city, sampler, rng):
+        """Adjacent stops 'reached' in two seconds: speed filter drops it."""
+        route = small_city.route_network.route("179-0")
+        samples = []
+        for k, route_stop in enumerate(route.stops[:3]):
+            platform = small_city.registry.platform(route_stop.stop_id)
+            samples.append(sampler.sample(platform.position, 100.0 + 40.0 * k, rng))
+            samples.append(sampler.sample(platform.position, 101.0 + 40.0 * k, rng))
+        # Shrink inter-stop gaps to 2 s.
+        squeezed = tuple(
+            CellularSample(time_s=100.0 + 2.0 * i, tower_ids=s.tower_ids)
+            for i, s in enumerate(samples)
+        )
+        before = server.stats.segments_updated
+        server.receive_trip(TripUpload("rocket", squeezed))
+        assert server.stats.segments_updated == before
+
+
+class TestPartialDatabase:
+    def test_half_surveyed_city_still_works(
+        self, small_city, traffic, sampler, config
+    ):
+        """Stops missing from the DB are skipped; known ones still map."""
+        full_db = FingerprintDatabase.survey(
+            small_city.registry,
+            sampler._scanner,
+            samples_per_stop=3,
+            rng=np.random.default_rng(53),
+        )
+        half_db = FingerprintDatabase()
+        for station_id in full_db.station_ids[::2]:
+            half_db.set_fingerprint(station_id, full_db.fingerprint(station_id))
+        server = BackendServer(
+            small_city.network, small_city.route_network, half_db, config
+        )
+        route = small_city.route_network.route("179-0")
+        trace = simulate_bus_trip(
+            route, parse_hhmm("08:10"), traffic, itertools.count(),
+            rng=np.random.default_rng(54),
+        )
+        uploads = record_participant_trips(
+            trace, small_city.registry, sampler, config,
+            rng=np.random.default_rng(55),
+        )
+        reports = server.receive_trips(uploads)
+        assert any(r.mapped for r in reports)
+        # Estimates remain physically plausible despite the gaps.
+        for report in reports:
+            for _, speed_kmh, _ in report.estimates:
+                assert 2.0 <= speed_kmh <= 120.0
+
+
+class TestClockSkew:
+    def test_skewed_trip_is_internally_consistent(self, server, real_uploads):
+        """A phone with a wrong (but stable) clock still maps: the
+        pipeline only uses time *differences* within a trip."""
+        upload = max(real_uploads, key=lambda u: len(u.samples))
+        skewed = TripUpload(
+            trip_key="skewed",
+            samples=tuple(
+                CellularSample(time_s=s.time_s + 7200.0, tower_ids=s.tower_ids)
+                for s in upload.samples
+            ),
+        )
+        report = server.receive_trip(skewed)
+        assert report.mapped is not None
+        assert len(report.mapped.stops) >= 2

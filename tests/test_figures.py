@@ -1,0 +1,94 @@
+"""Tests for ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import ascii_cdf, ascii_chart
+from repro.eval.metrics import Cdf
+
+
+class TestAsciiChart:
+    def test_renders_grid_and_legend(self):
+        chart = ascii_chart(
+            {"v_A": [(0, 10.0), (1, 20.0)], "v_T": [(0, 15.0), (1, 25.0)]},
+            width=32,
+            height=8,
+            x_label="window",
+            y_label="km/h",
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 3                # grid + axis + labels + legend
+        assert "* v_A" in chart
+        assert "o v_T" in chart
+        assert "km/h" in chart
+
+    def test_extremes_on_borders(self):
+        chart = ascii_chart({"s": [(0, 0.0), (10, 100.0)]}, width=20, height=6)
+        lines = chart.splitlines()
+        assert "*" in lines[0]                     # max value on the top row
+        assert "*" in lines[5]                     # min value on the bottom row
+
+    def test_handles_missing_points(self):
+        chart = ascii_chart({"s": [(0, 1.0), (1, None), (2, 3.0)]})
+        assert chart                               # gaps simply absent
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        assert ascii_chart({"s": [(0, 5.0), (1, 5.0)]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, None)]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 1.0)]}, width=4, height=2)
+
+
+class TestAsciiTrafficMap:
+    def test_renders_levels_and_gaps(self, small_city):
+        from repro.core.traffic_map import TrafficMapEstimator
+        from repro.eval.figures import ascii_traffic_map
+
+        estimator = TrafficMapEstimator(small_city.network)
+        segs = small_city.network.segment_ids
+        estimator.update(segs[0], 15.0, t=100.0)
+        estimator.update(segs[-1], 60.0, t=100.0)
+        art = ascii_traffic_map(small_city, estimator.snapshot(150.0))
+        assert "1" in art            # very-slow cell
+        assert "5" in art            # fast cell
+        assert "." in art            # uncovered cells
+        assert "levels:" in art
+
+    def test_empty_snapshot_all_dots(self, small_city):
+        from repro.core.traffic_map import TrafficMapEstimator
+        from repro.eval.figures import ascii_traffic_map
+
+        estimator = TrafficMapEstimator(small_city.network)
+        art = ascii_traffic_map(small_city, estimator.snapshot(100.0))
+        grid_lines = art.splitlines()[:-1]
+        assert all(set(line) <= {".", " "} for line in grid_lines)
+
+
+class TestAsciiCdf:
+    def test_monotone_curve(self):
+        cdf = Cdf.of(np.random.default_rng(0).normal(50, 10, size=500))
+        art = ascii_cdf({"errors": cdf}, width=40, height=10)
+        assert "cumulative fraction" in art
+        assert "errors" in art
+
+    def test_two_curves_get_distinct_glyphs(self):
+        rng = np.random.default_rng(1)
+        art = ascii_cdf(
+            {
+                "stationary": Cdf.of(rng.normal(40, 5, 200)),
+                "on bus": Cdf.of(rng.normal(68, 8, 200)),
+            }
+        )
+        assert "* stationary" in art
+        assert "o on bus" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})

@@ -1,0 +1,77 @@
+"""Tests for Bayesian speed fusion (Eq. 4)."""
+
+import pytest
+
+from repro.config import FusionConfig
+from repro.core.fusion import BayesianSpeedFuser
+
+
+@pytest.fixture()
+def fuser():
+    return BayesianSpeedFuser(FusionConfig(observation_sigma_kmh=4.0))
+
+
+class TestUpdate:
+    def test_first_observation_becomes_belief(self, fuser):
+        belief = fuser.update("seg", 40.0, t=0.0)
+        assert belief.mean_kmh == 40.0
+        assert belief.observation_count == 1
+
+    def test_eq4_precision_weighting(self, fuser):
+        fuser.update("seg", 40.0, t=0.0)
+        belief = fuser.update("seg", 50.0, t=10.0, sigma_kmh=4.0)
+        # Equal variances → midpoint, halved variance.
+        assert belief.mean_kmh == pytest.approx(45.0, abs=0.05)
+        assert belief.variance == pytest.approx(8.0, rel=0.05)
+
+    def test_tight_observation_dominates(self, fuser):
+        fuser.update("seg", 40.0, t=0.0, sigma_kmh=10.0)
+        belief = fuser.update("seg", 50.0, t=10.0, sigma_kmh=1.0)
+        assert belief.mean_kmh > 49.0
+
+    def test_variance_shrinks_with_observations(self, fuser):
+        first = fuser.update("seg", 40.0, t=0.0)
+        for k in range(5):
+            latest = fuser.update("seg", 40.0 + 0.1 * k, t=10.0 * (k + 1))
+        assert latest.variance < first.variance / 3
+
+    def test_rejects_nonpositive_speed(self, fuser):
+        with pytest.raises(ValueError):
+            fuser.update("seg", 0.0, t=0.0)
+
+    def test_keys_independent(self, fuser):
+        fuser.update("a", 40.0, t=0.0)
+        fuser.update("b", 20.0, t=0.0)
+        assert fuser.current("a").mean_kmh == 40.0
+        assert fuser.current("b").mean_kmh == 20.0
+        assert len(fuser) == 2
+
+
+class TestStaleness:
+    def test_variance_inflates_over_time(self, fuser):
+        fuser.update("seg", 40.0, t=0.0)
+        fresh = fuser.current("seg", t=60.0)
+        stale = fuser.current("seg", t=2 * 3600.0)
+        assert stale.variance > fresh.variance
+
+    def test_mean_unchanged_by_staleness(self, fuser):
+        fuser.update("seg", 40.0, t=0.0)
+        assert fuser.current("seg", t=3600.0).mean_kmh == 40.0
+
+    def test_stale_belief_yields_to_fresh_data(self):
+        fuser = BayesianSpeedFuser(
+            FusionConfig(observation_sigma_kmh=4.0,
+                         staleness_inflation_kmh_per_hr=6.0)
+        )
+        for k in range(10):
+            fuser.update("seg", 50.0, t=60.0 * k)
+        # Six hours later one observation of 20 km/h arrives.
+        belief = fuser.update("seg", 20.0, t=6 * 3600.0)
+        assert belief.mean_kmh < 30.0
+
+    def test_unknown_key_is_none(self, fuser):
+        assert fuser.current("nope") is None
+
+    def test_without_time_returns_raw_belief(self, fuser):
+        fuser.update("seg", 40.0, t=0.0)
+        assert fuser.current("seg").variance == fuser.current("seg", t=0.0).variance

@@ -1,0 +1,97 @@
+"""Tests for planar geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.city.geometry import (
+    Point,
+    Polyline,
+    bounding_box,
+    heading,
+    path_length,
+    unit_normal,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_offset(self):
+        assert Point(1, 2).offset(3, -1) == Point(4, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestHeading:
+    def test_east(self):
+        assert heading(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+
+    def test_north(self):
+        assert heading(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_unit_normal_is_perpendicular(self):
+        nx, ny = unit_normal(Point(0, 0), Point(5, 0))
+        assert (nx, ny) == pytest.approx((0.0, 1.0))
+
+    def test_unit_normal_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            unit_normal(Point(1, 1), Point(1, 1))
+
+
+class TestPolyline:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0)])
+
+    def test_length(self):
+        line = Polyline([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert line.length == pytest.approx(7.0)
+
+    def test_point_at_interpolates(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.point_at(4.0) == Point(4.0, 0.0)
+
+    def test_point_at_crosses_vertices(self):
+        line = Polyline([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert line.point_at(5.0) == Point(3.0, 2.0)
+
+    def test_point_at_clamps(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        assert line.point_at(-5.0) == Point(0, 0)
+        assert line.point_at(50.0) == Point(10, 0)
+
+    def test_sample_spacing(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        points = line.sample(2.5)
+        assert points[0] == Point(0, 0)
+        assert points[-1] == Point(10, 0)
+        assert len(points) == 5
+
+    def test_sample_includes_uneven_end(self):
+        line = Polyline([Point(0, 0), Point(10, 0)])
+        points = line.sample(3.0)
+        assert points[-1] == Point(10, 0)
+
+    def test_sample_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0), Point(1, 0)]).sample(0.0)
+
+
+class TestHelpers:
+    def test_path_length(self):
+        assert path_length([Point(0, 0), Point(1, 0), Point(1, 1)]) == pytest.approx(2.0)
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert lo == Point(-2, -1)
+        assert hi == Point(4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

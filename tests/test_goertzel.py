@@ -1,0 +1,104 @@
+"""Tests for the Goertzel algorithm and its FFT comparator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phone.goertzel import (
+    band_powers,
+    fft_band_power,
+    fft_op_count,
+    goertzel_op_count,
+    goertzel_power,
+    goertzel_power_vectorized,
+    total_power,
+)
+
+SR = 8000
+
+
+def tone(freq, duration_s=0.1, amplitude=1.0, sr=SR):
+    t = np.arange(int(duration_s * sr)) / sr
+    return amplitude * np.sin(2 * np.pi * freq * t)
+
+
+class TestGoertzelPower:
+    def test_detects_matching_tone(self):
+        # Pure unit sine at an exact bin: |X|²/N² = 1/4.
+        signal = tone(1000.0)
+        assert goertzel_power(signal, SR, 1000.0) == pytest.approx(0.25, rel=1e-6)
+
+    def test_rejects_other_tone(self):
+        signal = tone(1000.0)
+        assert goertzel_power(signal, SR, 3000.0) < 1e-6
+
+    def test_scales_with_amplitude_squared(self):
+        weak = goertzel_power(tone(1000.0, amplitude=0.1), SR, 1000.0)
+        strong = goertzel_power(tone(1000.0, amplitude=0.2), SR, 1000.0)
+        assert strong == pytest.approx(4 * weak, rel=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            goertzel_power(np.array([]), SR, 1000.0)
+
+    def test_rejects_out_of_band_frequency(self):
+        with pytest.raises(ValueError):
+            goertzel_power(tone(1000.0), SR, 5000.0)
+
+
+class TestAgreementAcrossImplementations:
+    @pytest.mark.parametrize("freq", [500.0, 1000.0, 3000.0])
+    def test_vectorized_equals_recurrence(self, freq, rng):
+        signal = rng.standard_normal(1600)
+        loop = goertzel_power(signal, SR, freq)
+        fast = goertzel_power_vectorized(signal, SR, freq)
+        assert fast == pytest.approx(loop, rel=1e-9)
+
+    @pytest.mark.parametrize("freq", [1000.0, 3000.0])
+    def test_fft_equals_goertzel_on_bin(self, freq, rng):
+        signal = rng.standard_normal(1600)
+        assert fft_band_power(signal, SR, freq) == pytest.approx(
+            goertzel_power(signal, SR, freq), rel=1e-9
+        )
+
+    def test_band_powers_slow_and_fast_paths_agree(self, rng):
+        signal = rng.standard_normal(800)
+        fast = band_powers(signal, SR, (1000.0, 3000.0), fast=True)
+        slow = band_powers(signal, SR, (1000.0, 3000.0), fast=False)
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+
+class TestTotalPower:
+    def test_unit_sine(self):
+        assert total_power(tone(1000.0)) == pytest.approx(0.5, rel=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            total_power(np.array([]))
+
+
+class TestComplexityModels:
+    def test_goertzel_linear_in_n_and_m(self):
+        assert goertzel_op_count(2400, 2) == 2 * goertzel_op_count(2400, 1)
+        assert goertzel_op_count(4800, 1) == 2 * goertzel_op_count(2400, 1)
+
+    def test_fft_superlinear(self):
+        assert fft_op_count(4800) > 2 * fft_op_count(2400)
+
+    def test_goertzel_wins_for_few_tones(self):
+        # §IV-D: M < log N (and K_g << K_f) makes Goertzel cheaper.
+        n = 2400
+        m = 2
+        assert goertzel_op_count(n, m) < fft_op_count(n)
+
+    def test_fft_wins_for_many_tones(self):
+        n = 2400
+        m = 64
+        assert goertzel_op_count(n, m) > fft_op_count(n)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            goertzel_op_count(-1, 1)
+        with pytest.raises(ValueError):
+            fft_op_count(-1)

@@ -1,0 +1,59 @@
+"""Tests for the urban-canyon GPS error model (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.city.geometry import Point
+from repro.config import GpsConfig
+from repro.radio import GpsCondition, GpsErrorModel
+
+
+@pytest.fixture()
+def model():
+    return GpsErrorModel()
+
+
+class TestCalibration:
+    def test_analytic_median_matches_config(self, model):
+        assert model.median_error_m(GpsCondition.STATIONARY) == pytest.approx(40.0)
+        assert model.median_error_m(GpsCondition.ON_BUS) == pytest.approx(68.0)
+
+    def test_analytic_p90_matches_config(self, model):
+        assert model.p90_error_m(GpsCondition.STATIONARY) == pytest.approx(75.0)
+        assert model.p90_error_m(GpsCondition.ON_BUS) == pytest.approx(130.0)
+
+    def test_sampled_median_matches(self, model, rng):
+        errors = model.sample_errors(GpsCondition.STATIONARY, 20_000, rng)
+        assert np.median(errors) == pytest.approx(40.0, rel=0.05)
+
+    def test_sampled_p90_matches(self, model, rng):
+        errors = model.sample_errors(GpsCondition.ON_BUS, 20_000, rng)
+        assert np.percentile(errors, 90) == pytest.approx(130.0, rel=0.05)
+
+    def test_onbus_worse_than_stationary(self, model, rng):
+        stationary = model.sample_errors(GpsCondition.STATIONARY, 5_000, rng)
+        onbus = model.sample_errors(GpsCondition.ON_BUS, 5_000, rng)
+        assert np.median(onbus) > np.median(stationary)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GpsErrorModel(GpsConfig(stationary_median_m=80.0, stationary_p90_m=75.0))
+
+
+class TestFixes:
+    def test_fix_displacement_distribution(self, model, rng):
+        origin = Point(100, 100)
+        fixes = [model.fix(origin, GpsCondition.STATIONARY, rng) for _ in range(3000)]
+        distances = [origin.distance_to(f) for f in fixes]
+        assert np.median(distances) == pytest.approx(40.0, rel=0.1)
+
+    def test_fix_bearing_is_uniform(self, model, rng):
+        origin = Point(0, 0)
+        fixes = [model.fix(origin, GpsCondition.STATIONARY, rng) for _ in range(3000)]
+        mean_x = np.mean([f.x for f in fixes])
+        mean_y = np.mean([f.y for f in fixes])
+        assert abs(mean_x) < 5.0 and abs(mean_y) < 5.0
+
+    def test_negative_count_rejected(self, model, rng):
+        with pytest.raises(ValueError):
+            model.sample_errors(GpsCondition.STATIONARY, -1, rng)

@@ -1,0 +1,160 @@
+"""Tests for the GPS-probe baseline (VTrack-style comparator)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    GpsProbeEstimator,
+    MapMatcher,
+    simulate_gps_probe_trace,
+)
+from repro.baseline.gps_probe import GpsFix, GpsTrace, bus_position_at
+from repro.city.geometry import Point
+from repro.radio.gps import GpsErrorModel
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def trace(small_city, traffic):
+    route = small_city.route_network.route("179-0")
+    return simulate_bus_trip(
+        route, parse_hhmm("08:00"), traffic, itertools.count(),
+        rng=np.random.default_rng(8),
+    )
+
+
+class TestBusPosition:
+    def test_on_segment_interpolates(self, small_city, trace):
+        traversal = trace.traversals[0]
+        mid_t = (traversal.enter_s + traversal.exit_s) / 2
+        position = bus_position_at(trace, small_city.network, mid_t)
+        segment = small_city.network.segment(traversal.segment_id)
+        expected = segment.start.midpoint(segment.end)
+        assert position.distance_to(expected) < 1.0
+
+    def test_during_dwell_at_stop(self, small_city, trace):
+        visit = next(v for v in trace.visits if v.depart_s > v.arrival_s)
+        position = bus_position_at(
+            trace, small_city.network, (visit.arrival_s + visit.depart_s) / 2
+        )
+        node = small_city.network.node_position(visit.station_id)
+        assert position.distance_to(node) < 1.0
+
+    def test_outside_trip_is_none(self, small_city, trace):
+        assert bus_position_at(trace, small_city.network, 0.0) is None
+
+
+class TestGpsTrace:
+    def test_rate_respected(self, small_city, trace):
+        gps = simulate_gps_probe_trace(
+            trace, small_city.network, rate_hz=0.5, rng=np.random.default_rng(1)
+        )
+        duration = trace.visits[-1].arrival_s - trace.visits[0].arrival_s
+        assert len(gps) == pytest.approx(duration / 2.0, abs=2)
+
+    def test_fix_error_matches_model(self, small_city, trace):
+        gps = simulate_gps_probe_trace(
+            trace, small_city.network, rng=np.random.default_rng(2)
+        )
+        errors = []
+        for fix in gps.fixes:
+            truth = bus_position_at(trace, small_city.network, fix.time_s)
+            errors.append(truth.distance_to(fix.position))
+        assert 40.0 < np.median(errors) < 110.0      # Fig. 1 on-bus regime
+
+    def test_rejects_bad_rate(self, small_city, trace):
+        with pytest.raises(ValueError):
+            simulate_gps_probe_trace(trace, small_city.network, rate_hz=0.0)
+
+
+class TestMapMatcher:
+    def test_snaps_to_nearest_road(self, small_city):
+        matcher = MapMatcher(small_city.network)
+        segment = small_city.network.segments[0]
+        midpoint = segment.start.midpoint(segment.end)
+        matched = matcher.match(midpoint.offset(0.0, 5.0))
+        assert matched is not None
+        physical = tuple(sorted(matched))
+        assert physical == tuple(sorted(segment.segment_id))
+
+    def test_heading_selects_carriageway(self, small_city):
+        matcher = MapMatcher(small_city.network)
+        segment = small_city.network.segments[0]
+        midpoint = segment.start.midpoint(segment.end)
+        dx = segment.end.x - segment.start.x
+        dy = segment.end.y - segment.start.y
+        norm = (dx * dx + dy * dy) ** 0.5
+        forward = matcher.match(midpoint, (dx / norm, dy / norm))
+        backward = matcher.match(midpoint, (-dx / norm, -dy / norm))
+        assert forward == segment.segment_id
+        assert backward == segment.reverse_id
+
+    def test_far_away_is_none(self, small_city):
+        matcher = MapMatcher(small_city.network, max_snap_m=100.0)
+        assert matcher.match(Point(-5000.0, -5000.0)) is None
+
+
+class TestGpsProbeEstimator:
+    def test_produces_segment_speeds(self, small_city, trace):
+        estimator = GpsProbeEstimator(small_city.network)
+        gps = simulate_gps_probe_trace(
+            trace, small_city.network, rng=np.random.default_rng(3)
+        )
+        updates = estimator.ingest(gps)
+        assert updates > 10
+        snap = estimator.traffic_map.snapshot(trace.end_s)
+        assert snap.coverage > 0
+
+    def test_discards_stopped_and_glitchy_pairs(self, small_city, trace):
+        estimator = GpsProbeEstimator(small_city.network)
+        gps = simulate_gps_probe_trace(
+            trace, small_city.network, rng=np.random.default_rng(4)
+        )
+        estimator.ingest(gps)
+        assert estimator.pairs_discarded > 0
+
+    def test_accuracy_worse_than_cellular_system(
+        self, small_city, traffic, database, sampler, config
+    ):
+        """The headline comparison: same trips, GPS baseline vs our system."""
+        from repro.core import BackendServer
+        from repro.phone import record_participant_trips
+
+        route = small_city.route_network.route("179-0")
+        rng = np.random.default_rng(5)
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config
+        )
+        gps_estimator = GpsProbeEstimator(small_city.network)
+        counter = itertools.count()
+        end_s = 0.0
+        for k in range(4):
+            trip = simulate_bus_trip(
+                route, parse_hhmm("08:00") + 1200.0 * k, traffic, counter, rng=rng
+            )
+            end_s = max(end_s, trip.end_s)
+            server.receive_trips(
+                record_participant_trips(
+                    trip, small_city.registry, sampler, config, rng=rng
+                )
+            )
+            gps_estimator.ingest(
+                simulate_gps_probe_trace(trip, small_city.network, rng=rng)
+            )
+
+        def mae(traffic_map):
+            errors = []
+            snap = traffic_map.snapshot(end_s)
+            for seg, reading in snap.readings.items():
+                truth = 3.6 * traffic.car_speed_ms(seg, end_s)
+                errors.append(abs(reading.speed_kmh - truth))
+            return float(np.mean(errors)) if errors else float("inf")
+
+        ours = mae(server.traffic_map)
+        gps = mae(gps_estimator.traffic_map)
+        # Urban-canyon GPS noise degrades the probe baseline; ours should
+        # be at least as accurate on the same rides.
+        assert ours <= gps + 1.0

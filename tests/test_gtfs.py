@@ -1,0 +1,97 @@
+"""Tests for GTFS-like feed export/import."""
+
+import os
+
+import pytest
+
+from repro.city.geometry import Point
+from repro.city.gtfs import (
+    FeedTrip,
+    export_city,
+    import_feed,
+    planar_to_wgs84,
+    wgs84_to_planar,
+)
+
+
+class TestCoordinateConversion:
+    def test_round_trip(self):
+        point = Point(1234.5, 678.9)
+        lat, lon = planar_to_wgs84(point)
+        back = wgs84_to_planar(lat, lon)
+        assert back.x == pytest.approx(point.x, abs=0.01)
+        assert back.y == pytest.approx(point.y, abs=0.01)
+
+    def test_anchor_maps_to_origin(self):
+        assert wgs84_to_planar(*planar_to_wgs84(Point(0, 0))).x == pytest.approx(0.0)
+
+    def test_north_increases_latitude(self):
+        lat0, _ = planar_to_wgs84(Point(0, 0))
+        lat1, _ = planar_to_wgs84(Point(0, 1000))
+        assert lat1 > lat0
+
+
+class TestExportImport:
+    @pytest.fixture()
+    def feed_dir(self, small_city, tmp_path):
+        directory = str(tmp_path / "feed")
+        trip = FeedTrip(
+            trip_id="t1",
+            route_id="179-0",
+            stop_ids=tuple(
+                rs.stop_id for rs in small_city.route_network.route("179-0").stops[:4]
+            ),
+            arrival_s=(28800.0, 28920.0, 29040.0, 29160.0),
+        )
+        export_city(small_city, directory, trips=[trip])
+        return directory
+
+    def test_files_written(self, feed_dir):
+        for name in ("agency.txt", "stops.txt", "routes.txt", "trips.txt",
+                     "stop_times.txt", "route_stops.txt"):
+            assert os.path.exists(os.path.join(feed_dir, name)), name
+
+    def test_import_stops(self, small_city, feed_dir):
+        feed = import_feed(feed_dir)
+        assert len(feed.stops) == 2 * len(small_city.registry.stations)
+
+    def test_import_route_sequences(self, small_city, feed_dir):
+        feed = import_feed(feed_dir)
+        route = small_city.route_network.route("179-0")
+        assert feed.route_stop_sequences["179-0"] == [rs.stop_id for rs in route.stops]
+
+    def test_import_trip(self, feed_dir):
+        feed = import_feed(feed_dir)
+        assert len(feed.trips) == 1
+        trip = feed.trips[0]
+        assert trip.route_id == "179-0"
+        assert trip.arrival_s[0] == pytest.approx(28800.0)
+        assert list(trip.arrival_s) == sorted(trip.arrival_s)
+
+    def test_station_of(self, small_city, feed_dir):
+        feed = import_feed(feed_dir)
+        station = small_city.registry.stations[0]
+        platform = station.stops[0]
+        assert feed.station_of(platform.stop_id) == f"ST{station.station_id:04d}"
+
+    def test_positions_survive_round_trip(self, small_city, feed_dir):
+        feed = import_feed(feed_dir)
+        platform = small_city.registry.stations[0].stops[0]
+        imported = feed.stops[platform.stop_id]
+        assert imported.position.distance_to(platform.position) < 1.0
+
+    def test_validate_rejects_unknown_stop(self, feed_dir):
+        feed = import_feed(feed_dir)
+        feed.route_stop_sequences["bogus"] = ["NOPE", "NOPE2"]
+        with pytest.raises(ValueError):
+            feed.validate()
+
+    def test_validate_rejects_non_monotonic_times(self, feed_dir):
+        feed = import_feed(feed_dir)
+        trip = feed.trips[0]
+        feed.trips[0] = FeedTrip(
+            trip.trip_id, trip.route_id, trip.stop_ids,
+            tuple(reversed(trip.arrival_s)),
+        )
+        with pytest.raises(ValueError):
+            feed.validate()

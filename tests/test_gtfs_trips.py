@@ -1,0 +1,52 @@
+"""Tests for publishing simulated traces as GTFS trips."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.city.gtfs import export_city, import_feed, trips_from_traces
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def traces(small_city, traffic):
+    route = small_city.route_network.route("179-0")
+    rng = np.random.default_rng(61)
+    counter = itertools.count()
+    return [
+        simulate_bus_trip(route, parse_hhmm("08:00") + 900.0 * k, traffic,
+                          counter, rng=rng)
+        for k in range(3)
+    ]
+
+
+class TestTripsFromTraces:
+    def test_one_feed_trip_per_trace(self, traces):
+        feed_trips = trips_from_traces(traces)
+        assert len(feed_trips) == 3
+
+    def test_served_stops_only(self, traces):
+        feed_trips = trips_from_traces(traces)
+        for trace, trip in zip(traces, feed_trips):
+            served = [v for v in trace.visits if v.served]
+            assert len(trip.stop_ids) == len(served)
+
+    def test_times_monotone(self, traces):
+        for trip in trips_from_traces(traces):
+            assert list(trip.arrival_s) == sorted(trip.arrival_s)
+
+    def test_round_trip_through_feed(self, small_city, traces, tmp_path):
+        directory = str(tmp_path / "feed")
+        export_city(small_city, directory, trips=trips_from_traces(traces))
+        feed = import_feed(directory)
+        assert len(feed.trips) == 3
+        for trip in feed.trips:
+            assert trip.route_id == "179-0"
+
+    def test_degenerate_trace_skipped(self, traces):
+        from repro.sim.bus import BusTripTrace
+
+        empty = BusTripTrace(trip_id="x@1", route_id="179-0", dispatch_s=0.0)
+        assert trips_from_traces([empty]) == []

@@ -1,0 +1,142 @@
+"""Tests for Smith-Waterman matching (§III-C1, Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MatchingConfig
+from repro.core.matching import (
+    SampleMatcher,
+    batch_smith_waterman,
+    common_id_count,
+    smith_waterman,
+)
+
+
+class TestSmithWaterman:
+    def test_paper_table_i_instance(self):
+        """Table I: 3 matches + 1 gap + 1 mismatch → 2.4."""
+        score = smith_waterman([1, 2, 3, 4, 5], [1, 7, 3, 5])
+        assert score == pytest.approx(2.4)
+
+    def test_identical_sequences_score_length(self):
+        assert smith_waterman([4, 8, 15], [4, 8, 15]) == pytest.approx(3.0)
+
+    def test_disjoint_sequences_score_zero(self):
+        assert smith_waterman([1, 2, 3], [4, 5, 6]) == 0.0
+
+    def test_empty_scores_zero(self):
+        assert smith_waterman([], [1, 2]) == 0.0
+        assert smith_waterman([1, 2], []) == 0.0
+
+    def test_symmetric(self):
+        a, b = [1, 2, 3, 4], [2, 1, 4, 3]
+        assert smith_waterman(a, b) == pytest.approx(smith_waterman(b, a))
+
+    def test_score_bounded_by_shorter_length(self):
+        assert smith_waterman([1, 2], [1, 2, 3, 4, 5, 6, 7]) <= 2.0
+
+    def test_local_alignment_ignores_prefix_garbage(self):
+        # The shared suffix aligns cleanly regardless of a junk prefix.
+        score = smith_waterman([99, 98, 1, 2, 3], [1, 2, 3])
+        assert score == pytest.approx(3.0)
+
+    def test_one_rank_swap_costs_about_1_3(self):
+        clean = smith_waterman([1, 2, 3, 4, 5], [1, 2, 3, 4, 5])
+        swapped = smith_waterman([1, 3, 2, 4, 5], [1, 2, 3, 4, 5])
+        assert clean - swapped == pytest.approx(1.3, abs=0.31)
+
+    def test_penalty_config_respected(self):
+        harsh = MatchingConfig(mismatch_penalty=0.9, gap_penalty=0.9)
+        score = smith_waterman([1, 2, 3, 4, 5], [1, 7, 3, 5], harsh)
+        assert score < smith_waterman([1, 2, 3, 4, 5], [1, 7, 3, 5])
+
+
+class TestBatchSmithWaterman:
+    def test_matches_scalar_implementation(self, rng):
+        uploads, dbs = [], []
+        for _ in range(40):
+            uploads.append(list(rng.choice(20, size=rng.integers(1, 8), replace=False)))
+            dbs.append(list(rng.choice(20, size=rng.integers(1, 8), replace=False)))
+        batch = batch_smith_waterman(uploads, dbs)
+        for upload, db, score in zip(uploads, dbs, batch):
+            assert score == pytest.approx(smith_waterman(upload, db))
+
+    def test_empty_batch(self):
+        assert batch_smith_waterman([], []).shape == (0,)
+
+    def test_empty_sequences_in_batch(self):
+        scores = batch_smith_waterman([[], [1, 2]], [[1], []])
+        assert scores == pytest.approx([0.0, 0.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            batch_smith_waterman([[1]], [])
+
+
+class TestSampleMatcher:
+    @pytest.fixture()
+    def matcher(self):
+        fingerprints = {
+            1: (10, 11, 12, 13, 14),
+            2: (20, 21, 22, 23, 24),
+            3: (10, 11, 12, 15, 16),    # overlaps stop 1
+        }
+        return SampleMatcher(fingerprints)
+
+    def test_exact_match(self, matcher):
+        result = matcher.match((20, 21, 22, 23, 24))
+        assert result.station_id == 2
+        assert result.score == pytest.approx(5.0)
+
+    def test_below_threshold_rejected(self, matcher):
+        result = matcher.match((20, 99, 98, 97))
+        assert not result.accepted
+        assert result.station_id is None
+
+    def test_tie_broken_by_common_ids(self, matcher):
+        # (10,11,12) aligns equally with stops 1 and 3; extend with an id
+        # unique to stop 3's tail to tip the common-id count.
+        result = matcher.match((10, 11, 12, 15))
+        assert result.station_id == 3
+
+    def test_match_many_equals_match(self, matcher, rng):
+        samples = [
+            tuple(rng.choice([10, 11, 12, 13, 14, 20, 21, 15, 16, 99],
+                             size=5, replace=False))
+            for _ in range(30)
+        ]
+        singles = [matcher.match(s) for s in samples]
+        batch = matcher.match_many(samples)
+        assert [m.station_id for m in batch] == [m.station_id for m in singles]
+        assert [m.score for m in batch] == pytest.approx([m.score for m in singles])
+
+    def test_match_many_empty(self, matcher):
+        assert matcher.match_many([]) == []
+
+    def test_scores_exposes_all_stops(self, matcher):
+        scores = matcher.scores((10, 11, 12))
+        assert set(scores) == {1, 2, 3}
+
+    def test_requires_fingerprints(self):
+        with pytest.raises(ValueError):
+            SampleMatcher({})
+
+    def test_common_id_count(self):
+        assert common_id_count([1, 2, 3], [2, 3, 4]) == 2
+
+
+class TestEndToEndDiscrimination:
+    def test_survey_database_identifies_stops(self, small_city, scanner, database, config):
+        """Per-sample matching accuracy on the small city stays high."""
+        matcher = SampleMatcher(database.as_dict(), config.matching)
+        rng = np.random.default_rng(77)
+        total = correct = 0
+        for station in small_city.registry.stations:
+            for rep in range(3):
+                platform = station.stops[rep % 2]
+                obs = scanner.scan(platform.position, rng)
+                result = matcher.match(obs.tower_ids)
+                total += 1
+                if result.station_id == station.station_id:
+                    correct += 1
+        assert correct / total > 0.9

@@ -1,0 +1,95 @@
+"""Tests for the power model (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.phone.power import Handset, PowerModel, Sensor, TABLE_III_SETTINGS
+
+
+@pytest.fixture()
+def model():
+    return PowerModel()
+
+
+class TestMeanPower:
+    def test_baseline_per_handset(self, model):
+        assert model.mean_power_mw(Handset.HTC_SENSATION, []) == pytest.approx(70.0)
+        assert model.mean_power_mw(Handset.NEXUS_ONE, []) == pytest.approx(84.0)
+
+    def test_cellular_nearly_free(self, model):
+        """§III-A: marginal energy of cellular sampling is negligible."""
+        base = model.mean_power_mw(Handset.HTC_SENSATION, [])
+        with_cell = model.mean_power_mw(Handset.HTC_SENSATION, [Sensor.CELLULAR])
+        assert with_cell - base < 5.0
+
+    def test_gps_dominates(self, model):
+        """Fig. 1 motivation: GPS costs hundreds of mW."""
+        base = model.mean_power_mw(Handset.HTC_SENSATION, [])
+        with_gps = model.mean_power_mw(Handset.HTC_SENSATION, [Sensor.GPS])
+        assert with_gps - base > 200.0
+
+    def test_app_configuration_matches_paper(self, model):
+        """§IV-D: the app (cellular + Goertzel mic) draws ≈82 mW on HTC."""
+        app = model.mean_power_mw(
+            Handset.HTC_SENSATION, [Sensor.CELLULAR, Sensor.MIC_GOERTZEL]
+        )
+        assert app == pytest.approx(82.0, abs=5.0)
+
+    def test_gps_variant_much_worse(self, model):
+        """§IV-D: with GPS instead of cellular the app draws ≈450 mW."""
+        gps_app = model.mean_power_mw(
+            Handset.HTC_SENSATION, [Sensor.GPS, Sensor.MIC_GOERTZEL]
+        )
+        assert gps_app == pytest.approx(450.0, abs=15.0)
+
+    def test_goertzel_saving(self, model):
+        """§IV-D: Goertzel saves ≈60 mW over FFT."""
+        assert model.goertzel_saving_mw() == pytest.approx(60.0, abs=10.0)
+
+
+class TestSessions:
+    def test_measurement_noise(self, model):
+        rng = np.random.default_rng(0)
+        values = {
+            model.measure_session_mw(Handset.NEXUS_ONE, [Sensor.GPS], rng=rng)
+            for _ in range(5)
+        }
+        assert len(values) == 5
+
+    def test_longer_sessions_less_noisy(self, model):
+        rng = np.random.default_rng(1)
+        short = np.std([
+            model.measure_session_mw(Handset.NEXUS_ONE, [], duration_s=60, rng=rng)
+            for _ in range(200)
+        ])
+        long = np.std([
+            model.measure_session_mw(Handset.NEXUS_ONE, [], duration_s=3600, rng=rng)
+            for _ in range(200)
+        ])
+        assert long < short
+
+    def test_rejects_bad_duration(self, model):
+        with pytest.raises(ValueError):
+            model.measure_session_mw(Handset.NEXUS_ONE, [], duration_s=0.0)
+
+    def test_session_energy(self, model):
+        energy = model.session_energy_j(Handset.HTC_SENSATION, [], duration_s=600.0)
+        assert energy == pytest.approx(70.0 / 1000.0 * 600.0)
+
+
+class TestTableIII:
+    def test_rows_and_columns(self, model):
+        table = model.table_iii(rng=np.random.default_rng(2))
+        assert len(table) == len(TABLE_III_SETTINGS)
+        for row in table.values():
+            assert set(row) == {"htc", "nexus"}
+
+    def test_row_ordering_matches_paper(self, model):
+        """GPS rows must dwarf cellular rows on both handsets."""
+        table = model.table_iii(rng=np.random.default_rng(3))
+        for handset in ("htc", "nexus"):
+            assert table["GPS 0.5Hz"][handset][0] > 3 * table["Cellular 1Hz"][handset][0]
+            assert (
+                table["GPS+Mic(Goertzel)"][handset][0]
+                > table["Cellular+Mic(Goertzel)"][handset][0]
+            )

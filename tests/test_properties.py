@@ -1,0 +1,287 @@
+"""Property-based tests (hypothesis) on core algorithms and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.city.geometry import Point, Polyline
+from repro.config import ClusteringConfig, FusionConfig, MatchingConfig
+from repro.core.clustering import MatchedSample, cluster_trip_samples
+from repro.core.fusion import BayesianSpeedFuser
+from repro.core.matching import batch_smith_waterman, smith_waterman
+from repro.core.traffic_model import TrafficModel
+from repro.eval.metrics import Cdf
+from repro.phone.cellular import CellularSample
+from repro.core.matching import MatchResult
+from repro.sim.events import Simulator
+
+# -- strategies ----------------------------------------------------------------
+
+cell_sequences = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=0, max_size=8, unique=True
+)
+nonempty_cells = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=8, unique=True
+)
+
+
+class TestSmithWatermanProperties:
+    @given(cell_sequences, cell_sequences)
+    def test_non_negative(self, a, b):
+        assert smith_waterman(a, b) >= 0.0
+
+    @given(cell_sequences, cell_sequences)
+    def test_symmetric(self, a, b):
+        assert smith_waterman(a, b) == pytest.approx(smith_waterman(b, a))
+
+    @given(nonempty_cells)
+    def test_self_similarity_equals_length(self, a):
+        assert smith_waterman(a, a) == pytest.approx(float(len(a)))
+
+    @given(cell_sequences, cell_sequences)
+    def test_bounded_by_min_length(self, a, b):
+        assert smith_waterman(a, b) <= min(len(a), len(b)) + 1e-9
+
+    @given(cell_sequences, cell_sequences)
+    def test_disjoint_is_zero(self, a, b):
+        b_shifted = [x + 100 for x in b]
+        assert smith_waterman(a, b_shifted) == 0.0
+
+    @given(st.lists(st.tuples(cell_sequences, cell_sequences), max_size=12))
+    def test_batch_equals_scalar(self, pairs):
+        uploads = [p[0] for p in pairs]
+        dbs = [p[1] for p in pairs]
+        batch = batch_smith_waterman(uploads, dbs)
+        for upload, db, score in zip(uploads, dbs, batch):
+            assert score == pytest.approx(smith_waterman(upload, db))
+
+    @given(nonempty_cells, nonempty_cells, nonempty_cells)
+    def test_subsequence_monotonicity(self, a, b, extra):
+        """Appending fresh ids to the database never lowers the score."""
+        extension = [x + 100 for x in extra]
+        assert smith_waterman(a, b + extension) >= smith_waterman(a, b) - 1e-9
+
+
+def _matched(t, station, score):
+    return MatchedSample(
+        sample=CellularSample(time_s=t, tower_ids=(1,)),
+        match=MatchResult(station_id=station, score=score, common_ids=1),
+    )
+
+
+class TestClusteringProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2000.0),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=2.0, max_value=7.0),
+            ),
+            max_size=25,
+        )
+    )
+    def test_partition(self, entries):
+        """Clustering is a partition: every sample in exactly one cluster."""
+        samples = [_matched(t, s, sc) for t, s, sc in entries]
+        clusters = cluster_trip_samples(samples)
+        flattened = [m for c in clusters for m in c.samples]
+        assert len(flattened) == len(samples)
+        assert {id(m) for m in flattened} == {id(m) for m in samples}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2000.0),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=25,
+        )
+    )
+    def test_clusters_time_ordered(self, entries):
+        samples = [_matched(t, s, 5.0) for t, s in entries]
+        clusters = cluster_trip_samples(samples)
+        arrivals = [c.arrival_s for c in clusters]
+        assert arrivals == sorted(arrivals)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_candidate_probabilities_sum_to_at_most_one(self, entries):
+        samples = [_matched(t, s, 5.0) for t, s in entries]
+        for cluster in cluster_trip_samples(samples):
+            total = sum(c.probability for c in cluster.candidates())
+            assert total <= 1.0 + 1e-9
+
+
+class TestFusionProperties:
+    @given(
+        st.lists(st.floats(min_value=5.0, max_value=90.0), min_size=1, max_size=30)
+    )
+    def test_mean_stays_within_observation_hull(self, speeds):
+        fuser = BayesianSpeedFuser(FusionConfig(staleness_inflation_kmh_per_hr=0.0))
+        for k, speed in enumerate(speeds):
+            belief = fuser.update("seg", speed, t=float(k))
+        assert min(speeds) - 1e-6 <= belief.mean_kmh <= max(speeds) + 1e-6
+
+    @given(
+        st.lists(st.floats(min_value=5.0, max_value=90.0), min_size=2, max_size=30)
+    )
+    def test_variance_monotone_without_staleness(self, speeds):
+        fuser = BayesianSpeedFuser(FusionConfig(staleness_inflation_kmh_per_hr=0.0))
+        variances = []
+        for k, speed in enumerate(speeds):
+            variances.append(fuser.update("seg", speed, t=float(k)).variance)
+        assert all(b <= a + 1e-9 for a, b in zip(variances, variances[1:]))
+
+
+class TestTrafficModelProperties:
+    @given(
+        st.floats(min_value=30.0, max_value=600.0),
+        st.floats(min_value=100.0, max_value=1000.0),
+        st.floats(min_value=8.0, max_value=25.0),
+    )
+    def test_att_monotone_in_btt(self, btt, length, free_speed):
+        model = TrafficModel()
+        att_a = model.estimate_att_s(btt, length, free_speed)
+        att_b = model.estimate_att_s(btt * 1.5, length, free_speed)
+        assert att_b >= att_a - 1e-9
+
+    @given(
+        st.floats(min_value=30.0, max_value=600.0),
+        st.floats(min_value=100.0, max_value=1000.0),
+        st.floats(min_value=8.0, max_value=25.0),
+    )
+    def test_speed_within_clamps(self, btt, length, free_speed):
+        model = TrafficModel()
+        estimate = model.estimate(btt, length, free_speed)
+        assert model.config.min_speed_ms - 1e-9 <= estimate.speed_ms
+        assert estimate.speed_ms <= model.config.max_speed_ms + 1e-9
+
+
+class TestPolylineProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e4, max_value=1e4),
+                st.floats(min_value=-1e4, max_value=1e4),
+            ),
+            min_size=2,
+            max_size=10,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_point_at_lies_within_bounding_box(self, coords, fraction):
+        line = Polyline([Point(x, y) for x, y in coords])
+        point = line.point_at(fraction * line.length)
+        xs = [p.x for p in line.points]
+        ys = [p.y for p in line.points]
+        assert min(xs) - 1e-6 <= point.x <= max(xs) + 1e-6
+        assert min(ys) - 1e-6 <= point.y <= max(ys) + 1e-6
+
+
+class TestSimulatorProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50)
+    )
+    def test_events_fire_in_nondecreasing_time(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+
+class TestWireProperties:
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e7),
+                st.lists(st.integers(min_value=0, max_value=10**7),
+                         min_size=1, max_size=7, unique=True),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_trip_codec_round_trips(self, key, entries):
+        from repro.phone.trip_recorder import TripUpload
+        from repro.wire import trip_from_dict, trip_to_dict
+
+        entries.sort(key=lambda e: e[0])
+        upload = TripUpload(
+            trip_key=key,
+            samples=tuple(
+                CellularSample(time_s=t, tower_ids=tuple(cells))
+                for t, cells in entries
+            ),
+        )
+        decoded = trip_from_dict(trip_to_dict(upload))
+        assert decoded.trip_key == upload.trip_key
+        assert [s.tower_ids for s in decoded.samples] == [
+            s.tower_ids for s in upload.samples
+        ]
+        assert [s.time_s for s in decoded.samples] == [
+            s.time_s for s in upload.samples
+        ]
+
+
+class TestUplinkProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=40),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_delivery_conserves_and_orders(self, ready_times, loss, seed):
+        import numpy as np
+
+        from repro.config import UplinkConfig
+        from repro.phone.trip_recorder import TripUpload
+        from repro.sim.uplink import UplinkChannel
+
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=loss),
+            rng=np.random.default_rng(seed),
+        )
+        offered = [
+            (t, TripUpload(trip_key=f"t{i}", samples=()))
+            for i, t in enumerate(ready_times)
+        ]
+        delivered = channel.transmit_all(offered)
+        # No duplication, no invention, arrival ≥ ready + base delay.
+        assert len(delivered) <= len(offered)
+        arrivals = [t for t, _ in delivered]
+        assert arrivals == sorted(arrivals)
+        ready_by_key = {u.trip_key: t for t, u in offered}
+        for arrival, upload in delivered:
+            assert arrival >= ready_by_key[upload.trip_key] + channel.config.base_delay_s
+        assert channel.stats.delivered + channel.stats.lost == len(offered)
+
+
+class TestCdfProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+        )
+    )
+    def test_fraction_below_monotone(self, values):
+        cdf = Cdf.of(values)
+        points = sorted([min(values), max(values), 0.0])
+        fractions = [cdf.fraction_below(p) for p in points]
+        assert fractions == sorted(fractions)
+        assert cdf.fraction_below(max(values)) == 1.0

@@ -1,0 +1,69 @@
+"""Tests of the public API surface: exports exist and stay importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.city",
+    "repro.radio",
+    "repro.sim",
+    "repro.phone",
+    "repro.core",
+    "repro.eval",
+    "repro.analysis",
+    "repro.baseline",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_exports_resolve(self):
+        assert callable(repro.build_city)
+        assert callable(repro.simulate_day)
+        assert repro.BackendServer is not None
+        assert repro.FingerprintDatabase is not None
+        assert repro.CitySpec is not None
+        assert repro.SimulationResult is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_default_config_exported(self):
+        assert repro.DEFAULT_CONFIG == repro.SystemConfig()
+
+
+class TestPackageAllLists:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_every_all_entry_exists(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_no_duplicate_all_entries(self, package_name):
+        package = importlib.import_module(package_name)
+        assert len(package.__all__) == len(set(package.__all__))
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES + ["repro", "repro.wire",
+                                                         "repro.cli", "repro.config"])
+    def test_module_docstrings_present(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_callables_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = [
+            name
+            for name in package.__all__
+            if callable(getattr(package, name)) and not getattr(package, name).__doc__
+        ]
+        assert not undocumented, f"undocumented: {undocumented}"

@@ -1,0 +1,158 @@
+"""Tests for participant quality scoring and incentive allocation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.quality import (
+    allocate_rewards,
+    leaderboard,
+    participant_of,
+    score_participants,
+)
+from repro.core import BackendServer
+from repro.core.server import TripReport
+from repro.phone import record_participant_trips
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+def synthetic_report(trip_key, accepted=5, discarded=1, segments=()):
+    from repro.core.trip_mapping import MappedStop, MappedTrip
+
+    mapped = None
+    if segments:
+        mapped = MappedTrip(
+            stops=[
+                MappedStop(station_id=k, arrival_s=100.0 * k, depart_s=100.0 * k + 10,
+                           cluster_size=2, weight=5.0)
+                for k in range(len(segments) + 1)
+            ],
+            score=1.0,
+        )
+    return TripReport(
+        trip_key=trip_key,
+        accepted_samples=accepted,
+        discarded_samples=discarded,
+        clusters=[],
+        mapped=mapped,
+        estimates=[(seg, 40.0, 1000.0) for seg in segments],
+    )
+
+
+class TestScoring:
+    def test_participant_of(self):
+        assert participant_of("rider-42#3") == "rider-42"
+        assert participant_of("nokey") == "nokey"
+
+    def test_aggregates_across_trips(self):
+        reports = [
+            synthetic_report("rider-1#0", segments=[(0, 1)]),
+            synthetic_report("rider-1#1", segments=[(1, 2), (2, 3)]),
+            synthetic_report("rider-2#0", segments=[(0, 1)]),
+        ]
+        scores = score_participants(reports)
+        assert scores["rider-1"].trips == 2
+        assert scores["rider-1"].distinct_segments == 3
+        assert scores["rider-2"].trips == 1
+
+    def test_acceptance_rate(self):
+        scores = score_participants([synthetic_report("rider-1#0", 8, 2)])
+        assert scores["rider-1"].acceptance_rate == pytest.approx(0.8)
+
+    def test_empty_participant_zero_rate(self):
+        scores = score_participants([synthetic_report("rider-1#0", 0, 0)])
+        assert scores["rider-1"].acceptance_rate == 0.0
+
+
+class TestAllocation:
+    def test_scarce_coverage_pays_more(self):
+        # rider-1 probes a segment nobody else does; rider-2 piles onto
+        # a segment probed by three trips.
+        reports = [
+            synthetic_report("rider-1#0", segments=[(9, 10)]),
+            synthetic_report("rider-2#0", segments=[(0, 1)]),
+            synthetic_report("rider-2#1", segments=[(0, 1)]),
+            synthetic_report("rider-3#0", segments=[(0, 1)]),
+        ]
+        rewards = allocate_rewards(score_participants(reports), budget=100.0)
+        assert rewards["rider-1"] > rewards["rider-2"]
+        assert rewards["rider-1"] > rewards["rider-3"]
+
+    def test_budget_fully_distributed(self):
+        reports = [
+            synthetic_report("rider-1#0", segments=[(0, 1)]),
+            synthetic_report("rider-2#0", segments=[(1, 2)]),
+        ]
+        rewards = allocate_rewards(score_participants(reports), budget=50.0)
+        assert sum(rewards.values()) == pytest.approx(50.0)
+
+    def test_no_contribution_no_reward(self):
+        reports = [
+            synthetic_report("rider-1#0", segments=[(0, 1)]),
+            synthetic_report("rider-2#0", segments=[]),
+        ]
+        rewards = allocate_rewards(score_participants(reports), budget=50.0)
+        assert rewards["rider-2"] == 0.0
+        assert rewards["rider-1"] == pytest.approx(50.0)
+
+    def test_all_zero_when_nothing_usable(self):
+        rewards = allocate_rewards(
+            score_participants([synthetic_report("rider-1#0", segments=[])]),
+            budget=50.0,
+        )
+        assert rewards == {"rider-1": 0.0}
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            allocate_rewards({}, budget=-1.0)
+
+
+class TestLeaderboard:
+    def test_orders_by_distinct_segments(self):
+        reports = [
+            synthetic_report("rider-1#0", segments=[(0, 1), (1, 2)]),
+            synthetic_report("rider-2#0", segments=[(0, 1)]),
+        ]
+        board = leaderboard(score_participants(reports))
+        assert board[0][0] == "rider-1"
+
+    def test_top_limits(self):
+        reports = [
+            synthetic_report(f"rider-{k}#0", segments=[(k, k + 1)])
+            for k in range(5)
+        ]
+        board = leaderboard(score_participants(reports), top=3)
+        assert len(board) == 3
+
+    def test_rejects_bad_top(self):
+        with pytest.raises(ValueError):
+            leaderboard({}, top=0)
+
+
+class TestEndToEnd:
+    def test_real_campaign_scoring(
+        self, small_city, traffic, database, sampler, config
+    ):
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config
+        )
+        rng = np.random.default_rng(71)
+        counter = itertools.count()
+        reports = []
+        for k in range(2):
+            trace = simulate_bus_trip(
+                small_city.route_network.route("179-0"),
+                parse_hhmm("08:00") + 900.0 * k, traffic, counter, rng=rng,
+            )
+            uploads = record_participant_trips(
+                trace, small_city.registry, sampler, config, rng=rng
+            )
+            reports.extend(server.receive_trips(uploads))
+        scores = score_participants(reports)
+        assert scores
+        rewards = allocate_rewards(scores, budget=100.0)
+        assert sum(rewards.values()) == pytest.approx(100.0, abs=1e-6)
+        for who, score in scores.items():
+            assert score.acceptance_rate > 0.5, who

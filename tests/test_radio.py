@@ -1,0 +1,126 @@
+"""Tests for the cellular radio substrate: towers, propagation, scanning."""
+
+import numpy as np
+import pytest
+
+from repro.city.geometry import Point
+from repro.config import RadioConfig
+from repro.radio import (
+    CellTower,
+    CellularScanner,
+    Observation,
+    PropagationModel,
+    deploy_towers,
+)
+
+
+class TestDeployment:
+    def test_covers_region_with_margin(self):
+        towers = deploy_towers(2000, 1000, inter_site_m=500, seed=1)
+        xs = [t.position.x for t in towers]
+        ys = [t.position.y for t in towers]
+        assert min(xs) < 0 and max(xs) > 2000
+        assert min(ys) < 0 and max(ys) > 1000
+
+    def test_ids_unique(self):
+        towers = deploy_towers(2000, 1000, inter_site_m=500, seed=1)
+        assert len({t.tower_id for t in towers}) == len(towers)
+
+    def test_deterministic(self):
+        a = deploy_towers(1000, 1000, seed=3)
+        b = deploy_towers(1000, 1000, seed=3)
+        assert [t.position for t in a] == [t.position for t in b]
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            deploy_towers(1000, 1000, inter_site_m=0)
+
+
+class TestPropagation:
+    @pytest.fixture()
+    def model(self):
+        return PropagationModel(RadioConfig(), seed=11)
+
+    @pytest.fixture()
+    def tower(self):
+        return CellTower(tower_id=1, position=Point(0, 0))
+
+    def test_mean_rss_decreases_with_distance(self, model, tower):
+        # Shadowing varies per location, so compare at well-separated ranges.
+        near = model.mean_rss_dbm(tower, Point(50, 0))
+        far = model.mean_rss_dbm(tower, Point(3000, 0))
+        assert near > far + 20
+
+    def test_mean_rss_is_stable(self, model, tower):
+        where = Point(500, 300)
+        assert model.mean_rss_dbm(tower, where) == model.mean_rss_dbm(tower, where)
+
+    def test_measurement_fluctuates(self, model, tower):
+        where = Point(500, 300)
+        rng = np.random.default_rng(0)
+        values = {model.measure_rss_dbm(tower, where, rng) for _ in range(5)}
+        assert len(values) == 5
+
+    def test_measurement_noise_is_zero_mean(self, model, tower):
+        where = Point(500, 300)
+        rng = np.random.default_rng(0)
+        mean_field = model.mean_rss_dbm(tower, where)
+        samples = [model.measure_rss_dbm(tower, where, rng) for _ in range(400)]
+        assert np.mean(samples) == pytest.approx(mean_field, abs=0.5)
+
+    def test_shadowing_is_smooth(self, model, tower):
+        # Two points 5 m apart must have nearly equal shadowing.
+        a = model.mean_rss_dbm(tower, Point(500, 300))
+        b = model.mean_rss_dbm(tower, Point(505, 300))
+        assert abs(a - b) < 3.0
+
+    def test_seed_changes_shadow_field(self, tower):
+        a = PropagationModel(RadioConfig(), seed=1).mean_rss_dbm(tower, Point(500, 300))
+        b = PropagationModel(RadioConfig(), seed=2).mean_rss_dbm(tower, Point(500, 300))
+        assert a != b
+
+
+class TestObservation:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Observation(tower_ids=(1, 2), rss_dbm=(-50.0,))
+
+    def test_rejects_unsorted_rss(self):
+        with pytest.raises(ValueError):
+            Observation(tower_ids=(1, 2), rss_dbm=(-70.0, -50.0))
+
+    def test_serving_tower(self):
+        obs = Observation(tower_ids=(9, 4), rss_dbm=(-50.0, -60.0))
+        assert obs.serving_tower == 9
+
+    def test_empty_has_no_serving_tower(self):
+        with pytest.raises(ValueError):
+            Observation(tower_ids=(), rss_dbm=()).serving_tower
+
+
+class TestScanner:
+    def test_visible_count_in_paper_band(self, small_city, scanner):
+        counts = [
+            scanner.visible_count(st.position) for st in small_city.registry.stations
+        ]
+        assert min(counts) >= 2
+        assert max(counts) <= 7          # capped at the neighbour-list size
+        assert np.median(counts) >= 4    # §III-A: typically 4–7 visible
+
+    def test_scan_ordered_by_rss(self, small_city, scanner, rng):
+        obs = scanner.scan(small_city.registry.stations[0].position, rng)
+        assert list(obs.rss_dbm) == sorted(obs.rss_dbm, reverse=True)
+
+    def test_mean_scan_deterministic(self, small_city, scanner):
+        where = small_city.registry.stations[3].position
+        assert scanner.mean_scan(where).tower_ids == scanner.mean_scan(where).tower_ids
+
+    def test_scan_noise_reorders_mid_list(self, small_city, scanner):
+        where = small_city.registry.stations[3].position
+        rng = np.random.default_rng(1)
+        orders = {scanner.scan(where, rng).tower_ids for _ in range(12)}
+        assert len(orders) > 1           # temporal noise swaps weak neighbours
+
+    def test_requires_towers(self, config):
+        with pytest.raises(ValueError):
+            CellularScanner([], PropagationModel(config.radio, seed=0))

@@ -1,0 +1,86 @@
+"""Tests for region-wide inference from covered segments (§VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.region import infer_region_speeds, segment_adjacency
+from repro.util.units import ms_to_kmh
+
+
+class TestAdjacency:
+    def test_symmetric(self, small_city):
+        adjacency = segment_adjacency(small_city.network)
+        for seg, neighbours in adjacency.items():
+            for n in neighbours:
+                assert seg in adjacency[n]
+
+    def test_no_self_loops(self, small_city):
+        adjacency = segment_adjacency(small_city.network)
+        for seg, neighbours in adjacency.items():
+            assert seg not in neighbours
+
+    def test_reverse_is_neighbour(self, small_city):
+        adjacency = segment_adjacency(small_city.network)
+        seg = small_city.network.segment_ids[0]
+        assert (seg[1], seg[0]) in adjacency[seg]
+
+
+class TestInference:
+    def test_observed_segments_pinned(self, small_city):
+        seg = small_city.network.segment_ids[0]
+        estimates = infer_region_speeds(small_city.network, {seg: 33.0})
+        assert estimates[seg].observed
+        assert estimates[seg].speed_kmh == pytest.approx(33.0)
+        assert estimates[seg].hops_from_observed == 0
+
+    def test_all_segments_estimated(self, small_city):
+        seg = small_city.network.segment_ids[0]
+        estimates = infer_region_speeds(small_city.network, {seg: 33.0})
+        assert set(estimates) == set(small_city.network.segment_ids)
+
+    def test_diffusion_pulls_neighbours_toward_observation(self, small_city):
+        adjacency = segment_adjacency(small_city.network)
+        seg = small_city.network.segment_ids[0]
+        # Observe strong congestion on one segment only.
+        segment = small_city.network.segment(seg)
+        congested = 0.3 * ms_to_kmh(segment.free_speed_ms)
+        estimates = infer_region_speeds(
+            small_city.network, {seg: congested}, default_congestion=0.9
+        )
+        neighbour = adjacency[seg][0]
+        neighbour_seg = small_city.network.segment(neighbour)
+        factor = estimates[neighbour].speed_kmh / ms_to_kmh(neighbour_seg.free_speed_ms)
+        assert factor < 0.9    # pulled below the prior by the observation
+
+    def test_hops_increase_away_from_observed(self, small_city):
+        seg = small_city.network.segment_ids[0]
+        estimates = infer_region_speeds(small_city.network, {seg: 40.0})
+        hops = [e.hops_from_observed for e in estimates.values()]
+        assert max(hops) > 2
+
+    def test_leave_out_accuracy_beats_prior(self, small_city, traffic):
+        """Hide 30% of segments; inference beats the flat default."""
+        rng = np.random.default_rng(4)
+        t = 8.5 * 3600.0
+        all_segments = small_city.network.segment_ids
+        true = {
+            seg: 3.6 * traffic.car_speed_ms(seg, t) for seg in all_segments
+        }
+        hidden = set(
+            tuple(s) for s in rng.choice(all_segments, size=len(all_segments) // 3,
+                                         replace=False)
+        )
+        observed = {seg: v for seg, v in true.items() if seg not in hidden}
+        estimates = infer_region_speeds(small_city.network, observed)
+        inferred_err = np.mean([
+            abs(estimates[seg].speed_kmh - true[seg]) for seg in hidden
+        ])
+        default_err = np.mean([
+            abs(0.85 * 3.6 * small_city.network.segment(seg).free_speed_ms - true[seg])
+            for seg in hidden
+        ])
+        assert inferred_err < default_err
+
+    def test_rejects_bad_iterations(self, small_city):
+        with pytest.raises(ValueError):
+            infer_region_speeds(small_city.network, {}, iterations=0)

@@ -1,0 +1,115 @@
+"""Tests for the directed road network."""
+
+import pytest
+
+from repro.city.geometry import Point
+from repro.city.road_network import FREE_SPEED_MS, RoadClass, RoadNetwork
+
+
+@pytest.fixture()
+def triangle() -> RoadNetwork:
+    net = RoadNetwork()
+    net.add_node(0, Point(0, 0))
+    net.add_node(1, Point(1000, 0))
+    net.add_node(2, Point(1000, 1000))
+    net.add_road(0, 1, RoadClass.MAJOR)
+    net.add_road(1, 2, RoadClass.MINOR)
+    return net
+
+
+class TestConstruction:
+    def test_roads_are_bidirectional(self, triangle):
+        assert triangle.has_segment((0, 1))
+        assert triangle.has_segment((1, 0))
+
+    def test_segment_count(self, triangle):
+        assert len(triangle.segment_ids) == 4
+
+    def test_duplicate_node_same_position_ok(self, triangle):
+        triangle.add_node(0, Point(0, 0))
+
+    def test_duplicate_node_moved_raises(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_node(0, Point(5, 5))
+
+    def test_road_requires_existing_nodes(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.add_road(0, 99)
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_road(1, 1)
+
+    def test_free_speed_by_class(self, triangle):
+        assert triangle.segment((0, 1)).free_speed_ms == FREE_SPEED_MS[RoadClass.MAJOR]
+        assert triangle.segment((1, 2)).free_speed_ms == FREE_SPEED_MS[RoadClass.MINOR]
+
+    def test_custom_free_speed(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(100, 0))
+        fwd, _ = net.add_road(0, 1, free_speed_ms=10.0)
+        assert fwd.free_speed_ms == 10.0
+
+
+class TestSegment:
+    def test_length(self, triangle):
+        assert triangle.segment((0, 1)).length_m == pytest.approx(1000.0)
+
+    def test_free_travel_time(self, triangle):
+        seg = triangle.segment((0, 1))
+        assert seg.free_travel_time_s == pytest.approx(seg.length_m / seg.free_speed_ms)
+
+    def test_reverse_id(self, triangle):
+        assert triangle.segment((0, 1)).reverse_id == (1, 0)
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors(1)) == {0, 2}
+
+    def test_total_length_counts_roads_once(self, triangle):
+        assert triangle.total_length_m() == pytest.approx(2000.0)
+
+    def test_path_segments(self, triangle):
+        segs = triangle.path_segments([0, 1, 2])
+        assert [s.segment_id for s in segs] == [(0, 1), (1, 2)]
+
+    def test_path_segments_invalid(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.path_segments([0, 2])
+
+    def test_undirected_ids_are_half(self, triangle):
+        assert len(triangle.undirected_segment_ids()) == 2
+
+
+class TestShortestPath:
+    def test_direct(self, triangle):
+        assert triangle.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_trivial(self, triangle):
+        assert triangle.shortest_path(0, 0) == [0]
+
+    def test_unknown_node(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.shortest_path(0, 99)
+
+    def test_unreachable(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(10, 0))
+        with pytest.raises(ValueError):
+            net.shortest_path(0, 1)
+
+    def test_prefers_fast_roads(self):
+        # Square 0-1-2 vs direct 0-2: direct is minor and slow, detour major.
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(1000, 0))
+        net.add_node(2, Point(1000, 1000))
+        net.add_road(0, 1, free_speed_ms=30.0)
+        net.add_road(1, 2, free_speed_ms=30.0)
+        net.add_node(3, Point(0, 1000))
+        net.add_road(0, 3, free_speed_ms=5.0)
+        net.add_road(3, 2, free_speed_ms=5.0)
+        assert net.shortest_path(0, 2) == [0, 1, 2]

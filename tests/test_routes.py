@@ -1,0 +1,130 @@
+"""Tests for bus routes and the route network relation R."""
+
+import pytest
+
+from repro.city.geometry import Point
+from repro.city.road_network import RoadNetwork
+from repro.city.routes import BusRoute, RouteNetwork
+from repro.city.stops import StopRegistry, make_two_sided_station
+
+
+@pytest.fixture()
+def line_world():
+    """Five stations in a line plus a branch off station 2."""
+    net = RoadNetwork()
+    for i in range(5):
+        net.add_node(i, Point(i * 400.0, 0.0))
+    net.add_node(10, Point(800.0, 400.0))     # branch node above station 2
+    for i in range(4):
+        net.add_road(i, i + 1)
+    net.add_road(2, 10)
+
+    reg = StopRegistry()
+    for i in list(range(5)) + [10]:
+        reg.add_station(
+            make_two_sided_station(i, f"St {i}", net.node_position(i), 0.0)
+        )
+    return net, reg
+
+
+@pytest.fixture()
+def main_route(line_world):
+    net, reg = line_world
+    return BusRoute("A-0", "A", 0, [0, 1, 2, 3, 4], net, reg)
+
+
+@pytest.fixture()
+def branch_route(line_world):
+    net, reg = line_world
+    return BusRoute("B-0", "B", 0, [0, 1, 2, 10], net, reg)
+
+
+class TestBusRoute:
+    def test_requires_two_nodes(self, line_world):
+        net, reg = line_world
+        with pytest.raises(ValueError):
+            BusRoute("X", "X", 0, [0], net, reg)
+
+    def test_stop_order(self, main_route):
+        assert main_route.station_sequence == [0, 1, 2, 3, 4]
+        assert [rs.order for rs in main_route.stops] == [0, 1, 2, 3, 4]
+
+    def test_cumulative_distance(self, main_route):
+        assert main_route.stops[0].cumulative_m == 0.0
+        assert main_route.stops[3].cumulative_m == pytest.approx(1200.0)
+        assert main_route.length_m == pytest.approx(1600.0)
+
+    def test_station_order_lookup(self, main_route):
+        assert main_route.station_order(3) == 3
+        assert main_route.station_order(10) is None
+        assert main_route.serves(2)
+        assert not main_route.serves(10)
+
+    def test_segments_between(self, main_route):
+        assert main_route.segments_between(1, 3) == [(1, 2), (2, 3)]
+
+    def test_segments_between_invalid(self, main_route):
+        with pytest.raises(ValueError):
+            main_route.segments_between(3, 1)
+
+    def test_distance_between(self, main_route):
+        assert main_route.distance_between(0, 2) == pytest.approx(800.0)
+
+    def test_platform_matches_direction(self, line_world):
+        net, reg = line_world
+        forward = BusRoute("A-0", "A", 0, [0, 1, 2, 3, 4], net, reg)
+        backward = BusRoute("A-1", "A", 1, [4, 3, 2, 1, 0], net, reg)
+        fwd_stop = forward.stops[1]
+        bwd_stop = next(rs for rs in backward.stops if rs.station_id == 1)
+        assert fwd_stop.stop_id != bwd_stop.stop_id  # opposite platforms
+
+
+class TestRouteNetwork:
+    def test_downstream_single_route(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        assert rn.downstream(0, 4)
+        assert rn.downstream(2, 10)
+        assert not rn.downstream(4, 0)
+        assert not rn.downstream(3, 10)
+
+    def test_reachable_with_transfer(self, line_world, main_route):
+        net, reg = line_world
+        # Route C starts at station 3 and goes to the branch? No road; use
+        # overlap at station 2 instead: C runs 4->3->2->10.
+        route_c = BusRoute("C-0", "C", 0, [4, 3, 2, 10], net, reg)
+        rn = RouteNetwork([main_route, route_c])
+        # 0 -> 10 needs main route to 2 (or beyond) then C to 10.
+        assert not rn.downstream(0, 10)
+        assert rn.reachable_with_transfer(0, 10)
+
+    def test_transfer_is_cached(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        assert rn.reachable_with_transfer(0, 4) == rn.reachable_with_transfer(0, 4)
+
+    def test_routes_serving(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        assert {r.route_id for r in rn.routes_serving(2)} == {"A-0", "B-0"}
+        assert {r.route_id for r in rn.routes_serving(4)} == {"A-0"}
+
+    def test_covered_segments(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        assert (2, 10) in rn.covered_segments()
+        assert (10, 2) not in rn.covered_segments()
+
+    def test_coverage_count(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        counts = rn.segment_coverage_count()
+        assert counts[(0, 1)] == 2
+        assert counts[(3, 4)] == 1
+
+    def test_duplicate_ids_rejected(self, main_route):
+        with pytest.raises(ValueError):
+            RouteNetwork([main_route, main_route])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RouteNetwork([])
+
+    def test_station_ids(self, main_route, branch_route):
+        rn = RouteNetwork([main_route, branch_route])
+        assert rn.station_ids == [0, 1, 2, 3, 4, 10]

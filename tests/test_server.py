@@ -1,0 +1,125 @@
+"""Tests for the backend server pipeline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import BackendServer
+from repro.phone import CellularSampler, record_participant_trips
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+
+@pytest.fixture()
+def server(small_city, database, config):
+    return BackendServer(
+        small_city.network, small_city.route_network, database, config
+    )
+
+
+@pytest.fixture()
+def uploads(small_city, traffic, sampler, config):
+    route = small_city.route_network.route("179-0")
+    trace = simulate_bus_trip(
+        route, parse_hhmm("08:10"), traffic, itertools.count(),
+        rng=np.random.default_rng(12),
+    )
+    ups = record_participant_trips(
+        trace, small_city.registry, sampler, config, rng=np.random.default_rng(13)
+    )
+    return trace, ups
+
+
+class TestReceiveTrip:
+    def test_maps_a_real_trip(self, server, uploads):
+        trace, ups = uploads
+        longest = max(ups, key=lambda u: len(u.samples))
+        report = server.receive_trip(longest)
+        assert report.mapped is not None
+        assert len(report.mapped.stops) >= 2
+
+    def test_mapped_stations_on_route(self, small_city, server, uploads):
+        trace, ups = uploads
+        route = small_city.route_network.route("179-0")
+        served = set(route.station_sequence)
+        longest = max(ups, key=lambda u: len(u.samples))
+        report = server.receive_trip(longest)
+        on_route = [s for s in report.mapped.station_sequence() if s in served]
+        assert len(on_route) >= 0.9 * len(report.mapped.stops)
+
+    def test_station_sequence_follows_route_order(self, small_city, server, uploads):
+        trace, ups = uploads
+        route = small_city.route_network.route("179-0")
+        order = {rs.station_id: rs.order for rs in route.stops}
+        longest = max(ups, key=lambda u: len(u.samples))
+        seq = server.receive_trip(longest).mapped.station_sequence()
+        orders = [order[s] for s in seq if s in order]
+        assert orders == sorted(orders)
+
+    def test_produces_speed_estimates(self, server, uploads):
+        trace, ups = uploads
+        longest = max(ups, key=lambda u: len(u.samples))
+        report = server.receive_trip(longest)
+        assert report.estimates
+        for segment_id, speed_kmh, t in report.estimates:
+            assert 2.0 <= speed_kmh <= 120.0
+            assert server.network.has_segment(segment_id)
+
+    def test_estimates_near_ground_truth(self, server, uploads, traffic):
+        trace, ups = uploads
+        errors = []
+        for upload in ups:
+            report = server.receive_trip(upload)
+            for segment_id, speed_kmh, t in report.estimates:
+                true_kmh = 3.6 * traffic.car_speed_ms(segment_id, t)
+                errors.append(speed_kmh - true_kmh)
+        assert errors
+        assert abs(np.mean(errors)) < 5.0
+        assert np.mean(np.abs(errors)) < 8.0
+
+    def test_stats_accumulate(self, server, uploads):
+        trace, ups = uploads
+        server.receive_trips(ups)
+        stats = server.stats
+        assert stats.trips_received == len(ups)
+        assert stats.trips_mapped >= 0.7 * len(ups)
+        assert stats.samples_received == sum(len(u.samples) for u in ups)
+        assert stats.segments_updated > 0
+
+    def test_garbage_samples_discarded(self, server):
+        upload = TripUpload(
+            "junk",
+            tuple(
+                CellularSample(time_s=100.0 + k, tower_ids=(90000 + k,))
+                for k in range(5)
+            ),
+        )
+        report = server.receive_trip(upload)
+        assert report.discarded_samples == 5
+        assert report.mapped is None
+
+    def test_single_cluster_trip_produces_no_estimates(self, server, small_city, sampler, rng):
+        station = small_city.registry.stations[0]
+        samples = tuple(
+            sampler.sample(station.stops[0].position, 100.0 + k, rng)
+            for k in range(3)
+        )
+        report = server.receive_trip(TripUpload("short", samples))
+        assert report.estimates == []
+
+
+class TestMapIntegration:
+    def test_traffic_map_fills_up(self, server, uploads):
+        trace, ups = uploads
+        server.receive_trips(ups)
+        snap = server.traffic_map.snapshot(at_s=trace.end_s + 300.0)
+        assert snap.coverage > 0.0
+
+    def test_publish_cycle(self, server, uploads):
+        trace, ups = uploads
+        server.receive_trips(ups)
+        server.publish(at_s=trace.end_s + 300.0)
+        assert server.traffic_map.publish_times == [trace.end_s + 300.0]

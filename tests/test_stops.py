@@ -1,0 +1,100 @@
+"""Tests for bus stops, stations and the registry."""
+
+import math
+
+import pytest
+
+from repro.city.geometry import Point
+from repro.city.stops import (
+    BusStop,
+    Station,
+    StopRegistry,
+    make_two_sided_station,
+)
+
+
+@pytest.fixture()
+def station() -> Station:
+    return make_two_sided_station(7, "Test Ave", Point(100, 200), heading_rad=0.0)
+
+
+class TestTwoSidedStation:
+    def test_has_two_platforms(self, station):
+        assert len(station.stops) == 2
+
+    def test_platforms_flank_centreline(self, station):
+        a, b = station.stops
+        assert a.position.y == pytest.approx(212.0)
+        assert b.position.y == pytest.approx(188.0)
+
+    def test_platform_headings_oppose(self, station):
+        a, b = station.stops
+        diff = abs(a.heading_rad - b.heading_rad) % (2 * math.pi)
+        assert diff == pytest.approx(math.pi)
+
+    def test_platform_ids_unique(self, station):
+        ids = {s.stop_id for s in station.stops}
+        assert len(ids) == 2
+
+    def test_platform_for_heading(self, station):
+        east = station.platform_for_heading(0.1)
+        west = station.platform_for_heading(math.pi - 0.1)
+        assert east.heading_label == "E"
+        assert west.heading_label == "W"
+
+    def test_empty_station_raises(self):
+        with pytest.raises(ValueError):
+            Station(1, "x", Point(0, 0), []).platform_for_heading(0.0)
+
+
+class TestHeadingLabel:
+    @pytest.mark.parametrize(
+        "heading,label",
+        [(0.0, "E"), (math.pi / 2, "N"), (math.pi, "W"), (3 * math.pi / 2, "S")],
+    )
+    def test_labels(self, heading, label):
+        stop = BusStop("X", 1, "x", Point(0, 0), heading)
+        assert stop.heading_label == label
+
+
+class TestRegistry:
+    def test_add_and_lookup(self, station):
+        reg = StopRegistry()
+        reg.add_station(station)
+        assert reg.station(7) is station
+        assert reg.station_of(station.stops[0].stop_id) is station
+
+    def test_duplicate_station_rejected(self, station):
+        reg = StopRegistry()
+        reg.add_station(station)
+        with pytest.raises(ValueError):
+            reg.add_station(station)
+
+    def test_add_platform(self, station):
+        reg = StopRegistry()
+        reg.add_station(station)
+        extra = BusStop("S0007X", 7, "Test Ave", Point(105, 205), 1.0)
+        reg.add_platform(extra)
+        assert reg.platform("S0007X") is extra
+        assert len(reg.station(7).stops) == 3
+
+    def test_add_platform_unknown_station(self):
+        reg = StopRegistry()
+        with pytest.raises(KeyError):
+            reg.add_platform(BusStop("S1", 1, "x", Point(0, 0), 0.0))
+
+    def test_nearest_station(self, station):
+        reg = StopRegistry()
+        reg.add_station(station)
+        other = make_two_sided_station(8, "Far Ave", Point(5000, 5000), 0.0)
+        reg.add_station(other)
+        assert reg.nearest_station(Point(110, 190)).station_id == 7
+
+    def test_nearest_station_empty(self):
+        with pytest.raises(ValueError):
+            StopRegistry().nearest_station(Point(0, 0))
+
+    def test_platform_listing(self, station):
+        reg = StopRegistry()
+        reg.add_station(station)
+        assert len(reg.platforms) == 2

@@ -1,0 +1,121 @@
+"""Tests for the simulated taxi AVL fleet and the official feed."""
+
+import numpy as np
+import pytest
+
+from repro.config import TaxiConfig
+from repro.sim.taxi import AvlReport, OfficialTrafficFeed, TaxiFleet, taxi_speed_ms
+from repro.util.units import kmh_to_ms, ms_to_kmh, parse_hhmm
+
+
+class TestTaxiSpeedModel:
+    def test_matches_flow_when_congested(self):
+        cfg = TaxiConfig()
+        taxi = ms_to_kmh(taxi_speed_ms(kmh_to_ms(20.0), cfg))
+        assert taxi == pytest.approx(20.0 + cfg.aggressiveness_offset_kmh)
+
+    def test_opens_gap_when_light(self):
+        cfg = TaxiConfig()
+        taxi = ms_to_kmh(taxi_speed_ms(kmh_to_ms(60.0), cfg))
+        expected = 60.0 + cfg.aggressiveness_offset_kmh + cfg.aggressiveness_gain * 20.0
+        assert taxi == pytest.approx(expected)
+
+    def test_noise_applied_with_rng(self):
+        cfg = TaxiConfig()
+        rng = np.random.default_rng(0)
+        values = {taxi_speed_ms(kmh_to_ms(50.0), cfg, rng) for _ in range(5)}
+        assert len(values) == 5
+
+    def test_never_negative(self):
+        cfg = TaxiConfig(speed_noise_kmh=50.0)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            assert taxi_speed_ms(kmh_to_ms(2.0), cfg, rng) > 0
+
+
+class TestOfficialFeed:
+    def test_windowing(self):
+        feed = OfficialTrafficFeed(window_s=900.0)
+        feed.ingest([AvlReport(1, 100.0, (0, 1), 10.0)])
+        assert feed.speed_kmh((0, 1), 500.0) == pytest.approx(36.0)
+        assert feed.speed_kmh((0, 1), 1000.0) is None
+
+    def test_mean_of_reports(self):
+        feed = OfficialTrafficFeed(window_s=900.0)
+        feed.ingest([
+            AvlReport(1, 100.0, (0, 1), 10.0),
+            AvlReport(2, 200.0, (0, 1), 14.0),
+        ])
+        assert feed.speed_kmh((0, 1), 450.0) == pytest.approx(3.6 * 12.0)
+
+    def test_unknown_segment(self):
+        feed = OfficialTrafficFeed()
+        assert feed.speed_kmh((5, 6), 0.0) is None
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            OfficialTrafficFeed(window_s=0.0)
+
+    def test_from_field_tracks_ground_truth(self, small_city, traffic):
+        segs = small_city.network.segment_ids[:10]
+        start, end = parse_hhmm("08:00"), parse_hhmm("10:00")
+        feed = OfficialTrafficFeed.from_field(
+            traffic, segs, start, end, samples_per_window=8, seed=3
+        )
+        cfg = TaxiConfig()
+        errors = []
+        for seg in segs:
+            for window_start in np.arange(start, end, 900.0):
+                mid = window_start + 450.0
+                reported = feed.speed_kmh(seg, mid)
+                assert reported is not None
+                ambient = ms_to_kmh(traffic.car_speed_ms(seg, mid))
+                expected = ms_to_kmh(taxi_speed_ms(traffic.car_speed_ms(seg, mid), cfg))
+                errors.append(reported - expected)
+        # Windowed means jitter around the analytic taxi model.
+        assert abs(np.mean(errors)) < 2.0
+
+
+class TestTaxiFleet:
+    def test_reports_cover_window(self, small_city, traffic):
+        fleet = TaxiFleet(small_city.network, traffic, TaxiConfig(fleet_size=5), seed=0)
+        reports = fleet.run(parse_hhmm("08:00"), parse_hhmm("08:30"))
+        assert reports
+        for report in reports:
+            assert parse_hhmm("08:00") <= report.time_s < parse_hhmm("08:30")
+
+    def test_reports_sorted(self, small_city, traffic):
+        fleet = TaxiFleet(small_city.network, traffic, TaxiConfig(fleet_size=5), seed=0)
+        reports = fleet.run(parse_hhmm("08:00"), parse_hhmm("08:30"))
+        times = [r.time_s for r in reports]
+        assert times == sorted(times)
+
+    def test_reports_on_real_segments(self, small_city, traffic):
+        fleet = TaxiFleet(small_city.network, traffic, TaxiConfig(fleet_size=3), seed=1)
+        for report in fleet.run(parse_hhmm("09:00"), parse_hhmm("09:20")):
+            assert small_city.network.has_segment(report.segment_id)
+
+    def test_fleet_feed_agrees_with_analytic(self, small_city, traffic):
+        """Agent-based aggregation ≈ analytic feed (same taxi model)."""
+        fleet = TaxiFleet(small_city.network, traffic, TaxiConfig(fleet_size=60), seed=2)
+        start, end = parse_hhmm("08:00"), parse_hhmm("09:00")
+        reports = fleet.run(start, end)
+        feed = OfficialTrafficFeed(window_s=900.0)
+        feed.ingest(reports)
+        diffs = []
+        for seg in small_city.network.segment_ids:
+            for window_start in np.arange(start, end, 900.0):
+                mid = window_start + 450.0
+                reported = feed.speed_kmh(seg, mid)
+                if reported is None:
+                    continue
+                ambient = traffic.car_speed_ms(seg, mid)
+                expected = ms_to_kmh(taxi_speed_ms(ambient, TaxiConfig()))
+                diffs.append(reported - expected)
+        assert len(diffs) > 50
+        assert abs(np.mean(diffs)) < 3.0
+
+    def test_rejects_bad_window(self, small_city, traffic):
+        fleet = TaxiFleet(small_city.network, traffic, seed=0)
+        with pytest.raises(ValueError):
+            fleet.run(100.0, 100.0)

@@ -1,0 +1,111 @@
+"""Tests for the ground-truth traffic field."""
+
+import numpy as np
+import pytest
+
+from repro.city.geometry import Point
+from repro.sim.traffic import DailyProfile, Hotspot, TrafficField, default_hotspots_for
+from repro.util.units import parse_hhmm
+
+
+class TestCongestion:
+    def test_bounded(self, small_city, traffic):
+        for seg in small_city.network.segment_ids[:40]:
+            for hour in range(0, 24, 3):
+                c = traffic.congestion(seg, hour * 3600.0)
+                assert TrafficField.MIN_CONGESTION <= c <= 1.0
+
+    def test_deterministic(self, small_city, traffic):
+        seg = small_city.network.segment_ids[0]
+        assert traffic.congestion(seg, 30_000.0) == traffic.congestion(seg, 30_000.0)
+
+    def test_morning_peak_slower_than_night(self, small_city, traffic):
+        morning = parse_hhmm("08:30")
+        night = parse_hhmm("03:00")
+        slower = sum(
+            1
+            for seg in small_city.network.segment_ids
+            if traffic.car_speed_ms(seg, morning) < traffic.car_speed_ms(seg, night)
+        )
+        assert slower > 0.8 * len(small_city.network.segment_ids)
+
+    def test_hotspot_deepens_local_morning_congestion(self, small_city):
+        spec = small_city.spec
+        hotspot = Hotspot("uni", Point(spec.width_m / 2, spec.height_m / 2))
+        with_spot = TrafficField(small_city.network, [hotspot], seed=1)
+        without = TrafficField(small_city.network, [], seed=1)
+        morning = parse_hhmm("08:30")
+        # Segment heading toward the hotspot near it.
+        target = min(
+            small_city.network.segments,
+            key=lambda s: s.start.midpoint(s.end).distance_to(hotspot.position),
+        )
+        assert (
+            with_spot.congestion(target.segment_id, morning)
+            <= without.congestion(target.segment_id, morning)
+        )
+
+    def test_directionality(self, small_city):
+        """Somewhere in the region, opposite carriageways differ at peak."""
+        traffic = TrafficField(
+            small_city.network,
+            default_hotspots_for(small_city.spec.width_m, small_city.spec.height_m),
+            seed=1,
+        )
+        morning = parse_hhmm("08:30")
+        diffs = [
+            abs(
+                traffic.congestion(seg, morning)
+                - traffic.congestion((seg[1], seg[0]), morning)
+            )
+            for seg in small_city.network.undirected_segment_ids()
+        ]
+        assert max(diffs) > 0.05
+
+
+class TestTravelTime:
+    def test_positive_and_consistent(self, small_city, traffic):
+        seg = small_city.network.segment_ids[0]
+        tt = traffic.car_travel_time_s(seg, 30_000.0)
+        segment = small_city.network.segment(seg)
+        assert tt >= segment.length_m / segment.free_speed_ms - 1e-9
+
+    def test_free_flow_at_night(self, small_city, traffic):
+        seg = small_city.network.segment_ids[0]
+        segment = small_city.network.segment(seg)
+        tt = traffic.car_travel_time_s(seg, parse_hhmm("03:30"))
+        assert tt == pytest.approx(segment.free_travel_time_s, rel=0.2)
+
+
+class TestRegionStats:
+    def test_mean_region_speed_dips_at_peak(self, traffic):
+        peak = traffic.mean_region_speed_kmh(parse_hhmm("08:30"))
+        off = traffic.mean_region_speed_kmh(parse_hhmm("03:00"))
+        assert peak < off
+
+    def test_speeds_in_urban_band(self, traffic):
+        for hour in (7, 9, 13, 18, 22):
+            speed = traffic.mean_region_speed_kmh(hour * 3600.0)
+            assert 15.0 < speed < 70.0
+
+
+class TestDailyProfile:
+    def test_bumps_peak_at_configured_times(self):
+        profile = DailyProfile()
+        morning, _ = profile.bumps(profile.morning_peak_s)
+        assert morning == pytest.approx(1.0)
+        _, evening = profile.bumps(profile.evening_peak_s)
+        assert evening == pytest.approx(1.0)
+
+    def test_bumps_decay(self):
+        profile = DailyProfile()
+        m_at_peak, _ = profile.bumps(profile.morning_peak_s)
+        m_later, _ = profile.bumps(profile.morning_peak_s + 3 * profile.morning_width_s)
+        assert m_later < 0.05 * m_at_peak
+
+    def test_profile_repeats_daily(self):
+        """Multi-day campaigns rely on the profile wrapping at midnight."""
+        profile = DailyProfile()
+        t = profile.morning_peak_s
+        assert profile.bumps(t) == profile.bumps(t + 86400.0)
+        assert profile.bumps(t) == profile.bumps(t + 5 * 86400.0)

@@ -1,0 +1,124 @@
+"""Tests for the live traffic map estimator."""
+
+import pytest
+
+from repro.core.traffic_map import SpeedLevel, TrafficMapEstimator, speed_level
+
+
+class TestSpeedLevels:
+    @pytest.mark.parametrize(
+        "speed,level",
+        [
+            (10.0, SpeedLevel.VERY_SLOW),
+            (25.0, SpeedLevel.SLOW),
+            (35.0, SpeedLevel.MODERATE),
+            (45.0, SpeedLevel.NORMAL),
+            (60.0, SpeedLevel.FAST),
+        ],
+    )
+    def test_bands(self, speed, level):
+        assert speed_level(speed) is level
+
+    def test_boundaries(self):
+        assert speed_level(19.999) is SpeedLevel.VERY_SLOW
+        assert speed_level(20.0) is SpeedLevel.SLOW
+        assert speed_level(50.0) is SpeedLevel.FAST
+
+
+@pytest.fixture()
+def estimator(small_city):
+    return TrafficMapEstimator(small_city.network, max_age_s=1800.0)
+
+
+class TestUpdatesAndSnapshots:
+    def test_update_unknown_segment_rejected(self, estimator):
+        with pytest.raises(KeyError):
+            estimator.update((999, 998), 40.0, t=0.0)
+
+    def test_snapshot_contains_fresh_reading(self, small_city, estimator):
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 42.0, t=100.0)
+        snap = estimator.snapshot(at_s=200.0)
+        assert seg in snap.readings
+        reading = snap.readings[seg]
+        assert reading.speed_kmh == pytest.approx(42.0)
+        assert reading.level is SpeedLevel.NORMAL
+        assert reading.age_s == pytest.approx(100.0)
+
+    def test_stale_readings_dropped(self, small_city, estimator):
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 42.0, t=100.0)
+        snap = estimator.snapshot(at_s=100.0 + 3600.0)
+        assert seg not in snap.readings
+
+    def test_coverage(self, small_city, estimator):
+        segs = small_city.network.segment_ids[:5]
+        for seg in segs:
+            estimator.update(seg, 40.0, t=0.0)
+        snap = estimator.snapshot(at_s=60.0)
+        assert snap.coverage == pytest.approx(5 / len(small_city.network.segment_ids))
+
+    def test_level_histogram(self, small_city, estimator):
+        segs = small_city.network.segment_ids
+        estimator.update(segs[0], 10.0, t=0.0)
+        estimator.update(segs[1], 60.0, t=0.0)
+        histogram = estimator.snapshot(at_s=1.0).level_histogram()
+        assert histogram[SpeedLevel.VERY_SLOW] == 1
+        assert histogram[SpeedLevel.FAST] == 1
+        assert histogram[SpeedLevel.SLOW] == 0
+
+    def test_mean_speed(self, small_city, estimator):
+        segs = small_city.network.segment_ids
+        estimator.update(segs[0], 20.0, t=0.0)
+        estimator.update(segs[1], 40.0, t=0.0)
+        assert estimator.snapshot(at_s=1.0).mean_speed_kmh() == pytest.approx(30.0)
+
+
+class TestPublishedHistory:
+    def test_published_speed_uses_latest_frame_at_or_before(self, small_city, estimator):
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 30.0, t=100.0)
+        estimator.publish(at_s=300.0)
+        estimator.update(seg, 50.0, t=400.0)
+        estimator.publish(at_s=600.0)
+        assert estimator.published_speed(seg, 350.0) == pytest.approx(30.0)
+        # The second frame carries the Eq. 4 fusion of both observations.
+        later = estimator.published_speed(seg, 700.0)
+        assert 30.0 < later <= 50.0
+
+    def test_before_first_publish_is_none(self, small_city, estimator):
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 30.0, t=100.0)
+        assert estimator.published_speed(seg, 50.0) is None
+
+    def test_publish_times_must_increase(self, estimator):
+        estimator.publish(at_s=100.0)
+        with pytest.raises(ValueError):
+            estimator.publish(at_s=100.0)
+
+    def test_unseen_segment_is_none(self, small_city, estimator):
+        estimator.publish(at_s=100.0)
+        assert estimator.published_speed(small_city.network.segment_ids[0], 200.0) is None
+
+    def test_published_snapshot_is_historical(self, small_city, estimator):
+        """Unlike live snapshots, the published view survives later updates."""
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 30.0, t=100.0)
+        estimator.publish(at_s=300.0)
+        # Much later data moves the live belief but not the 300 s frame.
+        estimator.update(seg, 55.0, t=7000.0)
+        snap = estimator.published_snapshot(350.0)
+        assert snap.readings[seg].speed_kmh == pytest.approx(30.0)
+        assert snap.readings[seg].age_s == pytest.approx(200.0)
+
+    def test_published_snapshot_before_history_is_empty(self, small_city, estimator):
+        snap = estimator.published_snapshot(10.0)
+        assert snap.readings == {}
+        assert snap.coverage == 0.0
+
+    def test_published_snapshot_levels(self, small_city, estimator):
+        seg = small_city.network.segment_ids[0]
+        estimator.update(seg, 15.0, t=100.0)
+        estimator.publish(at_s=200.0)
+        snap = estimator.published_snapshot(250.0)
+        assert snap.readings[seg].level is SpeedLevel.VERY_SLOW

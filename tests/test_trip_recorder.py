@@ -1,0 +1,100 @@
+"""Tests for the phone-side trip recorder state machine."""
+
+import pytest
+
+from repro.config import TripRecorderConfig
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import RecorderState, TripRecorder, TripUpload
+
+
+def sample(t, towers=(1, 2, 3)):
+    return CellularSample(time_s=t, tower_ids=tuple(towers))
+
+
+@pytest.fixture()
+def recorder():
+    return TripRecorder(TripRecorderConfig(trip_timeout_s=600.0), phone_id="p1")
+
+
+class TestLifecycle:
+    def test_starts_idle(self, recorder):
+        assert recorder.state is RecorderState.IDLE
+
+    def test_beep_starts_recording(self, recorder):
+        recorder.on_beep(sample(100.0))
+        assert recorder.state is RecorderState.RECORDING
+
+    def test_timeout_concludes_trip(self, recorder):
+        recorder.on_beep(sample(100.0))
+        recorder.on_beep(sample(150.0))
+        recorder.on_tick(150.0 + 600.0)
+        assert recorder.state is RecorderState.IDLE
+        trips = recorder.drain_completed()
+        assert len(trips) == 1
+        assert len(trips[0].samples) == 2
+
+    def test_no_timeout_before_deadline(self, recorder):
+        recorder.on_beep(sample(100.0))
+        recorder.on_tick(100.0 + 599.0)
+        assert recorder.state is RecorderState.RECORDING
+
+    def test_late_beep_opens_new_trip(self, recorder):
+        recorder.on_beep(sample(100.0))
+        recorder.on_beep(sample(800.0))  # 700 s later: previous trip timed out
+        trips = recorder.drain_completed()
+        assert len(trips) == 1
+        assert recorder.state is RecorderState.RECORDING
+
+    def test_train_ride_never_starts(self, recorder):
+        recorder.on_beep(sample(100.0), looks_like_bus=False)
+        assert recorder.state is RecorderState.IDLE
+        assert recorder.drain_completed() == []
+
+    def test_motion_gate_only_guards_start(self, recorder):
+        recorder.on_beep(sample(100.0), looks_like_bus=True)
+        recorder.on_beep(sample(130.0), looks_like_bus=False)
+        recorder.on_tick(130.0 + 600.0)
+        assert len(recorder.drain_completed()[0].samples) == 2
+
+    def test_flush_concludes_open_trip(self, recorder):
+        recorder.on_beep(sample(100.0))
+        trips = recorder.flush(200.0)
+        assert len(trips) == 1
+        assert recorder.state is RecorderState.IDLE
+
+    def test_flush_when_idle_is_empty(self, recorder):
+        assert recorder.flush(100.0) == []
+
+    def test_drain_clears(self, recorder):
+        recorder.on_beep(sample(100.0))
+        recorder.flush(200.0)
+        assert recorder.drain_completed() == []
+
+    def test_clock_must_not_go_backwards(self, recorder):
+        recorder.on_beep(sample(100.0))
+        with pytest.raises(ValueError):
+            recorder.on_beep(sample(50.0))
+
+    def test_trip_keys_unique(self, recorder):
+        recorder.on_beep(sample(100.0))
+        recorder.flush(200.0)
+        recorder.on_beep(sample(300.0))
+        trips = recorder.flush(400.0) + recorder.drain_completed()
+        keys = {t.trip_key for t in trips}
+        assert len(keys) == len(trips)
+
+
+class TestTripUpload:
+    def test_rejects_unordered_samples(self):
+        with pytest.raises(ValueError):
+            TripUpload("k", (sample(10.0), sample(5.0)))
+
+    def test_start_end(self):
+        trip = TripUpload("k", (sample(5.0), sample(10.0)))
+        assert trip.start_s == 5.0
+        assert trip.end_s == 10.0
+
+    def test_empty_trip_has_no_times(self):
+        trip = TripUpload("k", ())
+        with pytest.raises(ValueError):
+            trip.start_s

@@ -1,0 +1,98 @@
+"""Tests for the upload channel (loss, latency, reordering)."""
+
+import numpy as np
+import pytest
+
+from repro.config import UplinkConfig
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+from repro.sim.uplink import UplinkChannel
+
+
+def upload(key):
+    return TripUpload(
+        trip_key=key,
+        samples=(CellularSample(time_s=1.0, tower_ids=(1, 2)),),
+    )
+
+
+class TestChannel:
+    def test_lossless_channel_delivers_everything(self):
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0), rng=np.random.default_rng(0)
+        )
+        delivered = channel.transmit_all([(100.0, upload("a")), (200.0, upload("b"))])
+        assert len(delivered) == 2
+        assert channel.stats.delivered == 2
+        assert channel.stats.lost == 0
+
+    def test_loss_rate_respected(self):
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.3), rng=np.random.default_rng(1)
+        )
+        offered = [(float(k), upload(str(k))) for k in range(500)]
+        delivered = channel.transmit_all(offered)
+        assert channel.stats.offered == 500
+        assert 0.6 < len(delivered) / 500 < 0.8
+
+    def test_delay_applied(self):
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0, base_delay_s=60.0,
+                         mean_extra_delay_s=120.0),
+            rng=np.random.default_rng(2),
+        )
+        arrival, _ = channel.transmit(100.0, upload("a"))
+        assert arrival >= 160.0
+
+    def test_zero_tail_is_deterministic(self):
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0, base_delay_s=30.0,
+                         mean_extra_delay_s=0.0),
+            rng=np.random.default_rng(3),
+        )
+        arrival, _ = channel.transmit(100.0, upload("a"))
+        assert arrival == pytest.approx(130.0)
+
+    def test_reordering_happens(self):
+        """Two trips ready close together can arrive swapped."""
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0, base_delay_s=0.0,
+                         mean_extra_delay_s=600.0),
+            rng=np.random.default_rng(4),
+        )
+        swapped = False
+        for k in range(50):
+            delivered = channel.transmit_all(
+                [(100.0, upload(f"first-{k}")), (110.0, upload(f"second-{k}"))]
+            )
+            if len(delivered) == 2 and delivered[0][1].trip_key.startswith("second"):
+                swapped = True
+                break
+        assert swapped
+
+    def test_delivery_sorted_by_arrival(self):
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0), rng=np.random.default_rng(5)
+        )
+        delivered = channel.transmit_all(
+            [(float(100 * k), upload(str(k))) for k in range(20)]
+        )
+        arrivals = [t for t, _ in delivered]
+        assert arrivals == sorted(arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UplinkChannel(UplinkConfig(loss_probability=1.0))
+        with pytest.raises(ValueError):
+            UplinkChannel(UplinkConfig(base_delay_s=-1.0))
+
+
+class TestLateDataInFusion:
+    def test_out_of_order_observation_does_not_rewind_freshness(self):
+        from repro.core.fusion import BayesianSpeedFuser
+
+        fuser = BayesianSpeedFuser()
+        fuser.update("seg", 40.0, t=1000.0)
+        belief = fuser.update("seg", 30.0, t=500.0)   # late delivery
+        assert belief.last_update_s == 1000.0
+        assert belief.observation_count == 2

@@ -1,0 +1,41 @@
+"""Tests for unit conversions and clock helpers."""
+
+import pytest
+
+from repro.util.units import SECONDS_PER_DAY, hhmm, kmh_to_ms, ms_to_kmh, parse_hhmm
+
+
+class TestSpeedConversions:
+    def test_kmh_to_ms(self):
+        assert kmh_to_ms(36.0) == pytest.approx(10.0)
+
+    def test_ms_to_kmh(self):
+        assert ms_to_kmh(10.0) == pytest.approx(36.0)
+
+    def test_round_trip(self):
+        assert ms_to_kmh(kmh_to_ms(53.7)) == pytest.approx(53.7)
+
+
+class TestClock:
+    def test_parse_basic(self):
+        assert parse_hhmm("08:30") == 8 * 3600 + 30 * 60
+
+    def test_parse_with_seconds(self):
+        assert parse_hhmm("08:30:15") == 8 * 3600 + 30 * 60 + 15
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_hhmm("8h30")
+
+    def test_parse_rejects_bad_minutes(self):
+        with pytest.raises(ValueError):
+            parse_hhmm("08:75")
+
+    def test_format(self):
+        assert hhmm(8 * 3600 + 30 * 60) == "08:30"
+
+    def test_format_wraps_past_midnight(self):
+        assert hhmm(SECONDS_PER_DAY + 60) == "00:01"
+
+    def test_round_trip(self):
+        assert parse_hhmm(hhmm(parse_hhmm("17:45"))) == parse_hhmm("17:45")

@@ -1,0 +1,138 @@
+"""Tests for wire formats and persistence."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.fingerprint import FingerprintDatabase
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+from repro.wire import (
+    database_from_dict,
+    database_to_dict,
+    dump_trips,
+    load_database,
+    load_trips,
+    save_database,
+    snapshot_to_geojson,
+    trip_from_dict,
+    trip_to_dict,
+)
+
+
+def make_upload(key="t1"):
+    return TripUpload(
+        trip_key=key,
+        samples=(
+            CellularSample(time_s=100.0, tower_ids=(5, 3, 9), rss_dbm=(-60.0, -70.0, -80.0)),
+            CellularSample(time_s=130.0, tower_ids=(5, 9)),
+        ),
+    )
+
+
+class TestTripCodec:
+    def test_round_trip(self):
+        upload = make_upload()
+        decoded = trip_from_dict(trip_to_dict(upload))
+        assert decoded.trip_key == upload.trip_key
+        assert [s.time_s for s in decoded.samples] == [100.0, 130.0]
+        assert decoded.samples[0].tower_ids == (5, 3, 9)
+
+    def test_rss_never_leaves_the_phone(self):
+        payload = trip_to_dict(make_upload())
+        assert "rss" not in json.dumps(payload)
+
+    def test_rejects_wrong_version(self):
+        payload = trip_to_dict(make_upload())
+        payload["v"] = 99
+        with pytest.raises(ValueError):
+            trip_from_dict(payload)
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            trip_from_dict({"v": 1, "trip": "x"})
+
+    def test_rejects_malformed_sample(self):
+        payload = trip_to_dict(make_upload())
+        payload["samples"][0] = {"t": "not a float", "cells": "nope"}
+        with pytest.raises(ValueError):
+            trip_from_dict(payload)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            trip_from_dict([1, 2, 3])
+
+    def test_jsonl_round_trip(self):
+        uploads = [make_upload("a"), make_upload("b")]
+        buffer = io.StringIO()
+        dump_trips(uploads, buffer)
+        buffer.seek(0)
+        loaded = load_trips(buffer)
+        assert [u.trip_key for u in loaded] == ["a", "b"]
+
+    def test_jsonl_skips_blank_lines(self):
+        buffer = io.StringIO()
+        dump_trips([make_upload()], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(load_trips(buffer)) == 1
+
+    def test_jsonl_reports_bad_line(self):
+        buffer = io.StringIO("this is not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_trips(buffer)
+
+
+class TestDatabaseCodec:
+    def test_round_trip(self):
+        db = FingerprintDatabase()
+        db.set_fingerprint(7, (10, 11, 12))
+        db.set_fingerprint(8, (20, 21))
+        decoded = database_from_dict(database_to_dict(db))
+        assert decoded.as_dict() == db.as_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        db = FingerprintDatabase()
+        db.set_fingerprint(7, (10, 11, 12))
+        path = str(tmp_path / "db.json")
+        save_database(db, path)
+        assert load_database(path).fingerprint(7) == (10, 11, 12)
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError):
+            database_from_dict({"v": 2, "stops": {}})
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(ValueError):
+            database_from_dict({"v": 1, "stops": {"seven": ["x"]}})
+
+    def test_rejects_missing_stops(self):
+        with pytest.raises(ValueError):
+            database_from_dict({"v": 1})
+
+
+class TestSnapshotGeojson:
+    def test_feature_collection(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        segs = small_city.network.segment_ids[:3]
+        for seg in segs:
+            estimator.update(seg, 35.0, t=100.0)
+        snapshot = estimator.snapshot(at_s=160.0)
+        geojson = snapshot_to_geojson(snapshot, small_city.network)
+        assert geojson["type"] == "FeatureCollection"
+        assert len(geojson["features"]) == 3
+        feature = geojson["features"][0]
+        assert feature["geometry"]["type"] == "LineString"
+        lon, lat = feature["geometry"]["coordinates"][0]
+        assert 103.0 < lon < 104.5       # around the Jurong anchor
+        assert 1.0 < lat < 2.0
+        assert feature["properties"]["speed_kmh"] == pytest.approx(35.0)
+        assert feature["properties"]["level"] == 3
+
+    def test_serialisable(self, small_city):
+        estimator = TrafficMapEstimator(small_city.network)
+        estimator.update(small_city.network.segment_ids[0], 35.0, t=100.0)
+        geojson = snapshot_to_geojson(estimator.snapshot(160.0), small_city.network)
+        json.dumps(geojson)     # must not raise

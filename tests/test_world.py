@@ -1,0 +1,166 @@
+"""Integration tests: the full world simulation end to end."""
+
+import numpy as np
+import pytest
+
+from repro.city import CitySpec, build_city
+from repro.phone.app import DspMode
+from repro.sim.world import World, simulate_day
+from repro.util.units import parse_hhmm
+
+from conftest import SMALL_SPEC
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(city=build_city(SMALL_SPEC), seed=3)
+
+
+@pytest.fixture(scope="module")
+def result(world):
+    return world.run(
+        parse_hhmm("08:00"),
+        parse_hhmm("09:30"),
+        route_ids=["179-0", "179-1", "199-0"],
+        headway_s=900.0,
+    )
+
+
+class TestCampaign:
+    def test_buses_dispatched(self, result):
+        assert len(result.traces) == 3 * 6
+
+    def test_uploads_reach_server(self, result):
+        assert result.uploads_processed > 10
+        assert result.server.stats.trips_mapped > 0.7 * result.uploads_processed
+
+    def test_reports_produced(self, result):
+        assert len(result.reports) == result.uploads_processed
+
+    def test_map_covers_run_routes(self, result, world):
+        covered = {
+            seg
+            for rid in ("179-0", "179-1", "199-0")
+            for seg in world.city.route_network.route(rid).segments
+        }
+        snap = result.server.traffic_map.snapshot(parse_hhmm("09:30"))
+        assert len(set(snap.readings) & covered) > 0.4 * len(covered)
+        # Nothing outside the run routes can have data.
+        assert set(snap.readings) <= covered
+
+    def test_estimates_track_ground_truth(self, result):
+        snap = result.server.traffic_map.snapshot(parse_hhmm("09:30"))
+        errors = [
+            reading.speed_kmh - result.true_speed_kmh(seg, parse_hhmm("09:15"))
+            for seg, reading in snap.readings.items()
+        ]
+        assert len(errors) > 10
+        assert abs(np.mean(errors)) < 5.0
+        assert np.mean(np.abs(errors)) < 9.0
+
+    def test_publish_cycle_ran(self, result, world):
+        times = result.server.traffic_map.publish_times
+        assert len(times) > 10
+        period = world.config.fusion.update_period_s
+        diffs = np.diff(times)
+        assert np.allclose(diffs, period)
+
+    def test_official_feed_present(self, result, world):
+        covered = sorted(world.city.route_network.covered_segments())
+        with_data = sum(
+            1 for seg in covered
+            if result.official.speed_kmh(seg, parse_hhmm("08:30")) is not None
+        )
+        assert with_data == len(covered)
+
+    def test_reproducible(self):
+        a = World(city=build_city(SMALL_SPEC), seed=11).run(
+            parse_hhmm("08:00"), parse_hhmm("08:30"),
+            route_ids=["179-0"], with_official_feed=False,
+        )
+        b = World(city=build_city(SMALL_SPEC), seed=11).run(
+            parse_hhmm("08:00"), parse_hhmm("08:30"),
+            route_ids=["179-0"], with_official_feed=False,
+        )
+        assert a.server.stats == b.server.stats
+
+    def test_run_rejects_bad_window(self, world):
+        with pytest.raises(ValueError):
+            world.run(100.0, 100.0)
+
+
+class TestSimulateDay:
+    def test_convenience_entry_point(self):
+        result = simulate_day(
+            city=build_city(SMALL_SPEC),
+            seed=5,
+            start="08:00",
+            end="08:40",
+            route_ids=["179-0"],
+            headway_s=1200.0,
+            with_official_feed=False,
+        )
+        assert result.traces
+        assert result.server.stats.trips_received > 0
+
+
+class TestGenerality:
+    """§VI: 'our system can be easily adopted to other urban areas with
+    slight modifications' — the pipeline must work, unchanged, on a city
+    with a different geometry and service plan."""
+
+    OTHER_SPEC = CitySpec(
+        name="toa-payoh",
+        width_m=4200.0,
+        height_m=3400.0,
+        spacing_m=380.0,
+        major_every=2,
+        services=("8", "26", "57", "88", "145"),
+        partial_services=("145",),
+        jogs_per_route=3,
+        seed=99,
+    )
+
+    def test_pipeline_transfers_to_another_city(self):
+        result = simulate_day(
+            city=build_city(self.OTHER_SPEC),
+            seed=4,
+            start="08:00",
+            end="09:00",
+            headway_s=900.0,
+            with_official_feed=False,
+        )
+        stats = result.server.stats
+        assert stats.trips_received > 10
+        assert stats.trips_mapped > 0.7 * stats.trips_received
+        snap = result.server.traffic_map.published_snapshot(parse_hhmm("09:00"))
+        errors = [
+            reading.speed_kmh - result.true_speed_kmh(seg, parse_hhmm("08:50"))
+            for seg, reading in snap.readings.items()
+        ]
+        assert errors
+        assert float(np.mean(np.abs(errors))) < 9.0
+
+
+class TestResultUploads:
+    def test_uploads_retained_and_ordered_with_reports(self, result):
+        assert len(result.uploads) == len(result.reports)
+        processed = {r.trip_key for r in result.reports}
+        assert {u.trip_key for u in result.uploads} == processed
+
+
+class TestFullDspCampaign:
+    def test_full_dsp_mode_matches_fast_mode_roughly(self):
+        """A short campaign with real audio DSP lands near FAST mode."""
+        fast = World(city=build_city(SMALL_SPEC), seed=21).run(
+            parse_hhmm("08:00"), parse_hhmm("08:30"),
+            route_ids=["179-0"], dsp_mode=DspMode.FAST,
+            with_official_feed=False,
+        )
+        full = World(city=build_city(SMALL_SPEC), seed=21).run(
+            parse_hhmm("08:00"), parse_hhmm("08:30"),
+            route_ids=["179-0"], dsp_mode=DspMode.FULL,
+            with_official_feed=False,
+        )
+        assert full.server.stats.samples_received >= 0.75 * fast.server.stats.samples_received
+        assert full.server.stats.trips_mapped >= 0.6 * fast.server.stats.trips_mapped
