@@ -8,16 +8,22 @@ which both prints them and archives them under ``benchmarks/reports/``.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 import pytest
 
 from repro.city import build_city
+from repro.obs import MetricsRegistry, Tracer
 from repro.sim.world import World
 from repro.util.units import parse_hhmm
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: Worlds whose observability state gets dumped at session end, so
+#: BENCH_*.json entries can carry per-stage breakdowns.
+_TRACED_WORLDS = []
 
 #: Seed for everything in the benchmark session.
 BENCH_SEED = 7
@@ -43,7 +49,33 @@ def paper_city():
 
 @pytest.fixture(scope="session")
 def paper_world(paper_city):
-    return World(city=paper_city, seed=BENCH_SEED)
+    world = World(
+        city=paper_city, seed=BENCH_SEED,
+        registry=MetricsRegistry(), tracer=Tracer(),
+    )
+    _TRACED_WORLDS.append(world)
+    return world
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-stage pipeline timings from every traced bench world."""
+    if not _TRACED_WORLDS:
+        return
+    document = {
+        "worlds": [
+            {
+                "seed": world.seed,
+                "stages": world.tracer.stage_stats(),
+                "stats": world.server.stats.as_dict(),
+                "metrics": world.registry.as_dict(),
+            }
+            for world in _TRACED_WORLDS
+        ]
+    }
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, "stage_timings.json")
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(document, out, indent=2)
 
 
 @pytest.fixture(scope="session")

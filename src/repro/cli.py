@@ -7,8 +7,15 @@ Subcommands mirror a real deployment's workflow::
     repro simulate    --start 07:30 --end 10:00 --out map.geojson
     repro process     --db db.json --trips trips.jsonl   # offline reprocessing
     repro power                              # Table III on stdout
+    repro stats       metrics.json           # render a --metrics-out document
 
 Every command is deterministic given ``--seed``.
+
+Observability: the global ``--log-level``/``--log-json`` flags configure
+structured logging for any command, and ``simulate``/``process`` accept
+``--metrics-out FILE`` to dump pipeline counters, histograms and
+per-stage span timings (JSON, or Prometheus text when FILE ends in
+``.prom``).
 """
 
 from __future__ import annotations
@@ -29,6 +36,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "(ICDCS'15 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="structured-log verbosity (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON Lines instead of key=value",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     build = sub.add_parser("build-city", help="generate the synthetic city feed")
@@ -52,12 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the final map snapshot as GeoJSON")
     simulate.add_argument("--trips-out", default=None,
                           help="also dump raw uploads as JSON Lines")
+    simulate.add_argument("--metrics-out", default=None,
+                          help="dump pipeline metrics + per-stage timings "
+                               "(JSON, or Prometheus text for *.prom)")
 
     process = sub.add_parser("process", help="re-run the backend on stored trips")
     process.add_argument("--db", required=True, help="fingerprint database JSON")
     process.add_argument("--trips", required=True, help="uploads JSON Lines file")
     process.add_argument("--seed", type=int, default=7,
                          help="seed of the city the trips came from")
+    process.add_argument("--metrics-out", default=None,
+                         help="dump pipeline metrics + per-stage timings "
+                              "(JSON, or Prometheus text for *.prom)")
 
     campaign = sub.add_parser(
         "campaign", help="run a multi-day sparse+intensive campaign"
@@ -71,12 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=7)
 
     sub.add_parser("power", help="print the Table III power model")
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics-out document as a report"
+    )
+    stats.add_argument("metrics", help="metrics JSON written by --metrics-out")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.obs import configure as configure_logging
+
+    configure_logging(level=args.log_level, json=args.log_json)
     handler = {
         "build-city": _cmd_build_city,
         "survey": _cmd_survey,
@@ -84,8 +114,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "process": _cmd_process,
         "campaign": _cmd_campaign,
         "power": _cmd_power,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
+
+
+def _observability_for(metrics_out: Optional[str]):
+    """A (registry, tracer) pair: recording when metrics are requested."""
+    from repro.obs import MetricsRegistry, NULL_TRACER, Tracer
+
+    if metrics_out:
+        return MetricsRegistry(), Tracer()
+    return MetricsRegistry(), NULL_TRACER
+
+
+def _write_metrics(path: str, command: str, server, registry, tracer) -> None:
+    """Dump the pipeline's metrics document (JSON or Prometheus text)."""
+    if path.endswith(".prom"):
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(registry.render_prometheus())
+    else:
+        document = {
+            "command": command,
+            "stats": server.stats.as_dict(),
+            "stages": tracer.stage_stats(),
+            "metrics": registry.as_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(document, out, indent=2)
+    print(f"wrote pipeline metrics -> {path}")
 
 
 def _cmd_build_city(args: argparse.Namespace) -> int:
@@ -116,7 +173,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.util.units import parse_hhmm
     from repro.wire import dump_trips, snapshot_to_geojson
 
-    world = World(seed=args.seed)
+    registry, tracer = _observability_for(args.metrics_out)
+    world = World(seed=args.seed, registry=registry, tracer=tracer)
     result = world.run(
         parse_hhmm(args.start),
         parse_hhmm(args.end),
@@ -138,6 +196,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         with open(args.trips_out, "w", encoding="utf-8") as out:
             dump_trips(result.uploads, out)
         print(f"wrote {len(result.uploads)} uploads -> {args.trips_out}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, "simulate", world.server, registry, tracer)
     return 0
 
 
@@ -149,15 +209,92 @@ def _cmd_process(args: argparse.Namespace) -> int:
     database = load_database(args.db)
     with open(args.trips, encoding="utf-8") as handle:
         uploads = load_trips(handle)
+    registry, tracer = _observability_for(args.metrics_out)
     world = World(seed=args.seed)
     server = BackendServer(
-        world.city.network, world.city.route_network, database, world.config
+        world.city.network, world.city.route_network, database, world.config,
+        registry=registry, tracer=tracer,
     )
     server.receive_trips(uploads)
     stats = server.stats
+    # Duplicate uploads never count into samples_received, so report their
+    # samples separately instead of printing discarded > received.
+    discarded = stats.samples_discarded - stats.samples_duplicate
+    dup_note = (
+        f", {stats.trips_duplicate} duplicate trips dropped"
+        if stats.trips_duplicate else ""
+    )
     print(f"processed {stats.trips_received} trips: {stats.trips_mapped} mapped, "
-          f"{stats.samples_discarded}/{stats.samples_received} samples discarded, "
-          f"{stats.segments_updated} segment updates")
+          f"{discarded}/{stats.samples_received} samples discarded, "
+          f"{stats.segments_updated} segment updates{dup_note}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, "process", server, registry, tracer)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import render_table
+
+    with open(args.metrics, encoding="utf-8") as handle:
+        document = json.load(handle)
+
+    sections: List[str] = []
+    stats = document.get("stats", {})
+    if stats:
+        sections.append(render_table(
+            ["counter", "value"],
+            [[name, value] for name, value in stats.items()],
+            title=f"Server pipeline counters ({document.get('command', '?')})",
+        ))
+
+    stages = document.get("stages", {})
+    if stages:
+        rows = []
+        for name, timing in sorted(
+            stages.items(), key=lambda kv: -kv[1].get("total_s", 0.0)
+        ):
+            rows.append([
+                name,
+                timing.get("count", 0),
+                f"{1e3 * timing.get('total_s', 0.0):.1f}",
+                f"{1e3 * timing.get('mean_s', 0.0):.3f}",
+                f"{1e3 * timing.get('max_s', 0.0):.3f}",
+            ])
+        sections.append(render_table(
+            ["stage", "count", "total (ms)", "mean (ms)", "max (ms)"],
+            rows,
+            title="Per-stage span timings",
+        ))
+
+    metrics = document.get("metrics", {})
+    extra_counters = {
+        name: value
+        for name, value in metrics.get("counters", {}).items()
+        if name.replace("server_", "") not in stats
+    }
+    if extra_counters:
+        sections.append(render_table(
+            ["metric", "value"],
+            [[name, value] for name, value in extra_counters.items()],
+            title="Other counters",
+        ))
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, data in histograms.items():
+            count = data.get("count", 0)
+            mean = data.get("sum", 0.0) / count if count else 0.0
+            rows.append([name, count, f"{mean:.2f}"])
+        sections.append(render_table(
+            ["histogram", "observations", "mean"],
+            rows,
+            title="Histograms",
+        ))
+
+    if not sections:
+        print("metrics document is empty", file=sys.stderr)
+        return 2
+    print("\n\n".join(sections))
     return 0
 
 

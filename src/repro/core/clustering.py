@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ClusteringConfig
 from repro.core.matching import MatchResult
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.phone.cellular import CellularSample
 
 
@@ -113,6 +114,7 @@ def link_affinity(
 def cluster_trip_samples(
     matched: Sequence[MatchedSample],
     config: Optional[ClusteringConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[SampleCluster]:
     """Cluster a trip's accepted samples into per-stop bursts.
 
@@ -120,6 +122,9 @@ def cluster_trip_samples(
     out by the caller.  Samples are processed in time order; each joins
     the best-affinity open cluster when the affinity clears ε, else it
     opens a new cluster.  Clusters are returned in time order.
+
+    ``registry`` (optional) receives ``clustering_*`` counters and a
+    cluster-size histogram.
     """
     config = config or ClusteringConfig()
     ordered = sorted(matched, key=lambda m: m.time_s)
@@ -143,4 +148,18 @@ def cluster_trip_samples(
             clusters.append(SampleCluster(samples=[member]))
         else:
             best_cluster.samples.append(member)
+    reg = registry if registry is not None else NULL_REGISTRY
+    reg.counter(
+        "clustering_samples_total", help="matched samples clustered"
+    ).inc(len(ordered))
+    reg.counter(
+        "clustering_clusters_total", help="per-stop clusters formed"
+    ).inc(len(clusters))
+    size_hist = reg.histogram(
+        "clustering_cluster_size",
+        buckets=(1, 2, 3, 5, 8, 13, 21),
+        help="samples per formed cluster",
+    )
+    for cluster in clusters:
+        size_hist.observe(len(cluster))
     return clusters

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import MatchingConfig
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
 
 
 def smith_waterman(
@@ -135,10 +136,30 @@ class SampleMatcher:
         self,
         fingerprints: Dict[int, Tuple[int, ...]],
         config: Optional[MatchingConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if not fingerprints:
             raise ValueError("matcher needs a non-empty fingerprint database")
         self.config = config or MatchingConfig()
+        reg = registry if registry is not None else NULL_REGISTRY
+        # Per-sample instrumentation sits on the server's hottest loop, so
+        # it is branch-guarded rather than relying on null-object calls.
+        self._observing = not isinstance(reg, NullRegistry)
+        self._m_samples = reg.counter(
+            "matcher_samples_total", help="cellular samples matched"
+        )
+        self._m_accepted = reg.counter(
+            "matcher_samples_accepted", help="samples clearing the γ threshold"
+        )
+        self._m_pairs = reg.counter(
+            "matcher_pairs_scored", help="(sample, stop) Smith-Waterman scorings"
+        )
+        self._m_candidates = reg.histogram(
+            "matcher_candidates_per_sample",
+            buckets=(0, 1, 2, 5, 10, 20, 50),
+            help="candidate stops sharing a tower with a sample",
+        )
         self._fingerprints = dict(fingerprints)
         # Inverted index: only stops sharing at least one cell id with the
         # sample can score above zero, so score only those.
@@ -156,6 +177,10 @@ class SampleMatcher:
         candidates: set = set()
         for tower in tower_ids:
             candidates.update(self._stops_by_tower.get(tower, ()))
+        if self._observing:
+            self._m_samples.inc()
+            self._m_candidates.observe(len(candidates))
+            self._m_pairs.inc(len(candidates))
         best: Optional[Tuple[float, int, int]] = None   # (score, common, station)
         for station_id in candidates:
             score = self.similarity(tower_ids, station_id)
@@ -167,6 +192,8 @@ class SampleMatcher:
                 best = key
         if best is None:
             return MatchResult(station_id=None, score=0.0, common_ids=0)
+        if self._observing:
+            self._m_accepted.inc()
         score, common, neg_station = best
         return MatchResult(station_id=-neg_station, score=score, common_ids=common)
 
@@ -183,15 +210,21 @@ class SampleMatcher:
         pair_dbs: List[Sequence[int]] = []
         pair_owner: List[int] = []
         pair_station: List[int] = []
+        observing = self._observing
         for idx, tower_ids in enumerate(samples):
             candidates: set = set()
             for tower in tower_ids:
                 candidates.update(self._stops_by_tower.get(tower, ()))
+            if observing:
+                self._m_candidates.observe(len(candidates))
             for station_id in sorted(candidates):
                 pair_uploads.append(tower_ids)
                 pair_dbs.append(self._fingerprints[station_id])
                 pair_owner.append(idx)
                 pair_station.append(station_id)
+        if observing:
+            self._m_samples.inc(len(samples))
+            self._m_pairs.inc(len(pair_uploads))
 
         scores = batch_smith_waterman(pair_uploads, pair_dbs, self.config)
         best: List[Optional[Tuple[float, int, int]]] = [None] * len(samples)
@@ -211,6 +244,8 @@ class SampleMatcher:
                 results.append(
                     MatchResult(station_id=-neg_station, score=score, common_ids=common)
                 )
+        if observing:
+            self._m_accepted.inc(sum(1 for entry in best if entry is not None))
         return results
 
     def scores(self, tower_ids: Sequence[int]) -> Dict[int, float]:

@@ -11,6 +11,8 @@ T = 5 min publication cycle.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +25,9 @@ from repro.core.matching import SampleMatcher
 from repro.core.traffic_map import TrafficMapEstimator
 from repro.core.traffic_model import TrafficModel
 from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_TRACER
 from repro.phone.trip_recorder import TripUpload
 from repro.util.units import ms_to_kmh
 
@@ -30,20 +35,94 @@ from repro.util.units import ms_to_kmh
 _MIN_BUS_SPEED_KMH = 2.0
 _MAX_BUS_SPEED_KMH = 65.0
 
+_log = get_logger(__name__)
 
-@dataclass
+#: The counters a :class:`ServerStats` exposes, in reporting order.
+STAT_FIELDS: Tuple[str, ...] = (
+    "trips_received",
+    "trips_duplicate",
+    "trips_mapped",
+    "samples_received",
+    "samples_discarded",
+    "samples_duplicate",
+    "clusters_formed",
+    "legs_estimated",
+    "legs_rejected",
+    "segments_updated",
+)
+
+
 class ServerStats:
-    """Counters over everything the server has processed."""
+    """Counters over everything the server has processed.
 
-    trips_received: int = 0
-    trips_duplicate: int = 0
-    trips_mapped: int = 0
-    samples_received: int = 0
-    samples_discarded: int = 0
-    clusters_formed: int = 0
-    legs_estimated: int = 0
-    legs_rejected: int = 0
-    segments_updated: int = 0
+    The attribute API is unchanged from the original dataclass
+    (``stats.trips_received``, ``stats.trips_mapped += 1``, …) but every
+    field is now backed by a ``server_<field>`` counter in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so the same numbers
+    flow out through ``--metrics-out`` / Prometheus export without
+    double bookkeeping.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        namespace: str = "server",
+        **initial: int,
+    ):
+        # Stats must always count — they are the server's public record —
+        # so a do-nothing registry is swapped for a private recording one.
+        if registry is None or isinstance(registry, NullRegistry):
+            registry = MetricsRegistry()
+        self.__dict__["_counters"] = {
+            name: registry.counter(
+                f"{namespace}_{name}",
+                help=f"server pipeline counter: {name.replace('_', ' ')}",
+            )
+            for name in STAT_FIELDS
+        }
+        for name, value in initial.items():
+            if name not in STAT_FIELDS:
+                raise TypeError(f"unknown stats field {name!r}")
+            setattr(self, name, value)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters", {})
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters", {})
+        if name in counters:
+            counter = counters[name]
+            delta = value - counter.value
+            if delta >= 0:
+                counter.inc(delta)
+            else:                       # rollback (e.g. a test resetting a field)
+                counter.reset()
+                counter.inc(value)
+        else:
+            self.__dict__[name] = value
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict, in :data:`STAT_FIELDS` order."""
+        return {name: getattr(self, name) for name in STAT_FIELDS}
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between campaign phases)."""
+        for counter in self.__dict__["_counters"].values():
+            counter.reset()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServerStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ServerStats({fields})"
 
 
 @dataclass
@@ -68,16 +147,30 @@ class BackendServer:
         route_network: RouteNetwork,
         database: FingerprintDatabase,
         config: Optional[SystemConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.config = config or SystemConfig()
         self.network = network
         self.route_network = route_network
         self.database = database
-        self.matcher = SampleMatcher(database.as_dict(), self.config.matching)
+        # Disabled by default: pipeline components get the no-op registry
+        # so per-sample instrumentation costs nothing unless requested.
+        # ServerStats swaps in its own private recording registry, so the
+        # public counters always count either way.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.matcher = SampleMatcher(
+            database.as_dict(), self.config.matching, registry=self.registry
+        )
         self.constraint = RouteConstraint(route_network, self.config.trip_mapping)
         self.model = TrafficModel(self.config.traffic_model)
-        self.traffic_map = TrafficMapEstimator(network, self.config.fusion)
-        self.stats = ServerStats()
+        self.traffic_map = TrafficMapEstimator(
+            network, self.config.fusion,
+            registry=self.registry, tracer=self.tracer,
+        )
+        self.stats = ServerStats(registry=self.registry)
         self._seen_trip_keys: set = set()
 
     # -- ingestion ---------------------------------------------------------------
@@ -87,10 +180,23 @@ class BackendServer:
 
         Re-delivered uploads (flaky phone connectivity retries the POST)
         are detected by trip key and ignored, so a trip never counts
-        twice in the fused map.
+        twice in the fused map.  Their samples count into both
+        ``samples_discarded`` (so aggregate stats agree with the sum of
+        per-trip ``discarded_samples``) and the dedicated
+        ``samples_duplicate`` counter.
         """
+        with self.tracer.span("receive_trip"):
+            return self._receive_trip(upload)
+
+    def _receive_trip(self, upload: TripUpload) -> TripReport:
         if upload.trip_key in self._seen_trip_keys:
             self.stats.trips_duplicate += 1
+            self.stats.samples_discarded += len(upload.samples)
+            self.stats.samples_duplicate += len(upload.samples)
+            log_event(
+                _log, "trip_duplicate", level=logging.DEBUG,
+                trip_key=upload.trip_key, samples=len(upload.samples),
+            )
             return TripReport(
                 trip_key=upload.trip_key,
                 accepted_samples=0,
@@ -104,18 +210,29 @@ class BackendServer:
 
         matched: List[MatchedSample] = []
         discarded = 0
-        results = self.matcher.match_many([s.tower_ids for s in upload.samples])
-        for sample, result in zip(upload.samples, results):
-            if result.accepted:
-                matched.append(MatchedSample(sample=sample, match=result))
-            else:
-                discarded += 1
+        with self.tracer.span("matching"):
+            results = self.matcher.match_many(
+                [s.tower_ids for s in upload.samples]
+            )
+            for sample, result in zip(upload.samples, results):
+                if result.accepted:
+                    matched.append(MatchedSample(sample=sample, match=result))
+                else:
+                    discarded += 1
         self.stats.samples_discarded += discarded
 
-        clusters = cluster_trip_samples(matched, self.config.clustering)
+        with self.tracer.span("clustering"):
+            clusters = cluster_trip_samples(
+                matched, self.config.clustering, registry=self.registry
+            )
         self.stats.clusters_formed += len(clusters)
 
-        mapped = map_trip(clusters, self.constraint) if clusters else None
+        with self.tracer.span("trip_mapping"):
+            mapped = (
+                map_trip(clusters, self.constraint, registry=self.registry)
+                if clusters
+                else None
+            )
         report = TripReport(
             trip_key=upload.trip_key,
             accepted_samples=len(matched),
@@ -124,9 +241,23 @@ class BackendServer:
             mapped=mapped,
         )
         if mapped is None or len(mapped.stops) < 2:
+            log_event(
+                _log, "trip_unmapped", level=logging.DEBUG,
+                trip_key=upload.trip_key,
+                accepted=len(matched), discarded=discarded,
+                clusters=len(clusters),
+            )
             return report
         self.stats.trips_mapped += 1
-        self._estimate_legs(mapped, report)
+        with self.tracer.span("leg_estimation"):
+            self._estimate_legs(mapped, report)
+        log_event(
+            _log, "trip_processed", level=logging.DEBUG,
+            trip_key=upload.trip_key,
+            accepted=len(matched), discarded=discarded,
+            clusters=len(clusters), stops=len(mapped.stops),
+            estimates=len(report.estimates),
+        )
         return report
 
     def receive_trips(self, uploads: Sequence[TripUpload]) -> List[TripReport]:
@@ -141,6 +272,12 @@ class BackendServer:
     # -- travel-time extraction (§III-D) -------------------------------------------
 
     def _estimate_legs(self, mapped: MappedTrip, report: TripReport) -> None:
+        # Stats are accumulated locally and written once per trip; the
+        # registry-backed attribute writes are not free enough for the
+        # per-leg/per-segment loop.
+        legs_rejected = 0
+        legs_estimated = 0
+        segments_updated = 0
         for prev, cur in zip(mapped.stops, mapped.stops[1:]):
             if prev.station_id == cur.station_id:
                 continue                      # duplicate cluster of one stop
@@ -153,18 +290,18 @@ class BackendServer:
                 - self.config.traffic_model.dwell_tail_s
             )
             if btt <= 0:
-                self.stats.legs_rejected += 1
+                legs_rejected += 1
                 continue
             segments = self._segments_between(prev.station_id, cur.station_id)
             if not segments:
-                self.stats.legs_rejected += 1
+                legs_rejected += 1
                 continue
             total_length = sum(self.network.segment(s).length_m for s in segments)
             bus_speed_kmh = ms_to_kmh(total_length / btt)
             if not (_MIN_BUS_SPEED_KMH <= bus_speed_kmh <= _MAX_BUS_SPEED_KMH):
-                self.stats.legs_rejected += 1
+                legs_rejected += 1
                 continue
-            self.stats.legs_estimated += 1
+            legs_estimated += 1
             # A missing stop merges adjacent road segments into one leg
             # (§III-D); the running time is split over the spanned
             # segments in proportion to their length, which assumes a
@@ -178,10 +315,16 @@ class BackendServer:
                 self.traffic_map.update(
                     segment_id, estimate.speed_kmh, cur.arrival_s
                 )
-                self.stats.segments_updated += 1
+                segments_updated += 1
                 report.estimates.append(
                     (segment_id, estimate.speed_kmh, cur.arrival_s)
                 )
+        if legs_rejected:
+            self.stats.legs_rejected += legs_rejected
+        if legs_estimated:
+            self.stats.legs_estimated += legs_estimated
+        if segments_updated:
+            self.stats.segments_updated += segments_updated
 
     def _segments_between(self, x: int, y: int) -> List[SegmentId]:
         """Directed segments a bus covers from station x to station y.

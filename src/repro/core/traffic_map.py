@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.city.road_network import RoadNetwork, SegmentId
 from repro.config import FusionConfig
 from repro.core.fusion import BayesianSpeedFuser, FusedSpeed
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER
 
 
 class SpeedLevel(IntEnum):
@@ -86,10 +88,24 @@ class TrafficMapEstimator:
         network: RoadNetwork,
         config: Optional[FusionConfig] = None,
         max_age_s: float = 3600.0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.network = network
         self.config = config or FusionConfig()
         self.max_age_s = max_age_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._m_updates = reg.counter(
+            "map_updates_total", help="speed observations fused into the map"
+        )
+        self._m_publishes = reg.counter(
+            "map_publishes_total", help="published T=5min map frames"
+        )
+        self._g_covered = reg.gauge(
+            "map_covered_segments", help="segments in the latest published frame"
+        )
         self.fuser = BayesianSpeedFuser(self.config)
         # Published frames: (publish time, {segment: (mean, sigma, last update)}).
         self._history: List[
@@ -108,6 +124,7 @@ class TrafficMapEstimator:
         """Fold one automobile-speed observation into the map."""
         if not self.network.has_segment(segment_id):
             raise KeyError(f"unknown segment {segment_id}")
+        self._m_updates.inc()
         return self.fuser.update(segment_id, speed_kmh, t, sigma_kmh)
 
     # -- queries ----------------------------------------------------------------
@@ -145,16 +162,19 @@ class TrafficMapEstimator:
         """Freeze the current estimates as the published map for ``at_s``."""
         if self._history and at_s <= self._history[-1][0]:
             raise ValueError("publish times must be strictly increasing")
-        frame: Dict[SegmentId, Tuple[float, float, float]] = {}
-        for segment_id in self.fuser.keys:
-            belief = self.fuser.current(segment_id, at_s)
-            if 0.0 <= at_s - belief.last_update_s <= self.max_age_s:
-                frame[segment_id] = (
-                    belief.mean_kmh,
-                    belief.sigma_kmh,
-                    belief.last_update_s,
-                )
-        self._history.append((at_s, frame))
+        with self.tracer.span("publish"):
+            frame: Dict[SegmentId, Tuple[float, float, float]] = {}
+            for segment_id in self.fuser.keys:
+                belief = self.fuser.current(segment_id, at_s)
+                if 0.0 <= at_s - belief.last_update_s <= self.max_age_s:
+                    frame[segment_id] = (
+                        belief.mean_kmh,
+                        belief.sigma_kmh,
+                        belief.last_update_s,
+                    )
+            self._history.append((at_s, frame))
+            self._m_publishes.inc()
+            self._g_covered.set(len(frame))
 
     @property
     def publish_times(self) -> List[float]:

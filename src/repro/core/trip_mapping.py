@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.city.routes import RouteNetwork
 from repro.config import TripMappingConfig
 from repro.core.clustering import CandidateStop, SampleCluster
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,7 @@ def map_trip(
     clusters: Sequence[SampleCluster],
     constraint: RouteConstraint,
     min_weight: float = 1e-9,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Optional[MappedTrip]:
     """Resolve each cluster to its most likely stop under route constraints.
 
@@ -80,10 +82,25 @@ def map_trip(
     Clusters whose chosen candidate contributes (numerically) zero weight
     — i.e. the best sequence routes "around" them — are dropped from the
     result rather than mapped arbitrarily.
+
+    ``registry`` (optional) receives ``trip_mapping_*`` counters and a
+    per-cluster candidate-pool histogram.
     """
+    reg = registry if registry is not None else NULL_REGISTRY
+    reg.counter("trip_mapping_attempts", help="trips offered for mapping").inc()
     pools: List[List[CandidateStop]] = [c.candidates() for c in clusters]
+    pool_hist = reg.histogram(
+        "trip_mapping_candidates_per_cluster",
+        buckets=(0, 1, 2, 3, 5, 8),
+        help="candidate stops per cluster",
+    )
+    for pool in pools:
+        pool_hist.observe(len(pool))
     kept_indices = [i for i, pool in enumerate(pools) if pool]
     if not kept_indices:
+        reg.counter(
+            "trip_mapping_unmapped", help="trips with no mappable cluster"
+        ).inc()
         return None
     kept_pools = [pools[i] for i in kept_indices]
 
@@ -146,7 +163,11 @@ def map_trip(
             )
         )
     if not stops:
+        reg.counter(
+            "trip_mapping_unmapped", help="trips with no mappable cluster"
+        ).inc()
         return None
+    reg.counter("trip_mapping_mapped", help="trips successfully mapped").inc()
     return MappedTrip(stops=stops, score=float(scores[-1][last]))
 
 

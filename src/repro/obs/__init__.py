@@ -1,0 +1,54 @@
+"""Observability: metrics registry, span tracing, structured logging.
+
+The three pillars the phone→server pipeline reports itself through:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms with JSON (:meth:`~MetricsRegistry.as_dict`) and
+  Prometheus-text (:meth:`~MetricsRegistry.render_prometheus`) export.
+* :class:`Tracer` — nested ``with tracer.span("matching"):`` timing,
+  aggregated per stage name; :data:`NULL_TRACER` makes instrumented
+  hot paths free when tracing is off.
+* :func:`configure` / :func:`get_logger` / :func:`log_event` —
+  structured logging (key=value or JSON Lines) on stdlib ``logging``.
+
+Everything is dependency-free and safe to import from any layer.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    KeyValueFormatter,
+    ROOT_LOGGER_NAME,
+    configure,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, StageTiming, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "StageTiming",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ROOT_LOGGER_NAME",
+    "configure",
+    "get_logger",
+    "log_event",
+    "KeyValueFormatter",
+    "JsonFormatter",
+]

@@ -1,0 +1,138 @@
+"""Structured logging on top of the stdlib ``logging`` module.
+
+Every module in the system logs through ``get_logger(__name__)``, which
+namespaces it under the ``repro`` logger.  Nothing is emitted until
+:func:`configure` installs a handler — libraries importing ``repro``
+see no output, exactly like an uninstrumented library.
+
+Events carry machine-readable fields via :func:`log_event` (or plain
+``logger.info(msg, extra={"fields": {...}})``); the two formatters
+render them as ``key=value`` pairs for humans or as JSON Lines for log
+shippers::
+
+    configure(level="debug")               # key=value on stderr
+    configure(level="info", json=True)     # one JSON object per line
+
+The CLI's global ``--log-level`` / ``--log-json`` flags call
+:func:`configure` before dispatching any subcommand.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+import time
+from typing import Any, Dict, IO, Optional, Union
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "configure",
+    "get_logger",
+    "log_event",
+    "KeyValueFormatter",
+    "JsonFormatter",
+]
+
+#: Every repro logger lives under this namespace.
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker on handlers installed by :func:`configure`, so reconfiguring
+#: replaces ours instead of stacking duplicates.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger inside the ``repro`` namespace.
+
+    ``get_logger("repro.core.server")`` and ``get_logger("core.server")``
+    return the same logger; ``get_logger()`` returns the namespace root.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured event: a short name plus key=value fields."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return _json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=… level=… logger=… event=… key=value…`` — grep-friendly."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record, datefmt='%Y-%m-%dT%H:%M:%S')}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"event={_render_value(record.getMessage())}",
+        ]
+        fields: Dict[str, Any] = getattr(record, "fields", None) or {}
+        parts.extend(f"{key}={_render_value(value)}" for key, value in fields.items())
+        if record.exc_info:
+            parts.append(f"exc={_render_value(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line — log-shipper friendly."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields: Dict[str, Any] = getattr(record, "fields", None) or {}
+        payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, default=str)
+
+
+def configure(
+    level: Union[int, str] = "info",
+    json: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the repro log handler and set the level.
+
+    Idempotent: calling again swaps the handler and level in place, so
+    tests and the CLI can reconfigure freely.  Returns the namespace
+    root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json else KeyValueFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

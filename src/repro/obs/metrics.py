@@ -1,0 +1,372 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms, a registry.
+
+The backend and simulator report what they do through a
+:class:`MetricsRegistry` — a flat, name-keyed collection of
+
+* :class:`Counter` — a monotone event count (``inc`` only),
+* :class:`Gauge` — a point-in-time level (``set``/``inc``/``dec``),
+* :class:`Histogram` — observation counts over fixed upper-bound buckets.
+
+Registries export themselves two ways: :meth:`MetricsRegistry.as_dict`
+(the JSON document ``repro simulate --metrics-out`` writes and ``repro
+stats`` reads back) and :meth:`MetricsRegistry.render_prometheus` (the
+Prometheus text exposition format, for scraping in a deployment).
+
+Hot paths that should pay nothing when observability is off take a
+registry argument defaulting to :data:`NULL_REGISTRY`, whose instruments
+are shared do-nothing singletons.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram upper bounds (a generic small-count/latency ladder).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name made safe for the Prometheus exposition format."""
+    return _NAME_RE.sub("_", name)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (process restart semantics)."""
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value:g})"
+
+
+class Gauge:
+    """A value that can go up and down (a level, not a count)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: Union[int, float]) -> None:
+        """Set the level."""
+        self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Raise the level."""
+        self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Lower the level."""
+        self._value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value:g})"
+
+
+class Histogram:
+    """Observation counts over fixed, cumulative-exportable buckets.
+
+    ``bounds`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last bound, so ``sum(bucket_counts)``
+    always equals :attr:`count`.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket bounds must be distinct")
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)   # last slot: +Inf
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) observation counts, +Inf last."""
+        return list(self._counts)
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} cannot observe NaN")
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self._count))
+        return out
+
+    def reset(self) -> None:
+        """Forget all observations (bucket layout is kept)."""
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self._count})"
+
+
+class MetricsRegistry:
+    """A flat, name-keyed collection of counters, gauges and histograms.
+
+    Instruments are created on first request and shared thereafter
+    (get-or-create), so independently instrumented components that agree
+    on a name accumulate into the same instrument.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        self._check_free(name, self._counters)
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        self._check_free(name, self._gauges)
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name, help)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at creation)."""
+        self._check_free(name, self._histograms)
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets, help)
+        return instrument
+
+    def _check_free(self, name: str, home: Dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not home and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different type"
+                )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """A plain-JSON document of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "bounds": list(h.bounds),
+                    "bucket_counts": h.bucket_counts,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            prom = _prom_name(name)
+            if counter.help:
+                lines.append(f"# HELP {prom} {counter.help}")
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {counter.value:g}")
+        for name, gauge in sorted(self._gauges.items()):
+            prom = _prom_name(name)
+            if gauge.help:
+                lines.append(f"# HELP {prom} {gauge.help}")
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {gauge.value:g}")
+        for name, histogram in sorted(self._histograms.items()):
+            prom = _prom_name(name)
+            if histogram.help:
+                lines.append(f"# HELP {prom} {histogram.help}")
+            lines.append(f"# TYPE {prom} histogram")
+            for bound, cumulative in histogram.cumulative():
+                le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{prom}_sum {histogram.sum:g}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Zero every instrument (layout and registrations are kept)."""
+        for family in (self._counters, self._gauges, self._histograms):
+            for instrument in family.values():
+                instrument.reset()
+
+
+class _NullCounter(Counter):
+    """A counter that swallows everything (shared singleton)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """A gauge that swallows everything (shared singleton)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """A histogram that swallows everything (shared singleton)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", buckets=(1.0,))
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing.
+
+    Components default to :data:`NULL_REGISTRY` so instrumented hot
+    paths cost a no-op method call when observability is disabled.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter()
+        self._null_gauge = _NullGauge()
+        self._null_histogram = _NullHistogram()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._null_histogram
+
+
+#: Shared do-nothing registry: the default for instrumented components.
+NULL_REGISTRY = NullRegistry()

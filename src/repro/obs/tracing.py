@@ -1,0 +1,181 @@
+"""Lightweight span tracing for per-stage pipeline timing.
+
+A :class:`Tracer` times named stages with nested ``with`` spans::
+
+    with tracer.span("receive_trip"):
+        with tracer.span("matching"):
+            ...
+
+Durations are aggregated per stage name into :class:`StageTiming`
+records (count / total / min / max), which is exactly what the
+``repro stats`` report and the ``--metrics-out`` JSON need — the tracer
+deliberately does not retain individual span objects, so tracing a
+million trips costs O(#stage names) memory.
+
+When tracing is off, components hold :data:`NULL_TRACER`, whose
+``span()`` returns one shared no-op context manager: entering and
+leaving it is two trivial method calls, so instrumented hot paths pay
+effectively nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["StageTiming", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class StageTiming:
+    """Aggregate wall-time of every span that ran under one stage name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean span duration."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def record(self, duration_s: float) -> None:
+        """Fold one finished span into the aggregate."""
+        self.count += 1
+        self.total_s += duration_s
+        if duration_s < self.min_s:
+            self.min_s = duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-JSON view of the aggregate."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _Span:
+    """One active span; a reusable-by-pattern context manager."""
+
+    __slots__ = ("_tracer", "name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._finish(self.name, duration)
+        return False
+
+
+class Tracer:
+    """Aggregating span tracer (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self._stats: Dict[str, StageTiming] = {}
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one stage; spans nest freely."""
+        return _Span(self, name)
+
+    def _finish(self, name: str, duration_s: float) -> None:
+        top = self._stack.pop() if self._stack else None
+        if top != name:
+            raise RuntimeError(
+                f"unbalanced span exit: closing {name!r} but {top!r} is open"
+            )
+        timing = self._stats.get(name)
+        if timing is None:
+            timing = self._stats[name] = StageTiming()
+        timing.record(max(duration_s, 0.0))
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    @property
+    def current_span(self) -> Optional[str]:
+        """Name of the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated timings per stage name (JSON-ready)."""
+        return {
+            name: timing.as_dict() for name, timing in sorted(self._stats.items())
+        }
+
+    def timing(self, name: str) -> Optional[StageTiming]:
+        """The aggregate record of one stage, if it ever ran."""
+        return self._stats.get(name)
+
+    def reset(self) -> None:
+        """Forget all finished spans (open spans are an error to reset)."""
+        if self._stack:
+            raise RuntimeError(
+                f"cannot reset with {len(self._stack)} span(s) still open"
+            )
+        self._stats = {}
+
+
+class _NullSpan:
+    """Shared do-nothing span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing and costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        """The shared no-op span."""
+        return _NULL_SPAN
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+    @property
+    def current_span(self) -> Optional[str]:
+        return None
+
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def timing(self, name: str) -> Optional[StageTiming]:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared do-nothing tracer: the default for instrumented components.
+NULL_TRACER = NullTracer()

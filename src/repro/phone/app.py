@@ -19,6 +19,7 @@ Two DSP fidelities are offered:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence
@@ -27,6 +28,8 @@ import numpy as np
 
 from repro.city.stops import StopRegistry
 from repro.config import SystemConfig
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.phone.accel import TransitModeFilter
 from repro.phone.beep import BeepDetector
 from repro.phone.cellular import CellularSample, CellularSampler
@@ -48,6 +51,8 @@ class DspMode(Enum):
 _AUDIO_LEAD_S = 1.5
 _AUDIO_TAIL_S = 1.0
 
+_log = get_logger(__name__)
+
 
 class PhoneAgent:
     """One participant's phone during one bus ride."""
@@ -60,19 +65,25 @@ class PhoneAgent:
         config: Optional[SystemConfig] = None,
         mode: DspMode = DspMode.FAST,
         rng: SeedLike = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.phone_id = phone_id
         self.sampler = sampler
         self.registry = registry
         self.config = config or SystemConfig()
         self.mode = mode
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._rng = ensure_rng(rng)
 
     def ride_and_record(
         self, trace: BusTripTrace, ride: ParticipantRide
     ) -> List[TripUpload]:
         """Ride the bus from boarding to alighting; return completed uploads."""
-        recorder = TripRecorder(self.config.trip_recorder, phone_id=self.phone_id)
+        recorder = TripRecorder(
+            self.config.trip_recorder,
+            phone_id=self.phone_id,
+            registry=self.metrics,
+        )
         looks_like_bus = self._motion_verdict()
 
         onboard_visits = [
@@ -89,7 +100,16 @@ class PhoneAgent:
             # Ride over: the 10-minute silence timeout concludes the trip.
             last = max(v.depart_s for v in onboard_visits)
             recorder.on_tick(last + self.config.trip_recorder.trip_timeout_s)
-        return recorder.drain_completed()
+        uploads = recorder.drain_completed()
+        self.metrics.counter(
+            "phone_uploads_total", help="trips completed by phone agents"
+        ).inc(len(uploads))
+        log_event(
+            _log, "ride_recorded", level=logging.DEBUG,
+            phone_id=self.phone_id, uploads=len(uploads),
+            samples=sum(len(u.samples) for u in uploads),
+        )
+        return uploads
 
     # -- sensing ---------------------------------------------------------------
 
@@ -160,6 +180,9 @@ class PhoneAgent:
         when = visit.depart_s + frac * max(
             next_visits[0].arrival_s - visit.depart_s, 1.0
         )
+        self.metrics.counter(
+            "phone_false_samples_total", help="mid-road noise bursts taken as beeps"
+        ).inc()
         recorder.on_beep(
             self.sampler.sample(where, when, self._rng),
             looks_like_bus=looks_like_bus,
@@ -173,6 +196,7 @@ def record_participant_trips(
     config: Optional[SystemConfig] = None,
     mode: DspMode = DspMode.FAST,
     rng: SeedLike = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[TripUpload]:
     """Run a phone agent for every participant on a bus trip."""
     rng = ensure_rng(rng)
@@ -186,6 +210,7 @@ def record_participant_trips(
             config=config,
             mode=mode,
             rng=rng,
+            metrics=metrics,
         )
         uploads.extend(agent.ride_and_record(trace, ride))
     return uploads

@@ -14,12 +14,17 @@ when the motion filter says the ride looks like a bus.
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
 
 from repro.config import TripRecorderConfig
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.phone.cellular import CellularSample
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -65,10 +70,22 @@ class TripRecorder:
         self,
         config: Optional[TripRecorderConfig] = None,
         phone_id: str = "phone",
+        *,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.config = config or TripRecorderConfig()
         self.phone_id = phone_id
         self.state = RecorderState.IDLE
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._m_beeps = reg.counter(
+            "recorder_beeps_total", help="beep events fed to recorders"
+        )
+        self._m_gated = reg.counter(
+            "recorder_beeps_gated", help="beeps ignored by the accelerometer gate"
+        )
+        self._m_trips = reg.counter(
+            "recorder_trips_concluded", help="trips concluded for upload"
+        )
         self._samples: List[CellularSample] = []
         self._last_beep_s: Optional[float] = None
         self._completed: List[TripUpload] = []
@@ -83,8 +100,10 @@ class TripRecorder:
         """
         self._check_clock(sample.time_s)
         self._maybe_timeout(sample.time_s)
+        self._m_beeps.inc()
         if self.state is RecorderState.IDLE:
             if not looks_like_bus:
+                self._m_gated.inc()
                 return
             self.state = RecorderState.RECORDING
         self._samples.append(sample)
@@ -119,11 +138,16 @@ class TripRecorder:
 
     def _conclude(self) -> None:
         if self._samples:
-            self._completed.append(
-                TripUpload(
-                    trip_key=f"{self.phone_id}#{next(self._keys)}",
-                    samples=tuple(self._samples),
-                )
+            upload = TripUpload(
+                trip_key=f"{self.phone_id}#{next(self._keys)}",
+                samples=tuple(self._samples),
+            )
+            self._completed.append(upload)
+            self._m_trips.inc()
+            log_event(
+                _log, "trip_concluded", level=logging.DEBUG,
+                phone_id=self.phone_id, trip_key=upload.trip_key,
+                samples=len(upload.samples),
             )
         self._samples = []
         self._last_beep_s = None

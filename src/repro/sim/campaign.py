@@ -19,10 +19,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.logging import get_logger, log_event
 from repro.util.units import SECONDS_PER_DAY, parse_hhmm
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-init cycle
     from repro.sim.world import SimulationResult, World
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -109,30 +112,41 @@ class Campaign:
             )
             for _ in range(phase.days):
                 offset = day_index * SECONDS_PER_DAY
-                result = self.world.run(
-                    self.start_s + offset,
-                    self.end_s + offset,
-                    route_ids=phase.route_ids,
-                    headway_s=self.headway_s,
-                    with_official_feed=self.with_official_feed,
-                )
+                with self.world.tracer.span("campaign_day"):
+                    result = self.world.run(
+                        self.start_s + offset,
+                        self.end_s + offset,
+                        route_ids=phase.route_ids,
+                        headway_s=self.headway_s,
+                        with_official_feed=self.with_official_feed,
+                    )
                 results.append(result)
                 snapshot = self.world.server.traffic_map.published_snapshot(
                     self.end_s + offset
                 )
                 current = _StatsSnapshot.capture(self.world)
-                days.append(
-                    DayStats(
-                        day_index=day_index,
-                        phase=phase.name,
-                        bus_trips=len(result.traces),
-                        uploads=current.trips_received - prev_stats.trips_received,
-                        trips_mapped=current.trips_mapped - prev_stats.trips_mapped,
-                        segments_updated=(
-                            current.segments_updated - prev_stats.segments_updated
-                        ),
-                        map_coverage=snapshot.coverage,
-                    )
+                day = DayStats(
+                    day_index=day_index,
+                    phase=phase.name,
+                    bus_trips=len(result.traces),
+                    uploads=current.trips_received - prev_stats.trips_received,
+                    trips_mapped=current.trips_mapped - prev_stats.trips_mapped,
+                    segments_updated=(
+                        current.segments_updated - prev_stats.segments_updated
+                    ),
+                    map_coverage=snapshot.coverage,
+                )
+                days.append(day)
+                self.world.registry.counter(
+                    "campaign_days_total", help="campaign service days simulated"
+                ).inc()
+                log_event(
+                    _log, "campaign_day",
+                    day_index=day.day_index, phase=day.phase,
+                    bus_trips=day.bus_trips, uploads=day.uploads,
+                    trips_mapped=day.trips_mapped,
+                    segments_updated=day.segments_updated,
+                    map_coverage=round(day.map_coverage, 4),
                 )
                 prev_stats = current
                 day_index += 1

@@ -23,6 +23,9 @@ from repro.city.road_network import SegmentId
 from repro.config import SystemConfig
 from repro.core.fingerprint import FingerprintDatabase
 from repro.core.server import BackendServer, TripReport
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER
 from repro.phone.app import DspMode, PhoneAgent
 from repro.phone.cellular import CellularSampler
 from repro.phone.trip_recorder import TripUpload
@@ -36,6 +39,8 @@ from repro.sim.traffic import TrafficField, default_hotspots_for
 from repro.sim.uplink import UplinkChannel
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.units import parse_hhmm
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -72,10 +77,15 @@ class World:
         config: Optional[SystemConfig] = None,
         seed: int = 0,
         survey_samples_per_stop: int = 5,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.city = city or build_city()
         self.config = config or SystemConfig()
         self.seed = seed
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = ensure_rng(seed)
 
         spec = self.city.spec
@@ -100,6 +110,8 @@ class World:
             self.city.route_network,
             self.database,
             self.config,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
     # -- campaign ------------------------------------------------------------
@@ -132,65 +144,76 @@ class World:
         rider_ids = itertools.count()
 
         traces: List[BusTripTrace] = []
-        for route_id in route_ids:
-            route = self.city.route_network.route(route_id)
-            for dispatch in dispatch_times(start_s, end_s, headway, trace_rng):
-                traces.append(
-                    simulate_bus_trip(
-                        route,
-                        dispatch,
-                        self.traffic,
-                        rider_ids,
-                        rng=trace_rng,
-                        bus_config=self.config.bus,
-                        rider_config=self.config.riders,
-                        model_b=self.config.traffic_model.b,
+        with self.tracer.span("bus_simulation"):
+            for route_id in route_ids:
+                route = self.city.route_network.route(route_id)
+                for dispatch in dispatch_times(start_s, end_s, headway, trace_rng):
+                    traces.append(
+                        simulate_bus_trip(
+                            route,
+                            dispatch,
+                            self.traffic,
+                            rider_ids,
+                            rng=trace_rng,
+                            bus_config=self.config.bus,
+                            rider_config=self.config.riders,
+                            model_b=self.config.traffic_model.b,
+                        )
                     )
-                )
 
         # Phones ride along and produce their uploads.
         ready_uploads: List[Tuple[float, TripUpload]] = []
-        for trace in traces:
-            for ride in trace.participants:
-                agent = PhoneAgent(
-                    phone_id=f"rider-{ride.rider_id}",
-                    sampler=self.sampler,
-                    registry=self.city.registry,
-                    config=self.config,
-                    mode=dsp_mode,
-                    rng=phone_rng,
-                )
-                for upload in agent.ride_and_record(trace, ride):
-                    ready_at = (
-                        upload.end_s + self.config.trip_recorder.trip_timeout_s
+        with self.tracer.span("phone_recording"):
+            for trace in traces:
+                for ride in trace.participants:
+                    agent = PhoneAgent(
+                        phone_id=f"rider-{ride.rider_id}",
+                        sampler=self.sampler,
+                        registry=self.city.registry,
+                        config=self.config,
+                        mode=dsp_mode,
+                        rng=phone_rng,
+                        metrics=self.registry,
                     )
-                    ready_uploads.append((ready_at, upload))
+                    for upload in agent.ride_and_record(trace, ride):
+                        ready_at = (
+                            upload.end_s + self.config.trip_recorder.trip_timeout_s
+                        )
+                        ready_uploads.append((ready_at, upload))
 
         # Uploads cross the flaky phone→server uplink: some are lost,
         # all are delayed, and delivery order is arrival order.
-        channel = UplinkChannel(
-            self.config.uplink, rng=derive_rng(self.seed, f"uplink-{start_s}")
-        )
-        timed_uploads = channel.transmit_all(ready_uploads)
+        with self.tracer.span("uplink"):
+            channel = UplinkChannel(
+                self.config.uplink, rng=derive_rng(self.seed, f"uplink-{start_s}")
+            )
+            timed_uploads = channel.transmit_all(ready_uploads)
 
         # Interleave uploads with publication ticks on the event engine.
         reports: List[TripReport] = []
-        sim = Simulator(start_time=start_s)
-        for arrive_at, upload in timed_uploads:
-            sim.schedule(
-                max(arrive_at, start_s),
-                lambda s, u=upload: reports.append(self.server.receive_trip(u)),
+        with self.tracer.span("ingest"):
+            sim = Simulator(start_time=start_s)
+            for arrive_at, upload in timed_uploads:
+                sim.schedule(
+                    max(arrive_at, start_s),
+                    lambda s, u=upload: reports.append(self.server.receive_trip(u)),
+                )
+            horizon = max(
+                [end_s] + [arrive_at for arrive_at, _ in timed_uploads]
+            ) + 1.0
+            sim.schedule_every(
+                self.config.fusion.update_period_s,
+                lambda s: self.server.publish(s.now),
+                first_at=start_s + self.config.fusion.update_period_s,
+                until=horizon,
             )
-        horizon = max(
-            [end_s] + [arrive_at for arrive_at, _ in timed_uploads]
-        ) + 1.0
-        sim.schedule_every(
-            self.config.fusion.update_period_s,
-            lambda s: self.server.publish(s.now),
-            first_at=start_s + self.config.fusion.update_period_s,
-            until=horizon,
+            sim.run(until=horizon)
+        log_event(
+            _log, "campaign_day_complete",
+            start_s=start_s, end_s=end_s,
+            bus_trips=len(traces), uploads_ready=len(ready_uploads),
+            uploads_delivered=len(timed_uploads), reports=len(reports),
         )
-        sim.run(until=horizon)
 
         official = None
         if with_official_feed:

@@ -7,8 +7,18 @@ region build their own.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# CI caps property-test example counts via HYPOTHESIS_MAX_EXAMPLES so the
+# tier-1 suite stays fast; locally the hypothesis default applies.
+_max_examples = os.environ.get("HYPOTHESIS_MAX_EXAMPLES")
+if _max_examples:
+    settings.register_profile("capped", max_examples=int(_max_examples))
+    settings.load_profile("capped")
 
 from repro.city import CitySpec, build_city
 from repro.config import SystemConfig

@@ -61,6 +61,7 @@ class TestEndToEndWorkflow:
         db_path = str(tmp_path / "db.json")
         trips_path = str(tmp_path / "trips.jsonl")
         map_path = str(tmp_path / "map.geojson")
+        metrics_path = str(tmp_path / "metrics.json")
 
         assert main(["survey", "--out", db_path, "--seed", "3",
                      "--samples-per-stop", "3"]) == 0
@@ -70,13 +71,89 @@ class TestEndToEndWorkflow:
             "simulate", "--seed", "3", "--start", "08:00", "--end", "08:40",
             "--routes", "179-0", "--headway", "1200",
             "--out", map_path, "--trips-out", trips_path,
+            "--metrics-out", metrics_path,
         ]) == 0
         with open(map_path) as handle:
             geojson = json.load(handle)
         assert geojson["type"] == "FeatureCollection"
         assert geojson["features"]
 
+        # The metrics document carries stage timings and all counters.
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        for stage in ("matching", "clustering", "trip_mapping",
+                      "leg_estimation", "receive_trip", "publish"):
+            assert metrics["stages"][stage]["count"] > 0
+            assert metrics["stages"][stage]["total_s"] >= 0.0
+        assert metrics["stats"]["trips_received"] > 0
+        assert "samples_duplicate" in metrics["stats"]
+        assert metrics["metrics"]["counters"]["server_trips_received"] == \
+            metrics["stats"]["trips_received"]
+
         assert main(["process", "--db", db_path, "--trips", trips_path,
                      "--seed", "3"]) == 0
         output = capsys.readouterr().out
         assert "mapped" in output
+
+        # The stats report renders the metrics document.
+        assert main(["stats", metrics_path]) == 0
+        report = capsys.readouterr().out
+        assert "Server pipeline counters" in report
+        assert "Per-stage span timings" in report
+        assert "matching" in report
+
+
+class TestStatsCommand:
+    def _document(self):
+        return {
+            "command": "simulate",
+            "stats": {"trips_received": 12, "trips_mapped": 10},
+            "stages": {
+                "matching": {"count": 12, "total_s": 0.5, "mean_s": 0.0417,
+                             "min_s": 0.01, "max_s": 0.2},
+            },
+            "metrics": {
+                "counters": {"server_trips_received": 12,
+                             "phone_uploads_total": 12},
+                "gauges": {},
+                "histograms": {
+                    "matcher_candidates_per_sample": {
+                        "count": 100, "sum": 420.0,
+                        "bounds": [1, 5], "bucket_counts": [10, 80, 10],
+                    }
+                },
+            },
+        }
+
+    def test_renders_all_sections(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(self._document()))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trips_received" in out
+        assert "matching" in out
+        assert "phone_uploads_total" in out
+        assert "matcher_candidates_per_sample" in out
+
+    def test_empty_document_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        assert main(["stats", str(path)]) == 2
+
+
+class TestLoggingFlags:
+    def test_log_level_flag_configures_namespace_logger(self, capsys):
+        import logging
+
+        assert main(["--log-level", "debug", "power"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        # Restore the default so later tests stay quiet.
+        assert main(["--log-level", "warning", "power"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_log_json_flag_accepted(self):
+        assert main(["--log-json", "power"]) == 0
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "shouty", "power"])

@@ -1,0 +1,259 @@
+"""Tests for the observability layer: metrics, tracing, structured logging."""
+
+import io
+import json
+import logging
+import math
+import time
+
+import pytest
+
+from repro.obs import (
+    JsonFormatter,
+    KeyValueFormatter,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Tracer,
+    configure,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, NullRegistry
+from repro.obs.tracing import StageTiming
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        # le semantics: 1.0 lands in the first bucket.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(111.5)
+
+    def test_cumulative_ends_at_count(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for value in (0.0, 1.5, 99.0):
+            hist.observe(value)
+        pairs = hist.cumulative()
+        assert pairs[-1] == (math.inf, 3)
+        cumulative = [count for _, count in pairs]
+        assert cumulative == sorted(cumulative)
+
+    def test_rejects_nan_and_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0,)).observe(float("nan"))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_as_dict_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        doc = json.loads(json.dumps(registry.as_dict()))
+        assert doc["counters"]["c"] == 2
+        assert doc["gauges"]["g"] == 1.5
+        assert doc["histograms"]["h"]["count"] == 1
+        assert doc["histograms"]["h"]["bucket_counts"] == [1, 0]
+
+    def test_prometheus_render(self):
+        registry = MetricsRegistry()
+        registry.counter("trips", help="trips seen").inc(3)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_prometheus()
+        assert "# TYPE trips counter" in text
+        assert "trips 3" in text
+        assert '# TYPE lat histogram' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+
+    def test_null_registry_swallows(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        NULL_REGISTRY.counter("x").inc(100)
+        NULL_REGISTRY.histogram("y").observe(1.0)
+        NULL_REGISTRY.gauge("z").set(5)
+        assert NULL_REGISTRY.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestTracer:
+    def test_nested_spans_aggregate_by_name(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        stats = tracer.stage_stats()
+        assert stats["outer"]["count"] == 1
+        assert stats["inner"]["count"] == 2
+        assert stats["outer"]["total_s"] >= stats["inner"]["total_s"]
+
+    def test_depth_and_current_span(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            assert tracer.current_span == "a"
+            with tracer.span("b"):
+                assert tracer.depth == 2
+                assert tracer.current_span == "b"
+        assert tracer.depth == 0
+        assert tracer.current_span is None
+
+    def test_durations_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        timing = tracer.timing("sleep")
+        assert timing.count == 1
+        assert timing.total_s >= 0.008
+        assert timing.min_s <= timing.max_s
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.depth == 0
+        assert tracer.stage_stats()["boom"]["count"] == 1
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.stage_stats() == {}
+
+    def test_reset_with_open_span_is_an_error(self):
+        tracer = Tracer()
+        span = tracer.span("a")
+        span.__enter__()
+        with pytest.raises(RuntimeError):
+            tracer.reset()
+
+    def test_null_tracer_is_free_and_silent(self):
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.stage_stats() == {}
+        assert NULL_TRACER.depth == 0
+        assert not NULL_TRACER.enabled
+
+
+class TestStageTiming:
+    def test_record_tracks_extremes(self):
+        timing = StageTiming()
+        timing.record(1.0)
+        timing.record(3.0)
+        assert timing.count == 2
+        assert timing.mean_s == pytest.approx(2.0)
+        assert timing.min_s == 1.0
+        assert timing.max_s == 3.0
+        assert timing.as_dict()["total_s"] == pytest.approx(4.0)
+
+    def test_empty_as_dict(self):
+        assert StageTiming().as_dict()["min_s"] == 0.0
+
+
+class TestStructuredLogging:
+    def test_key_value_formatter(self):
+        stream = io.StringIO()
+        configure(level="debug", stream=stream)
+        log = get_logger("test.kv")
+        log_event(log, "trip_done", trips=3, rate=0.51234567, note="two words")
+        line = stream.getvalue().strip()
+        assert "event=trip_done" in line
+        assert "trips=3" in line
+        assert "rate=0.512346" in line
+        assert 'note="two words"' in line
+        assert "logger=repro.test.kv" in line
+
+    def test_json_formatter(self):
+        stream = io.StringIO()
+        configure(level="info", json=True, stream=stream)
+        log = get_logger("test.json")
+        log_event(log, "published", segments=17)
+        payload = json.loads(stream.getvalue())
+        assert payload["event"] == "published"
+        assert payload["segments"] == 17
+        assert payload["level"] == "info"
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure(level="warning", stream=stream)
+        log_event(get_logger("test.lvl"), "quiet", level=logging.INFO)
+        assert stream.getvalue() == ""
+
+    def test_reconfigure_replaces_handler(self):
+        a, b = io.StringIO(), io.StringIO()
+        configure(level="info", stream=a)
+        configure(level="info", stream=b)
+        log_event(get_logger("test.re"), "once")
+        assert a.getvalue() == ""
+        assert b.getvalue().count("event=once") == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="noisy")
+
+    def test_get_logger_namespaces(self):
+        assert get_logger("core.server").name == "repro.core.server"
+        assert get_logger("repro.core.server").name == "repro.core.server"
+        assert get_logger().name == "repro"
+
+    def teardown_method(self):
+        # Leave the shared namespace logger quiet for other tests.
+        configure(level="warning", stream=io.StringIO())

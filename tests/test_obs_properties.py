@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the observability invariants.
+
+Marked ``@pytest.mark.property`` per the repo's testing discipline; CI
+caps example counts via ``HYPOTHESIS_MAX_EXAMPLES`` (see conftest).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+amounts = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50
+)
+observations = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    max_size=80,
+)
+bucket_bounds = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+
+@pytest.mark.property
+class TestCounterProperties:
+    @given(amounts)
+    def test_monotone_under_arbitrary_increments(self, increments):
+        counter = Counter("c")
+        seen = [counter.value]
+        for amount in increments:
+            counter.inc(amount)
+            seen.append(counter.value)
+        assert seen == sorted(seen)
+        assert counter.value == pytest.approx(sum(increments))
+
+    @given(amounts, amounts)
+    def test_registry_shared_counter_sums_both_writers(self, first, second):
+        registry = MetricsRegistry()
+        for amount in first:
+            registry.counter("shared").inc(amount)
+        for amount in second:
+            registry.counter("shared").inc(amount)
+        assert registry.counter("shared").value == pytest.approx(
+            sum(first) + sum(second)
+        )
+
+
+@pytest.mark.property
+class TestHistogramProperties:
+    @given(bucket_bounds, observations)
+    def test_bucket_counts_sum_to_observation_count(self, bounds, values):
+        hist = Histogram("h", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        assert sum(hist.bucket_counts) == len(values)
+        assert hist.count == len(values)
+
+    @given(bucket_bounds, observations)
+    def test_cumulative_is_monotone_and_ends_at_count(self, bounds, values):
+        hist = Histogram("h", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        pairs = hist.cumulative()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == (math.inf, len(values))
+
+    @given(bucket_bounds, observations)
+    def test_each_observation_lands_in_its_bucket(self, bounds, values):
+        hist = Histogram("h", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        # Recompute expected per-bucket counts directly from le semantics.
+        expected = [0] * (len(hist.bounds) + 1)
+        for value in values:
+            for i, bound in enumerate(hist.bounds):
+                if value <= bound:
+                    expected[i] += 1
+                    break
+            else:
+                expected[-1] += 1
+        assert hist.bucket_counts == expected
+
+
+#: A nesting script: each entry opens a span and nests `children` more.
+span_trees = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=12,
+)
+
+
+def _run_tree(tracer, tree, depth=0):
+    for index, children in enumerate(tree):
+        with tracer.span(f"s{depth}.{index}"):
+            _run_tree(tracer, children, depth + 1)
+
+
+@pytest.mark.property
+class TestTracerProperties:
+    @given(span_trees)
+    @settings(max_examples=60)
+    def test_nesting_always_balances(self, tree):
+        tracer = Tracer()
+        _run_tree(tracer, tree)
+        assert tracer.depth == 0
+        assert tracer.current_span is None
+
+    @given(span_trees)
+    @settings(max_examples=60)
+    def test_durations_non_negative_and_counts_match(self, tree):
+        tracer = Tracer()
+        _run_tree(tracer, tree)
+
+        def count_spans(t, depth=0):
+            total = {}
+            for index, children in enumerate(t):
+                name = f"s{depth}.{index}"
+                total[name] = total.get(name, 0) + 1
+                for child_name, n in count_spans(children, depth + 1).items():
+                    total[child_name] = total.get(child_name, 0) + n
+            return total
+
+        expected = count_spans(tree)
+        stats = tracer.stage_stats()
+        assert {k: v["count"] for k, v in stats.items()} == expected
+        for timing in stats.values():
+            assert timing["total_s"] >= 0.0
+            assert 0.0 <= timing["min_s"] <= timing["max_s"]
+            assert timing["mean_s"] * timing["count"] == pytest.approx(
+                timing["total_s"]
+            )

@@ -5,7 +5,8 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core import BackendServer
+from repro.core import BackendServer, ServerStats
+from repro.obs import MetricsRegistry, Tracer
 from repro.phone import CellularSampler, record_participant_trips
 from repro.phone.cellular import CellularSample
 from repro.phone.trip_recorder import TripUpload
@@ -109,6 +110,103 @@ class TestReceiveTrip:
         )
         report = server.receive_trip(TripUpload("short", samples))
         assert report.estimates == []
+
+
+class TestDuplicateUploads:
+    def test_duplicate_counted_in_aggregate_stats(self, server, uploads):
+        trace, ups = uploads
+        upload = max(ups, key=lambda u: len(u.samples))
+        server.receive_trip(upload)
+        before_discarded = server.stats.samples_discarded
+        report = server.receive_trip(upload)
+        # Per-trip report and aggregate stats must agree on the drop.
+        assert report.discarded_samples == len(upload.samples)
+        assert server.stats.trips_duplicate == 1
+        assert server.stats.samples_duplicate == len(upload.samples)
+        assert (
+            server.stats.samples_discarded
+            == before_discarded + len(upload.samples)
+        )
+        # The duplicate never re-enters the pipeline.
+        assert server.stats.trips_received == 1
+        assert report.mapped is None
+
+    def test_reports_and_stats_stay_consistent(self, server, uploads):
+        trace, ups = uploads
+        reports = server.receive_trips(list(ups) + list(ups[:3]))
+        assert (
+            sum(r.discarded_samples for r in reports)
+            == server.stats.samples_discarded
+        )
+
+
+class TestServerStats:
+    def test_as_dict_mirrors_attributes(self):
+        stats = ServerStats()
+        stats.trips_received += 2
+        stats.samples_received += 11
+        snapshot = stats.as_dict()
+        assert snapshot["trips_received"] == 2
+        assert snapshot["samples_received"] == 11
+        assert snapshot["trips_mapped"] == 0
+        assert set(snapshot) == {
+            "trips_received", "trips_duplicate", "trips_mapped",
+            "samples_received", "samples_discarded", "samples_duplicate",
+            "clusters_formed", "legs_estimated", "legs_rejected",
+            "segments_updated",
+        }
+
+    def test_reset_zeroes_all_counters(self):
+        stats = ServerStats()
+        stats.trips_received += 5
+        stats.legs_estimated += 3
+        stats.reset()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_keyword_construction_and_equality(self):
+        assert ServerStats(trips_received=4) == ServerStats(trips_received=4)
+        assert ServerStats(trips_received=4) != ServerStats()
+        with pytest.raises(TypeError):
+            ServerStats(bogus_field=1)
+
+    def test_backed_by_registry_counters(self):
+        registry = MetricsRegistry()
+        stats = ServerStats(registry=registry)
+        stats.trips_mapped += 7
+        assert registry.counter("server_trips_mapped").value == 7
+        assert registry.as_dict()["counters"]["server_trips_mapped"] == 7
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            ServerStats().no_such_counter
+
+
+class TestServerObservability:
+    def test_stages_traced_per_trip(self, small_city, database, config, uploads):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config,
+            registry=registry, tracer=tracer,
+        )
+        trace, ups = uploads
+        server.receive_trips(ups)
+        stages = tracer.stage_stats()
+        for stage in ("receive_trip", "matching", "clustering", "trip_mapping"):
+            assert stages[stage]["count"] == len(ups)
+            assert stages[stage]["total_s"] >= 0.0
+        assert stages["leg_estimation"]["count"] == server.stats.trips_mapped
+        counters = registry.as_dict()["counters"]
+        assert counters["matcher_samples_total"] == server.stats.samples_received
+        assert counters["clustering_clusters_total"] == server.stats.clusters_formed
+        assert counters["map_updates_total"] == server.stats.segments_updated
+
+    def test_default_server_has_no_tracing_overhead_state(self, server, uploads):
+        trace, ups = uploads
+        server.receive_trips(ups)
+        assert server.tracer.stage_stats() == {}
+        # Stats still count with the default (untraced) server.
+        assert server.stats.trips_received == len(ups)
 
 
 class TestMapIntegration:
