@@ -1,0 +1,76 @@
+"""Observability overhead: receive_trip throughput, null vs recording.
+
+The labeled-metric fast path must keep the backend's hot ingest loop
+within ~2% of the uninstrumented (NULL_REGISTRY) baseline.  This bench
+generates one morning's uploads once, then replays them into fresh
+backends:
+
+* ``null``      — default observability off (NULL_REGISTRY/NULL_TRACER),
+* ``recording`` — a real MetricsRegistry + Tracer attached.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
+or through pytest; either way the numbers land in
+``benchmarks/reports/obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.server import BackendServer
+from repro.obs import MetricsRegistry, Tracer
+from repro.sim.world import World
+from repro.util.units import parse_hhmm
+
+from conftest import report
+
+REPEATS = 5
+
+
+def _fresh_server(world: World, registry=None, tracer=None) -> BackendServer:
+    return BackendServer(
+        world.city.network,
+        world.city.route_network,
+        world.database,
+        world.config,
+        registry=registry,
+        tracer=tracer,
+    )
+
+
+def _best_time(world: World, uploads, registry=None, tracer=None) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        server = _fresh_server(world, registry=registry, tracer=tracer)
+        start = time.perf_counter()
+        server.receive_trips(uploads)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run() -> str:
+    world = World(seed=7)
+    result = world.run(parse_hhmm("07:00"), parse_hhmm("10:00"),
+                       with_official_feed=False)
+    uploads = result.uploads
+    null_s = _best_time(world, uploads)
+    recording_s = _best_time(
+        world, uploads, registry=MetricsRegistry(), tracer=Tracer()
+    )
+    rows = [
+        f"uploads replayed              {len(uploads)}",
+        f"null registry (baseline)      {null_s * 1e3:8.1f} ms   "
+        f"{len(uploads) / null_s:8.0f} trips/s",
+        f"recording registry + tracer   {recording_s * 1e3:8.1f} ms   "
+        f"{len(uploads) / recording_s:8.0f} trips/s",
+        f"recording overhead            {100 * (recording_s / null_s - 1):+8.1f} %",
+    ]
+    return "\n".join(rows)
+
+
+def test_obs_overhead():
+    report("obs_overhead", run())
+
+
+if __name__ == "__main__":
+    report("obs_overhead", run())

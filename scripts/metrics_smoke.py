@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""CI scrape smoke: serve a populated registry, curl it, assert parseability.
+
+Starts the embedded exporter on an ephemeral port, fetches ``/healthz``
+and ``/metrics`` over real HTTP, asserts the health payload and that the
+exposition text round-trips through :func:`parse_prometheus_text`, and
+writes the scraped snapshot to ``benchmarks/reports/metrics_snapshot.prom``
+so CI can upload it as an artifact.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/metrics_smoke.py
+
+``--hold SECONDS`` keeps the exporter alive after the in-process checks
+and writes its bound port to ``--port-file``, so an external client
+(CI's curl) can scrape the same endpoints before the script exits.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import (                                   # noqa: E402
+    MetricsHTTPServer,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+)
+
+SNAPSHOT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "reports",
+    "metrics_snapshot.prom",
+)
+
+
+def build_registry() -> MetricsRegistry:
+    """A registry exercising every instrument kind, escaping included."""
+    registry = MetricsRegistry()
+    registry.counter("smoke_trips_total", help="uploads ingested").inc(12)
+    registry.gauge("smoke_fingerprint_db_stops", help="surveyed stops").set(40)
+    registry.histogram(
+        "smoke_match_latency_s", buckets=(0.01, 0.1, 1.0), help="match time"
+    ).observe(0.05)
+    fam = registry.labeled_counter(
+        "smoke_route_trips_total", ("route",), help='per-route trips "demo"'
+    )
+    fam.labels("179-0").inc(7)
+    fam.labels('odd"label\\with\nnoise').inc(1)
+    registry.labeled_gauge(
+        "smoke_route_freshness_s", ("route",), help="staleness per route"
+    ).labels("179-0").set(120.5)
+    return registry
+
+
+def fetch(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hold", type=float, default=0.0,
+                        help="keep the exporter up this long for external "
+                             "scrapers (default: exit immediately)")
+    parser.add_argument("--port-file", default=os.path.join(
+        os.path.dirname(SNAPSHOT_PATH), "metrics_port"))
+    args = parser.parse_args()
+
+    registry = build_registry()
+    with MetricsHTTPServer(registry, port=0) as exporter:
+        status, _, health = fetch(exporter.port, "/healthz")
+        assert status == 200, f"/healthz returned {status}"
+        payload = json.loads(health)
+        assert payload["status"] == "ok", payload
+
+        status, headers, body = fetch(exporter.port, "/metrics")
+        assert status == 200, f"/metrics returned {status}"
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE, headers
+
+        if args.hold > 0:
+            os.makedirs(os.path.dirname(args.port_file), exist_ok=True)
+            with open(args.port_file, "w", encoding="utf-8") as out:
+                out.write(str(exporter.port))
+            print(f"holding exporter on port {exporter.port} "
+                  f"for {args.hold:g}s")
+            time.sleep(args.hold)
+
+    families = parse_prometheus_text(body)   # raises ValueError if malformed
+    expected = {
+        "smoke_trips_total", "smoke_fingerprint_db_stops",
+        "smoke_match_latency_s", "smoke_route_trips_total",
+        "smoke_route_freshness_s",
+    }
+    missing = expected - set(families)
+    assert not missing, f"families missing from scrape: {sorted(missing)}"
+    awkward = [
+        labels["route"]
+        for _, labels, _ in families["smoke_route_trips_total"]["samples"]
+    ]
+    assert 'odd"label\\with\nnoise' in awkward, awkward
+
+    os.makedirs(os.path.dirname(SNAPSHOT_PATH), exist_ok=True)
+    with open(SNAPSHOT_PATH, "w", encoding="utf-8") as out:
+        out.write(body)
+    print(f"scraped {len(families)} families; wrote {SNAPSHOT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,14 +8,19 @@ Subcommands mirror a real deployment's workflow::
     repro process     --db db.json --trips trips.jsonl   # offline reprocessing
     repro power                              # Table III on stdout
     repro stats       metrics.json           # render a --metrics-out document
+    repro alerts      rules.json --metrics m.json   # lint + evaluate SLO rules
 
 Every command is deterministic given ``--seed``.
 
 Observability: the global ``--log-level``/``--log-json`` flags configure
-structured logging for any command, and ``simulate``/``process`` accept
-``--metrics-out FILE`` to dump pipeline counters, histograms and
+structured logging for any command; ``simulate``/``process``/``campaign``
+accept ``--metrics-out FILE`` to dump pipeline counters, histograms and
 per-stage span timings (JSON, or Prometheus text when FILE ends in
-``.prom``).
+``.prom``); ``repro stats`` renders either format back.  ``repro
+simulate --serve-metrics PORT`` runs an embedded HTTP exporter
+(``/metrics``, ``/healthz``, ``/stats``, ``/freshness``) next to the
+campaign, and ``--alert-rules FILE`` evaluates declarative SLO rules on
+every publish tick.
 """
 
 from __future__ import annotations
@@ -71,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--metrics-out", default=None,
                           help="dump pipeline metrics + per-stage timings "
                                "(JSON, or Prometheus text for *.prom)")
+    simulate.add_argument("--serve-metrics", type=int, default=None,
+                          metavar="PORT",
+                          help="serve /metrics, /healthz, /stats and "
+                               "/freshness over HTTP while the campaign "
+                               "runs (0 picks an ephemeral port)")
+    simulate.add_argument("--serve-hold", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="keep the exporter up this long after the "
+                               "run so it can be scraped (default: 0)")
+    simulate.add_argument("--alert-rules", default=None, metavar="FILE",
+                          help="evaluate this JSON SLO rule file on every "
+                               "publish tick")
 
     process = sub.add_parser("process", help="re-run the backend on stored trips")
     process.add_argument("--db", required=True, help="fingerprint database JSON")
@@ -91,13 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--start", default="07:30")
     campaign.add_argument("--end", default="09:30")
     campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--metrics-out", default=None,
+                          help="dump pipeline metrics + per-stage timings "
+                               "(JSON, or Prometheus text for *.prom)")
+    campaign.add_argument("--alert-rules", default=None, metavar="FILE",
+                          help="evaluate this JSON SLO rule file on every "
+                               "publish tick")
 
     sub.add_parser("power", help="print the Table III power model")
 
     stats = sub.add_parser(
         "stats", help="render a --metrics-out document as a report"
     )
-    stats.add_argument("metrics", help="metrics JSON written by --metrics-out")
+    stats.add_argument("metrics",
+                       help="metrics document written by --metrics-out "
+                            "(JSON, or Prometheus text for *.prom)")
+
+    alerts = sub.add_parser(
+        "alerts", help="lint an SLO rule file; evaluate it against metrics"
+    )
+    alerts.add_argument("rules", help="JSON alert-rule file")
+    alerts.add_argument("--metrics", default=None,
+                        help="evaluate the rules against this --metrics-out "
+                             "document (JSON or *.prom); exit 1 if any fire")
     return parser
 
 
@@ -115,17 +148,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "power": _cmd_power,
         "stats": _cmd_stats,
+        "alerts": _cmd_alerts,
     }[args.command]
     return handler(args)
 
 
-def _observability_for(metrics_out: Optional[str]):
-    """A (registry, tracer) pair: recording when metrics are requested."""
+def _observability_for(tracing: bool):
+    """A (registry, tracer) pair: the tracer records when asked to."""
     from repro.obs import MetricsRegistry, NULL_TRACER, Tracer
 
-    if metrics_out:
+    if tracing:
         return MetricsRegistry(), Tracer()
     return MetricsRegistry(), NULL_TRACER
+
+
+def _alert_engine_for(path: Optional[str], registry, server):
+    """Load a rule file and attach an engine to the server (or exit)."""
+    if not path:
+        return None
+    from repro.obs import AlertEngine, load_rules
+
+    try:
+        rules = load_rules(path)
+    except (OSError, ValueError) as exc:
+        print(f"alert rules: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    engine = AlertEngine(rules, registry=registry)
+    server.attach_alerts(engine)
+    return engine
+
+
+def _print_alert_status(engine) -> None:
+    """One line per standing alert after a run (or an all-clear)."""
+    if engine is None:
+        return
+    active = engine.active
+    if not active:
+        print("alerts: none active at end of run")
+        return
+    print(f"alerts: {len(active)} active at end of run")
+    for event in active:
+        labels = ",".join(f"{k}={v}" for k, v in event.labels)
+        where = f"{{{labels}}}" if labels else ""
+        print(f"  [{event.severity}] {event.rule}{where} "
+              f"value={event.value:g} threshold={event.threshold:g}")
 
 
 def _write_metrics(path: str, command: str, server, registry, tracer) -> None:
@@ -173,31 +239,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.util.units import parse_hhmm
     from repro.wire import dump_trips, snapshot_to_geojson
 
-    registry, tracer = _observability_for(args.metrics_out)
-    world = World(seed=args.seed, registry=registry, tracer=tracer)
-    result = world.run(
-        parse_hhmm(args.start),
-        parse_hhmm(args.end),
-        route_ids=args.routes,
-        headway_s=args.headway,
-        with_official_feed=False,
+    registry, tracer = _observability_for(
+        bool(args.metrics_out) or args.serve_metrics is not None
     )
-    stats = world.server.stats
-    snapshot = world.server.traffic_map.published_snapshot(parse_hhmm(args.end))
-    print(f"campaign {args.start}-{args.end}: {len(result.traces)} bus trips, "
-          f"{stats.trips_received} uploads, {stats.trips_mapped} mapped")
-    print(f"map: {100 * snapshot.coverage:.0f}% coverage, "
-          f"mean {snapshot.mean_speed_kmh():.1f} km/h")
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as out:
-            json.dump(snapshot_to_geojson(snapshot, world.city.network), out)
-        print(f"wrote map snapshot -> {args.out}")
-    if args.trips_out:
-        with open(args.trips_out, "w", encoding="utf-8") as out:
-            dump_trips(result.uploads, out)
-        print(f"wrote {len(result.uploads)} uploads -> {args.trips_out}")
-    if args.metrics_out:
-        _write_metrics(args.metrics_out, "simulate", world.server, registry, tracer)
+    world = World(seed=args.seed, registry=registry, tracer=tracer)
+    server = world.server
+    engine = _alert_engine_for(args.alert_rules, registry, server)
+
+    exporter = None
+    if args.serve_metrics is not None:
+        from repro.obs import MetricsHTTPServer
+
+        exporter = MetricsHTTPServer(
+            registry,
+            port=args.serve_metrics,
+            stats_fn=lambda: {
+                "command": "simulate",
+                "stats": server.stats.as_dict(),
+                "stages": tracer.stage_stats(),
+            },
+            freshness_fn=server.freshness.report,
+            health_fn=lambda: {"trips_received": server.stats.trips_received},
+        )
+        port = exporter.start()
+        print(f"serving metrics on http://127.0.0.1:{port}/metrics")
+    try:
+        result = world.run(
+            parse_hhmm(args.start),
+            parse_hhmm(args.end),
+            route_ids=args.routes,
+            headway_s=args.headway,
+            with_official_feed=False,
+        )
+        stats = world.server.stats
+        snapshot = server.traffic_map.published_snapshot(parse_hhmm(args.end))
+        print(f"campaign {args.start}-{args.end}: {len(result.traces)} "
+              f"bus trips, {stats.trips_received} uploads, "
+              f"{stats.trips_mapped} mapped")
+        print(f"map: {100 * snapshot.coverage:.0f}% coverage, "
+              f"mean {snapshot.mean_speed_kmh():.1f} km/h")
+        _print_alert_status(engine)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as out:
+                json.dump(snapshot_to_geojson(snapshot, world.city.network), out)
+            print(f"wrote map snapshot -> {args.out}")
+        if args.trips_out:
+            with open(args.trips_out, "w", encoding="utf-8") as out:
+                dump_trips(result.uploads, out)
+            print(f"wrote {len(result.uploads)} uploads -> {args.trips_out}")
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, "simulate", server, registry, tracer)
+        if exporter is not None and args.serve_hold > 0:
+            import time
+
+            print(f"holding exporter open for {args.serve_hold:g}s "
+                  f"(ctrl-c to stop early)")
+            try:
+                time.sleep(args.serve_hold)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if exporter is not None:
+            exporter.stop()
     return 0
 
 
@@ -232,11 +335,82 @@ def _cmd_process(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_metrics_document(path: str) -> dict:
+    """Read a ``--metrics-out`` file; ``.prom`` is parsed back to JSON shape."""
+    if path.endswith(".prom"):
+        from repro.obs import parse_prometheus_text
+
+        with open(path, encoding="utf-8") as handle:
+            families = parse_prometheus_text(handle.read())
+        return _document_from_families(families)
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _render_pairs(labels: dict) -> str:
+    from repro.obs import escape_label_value
+
+    return ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+
+
+def _document_from_families(families: dict) -> dict:
+    """Re-shape parsed Prometheus families into a --metrics-out document."""
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    labeled: dict = {}
+    for name, family in sorted(families.items()):
+        kind = family.get("type") or "gauge"
+        samples = family.get("samples", [])
+        if kind == "histogram":
+            flat = {"count": 0, "sum": 0.0}
+            children: dict = {}
+            labelnames = sorted(
+                {k for _, ls, _ in samples for k in ls if k != "le"}
+            )
+            for sample_name, labels, value in samples:
+                base = {k: v for k, v in labels.items() if k != "le"}
+                target = (
+                    children.setdefault(
+                        _render_pairs(base), {"count": 0, "sum": 0.0}
+                    )
+                    if base else flat
+                )
+                if sample_name.endswith("_count"):
+                    target["count"] = int(value)
+                elif sample_name.endswith("_sum"):
+                    target["sum"] = value
+            if labelnames:
+                labeled[name] = {"type": "histogram", "labels": labelnames,
+                                 "overflow_total": 0, "children": children}
+            else:
+                histograms[name] = flat
+        else:
+            flat_target = counters if kind == "counter" else gauges
+            children = {}
+            for _, labels, value in samples:
+                if labels:
+                    children[_render_pairs(labels)] = value
+                else:
+                    flat_target[name] = value
+            if children:
+                labelnames = sorted({k for _, ls, _ in samples for k in ls})
+                labeled[name] = {"type": kind, "labels": labelnames,
+                                 "overflow_total": 0, "children": children}
+    return {
+        "command": "prometheus",
+        "metrics": {"counters": counters, "gauges": gauges,
+                    "histograms": histograms, "labeled": labeled},
+    }
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.reporting import render_table
 
-    with open(args.metrics, encoding="utf-8") as handle:
-        document = json.load(handle)
+    document = _load_metrics_document(args.metrics)
 
     sections: List[str] = []
     stats = document.get("stats", {})
@@ -278,6 +452,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             [[name, value] for name, value in extra_counters.items()],
             title="Other counters",
         ))
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        sections.append(render_table(
+            ["gauge", "value"],
+            [[name, value] for name, value in sorted(gauges.items())],
+            title="Gauges",
+        ))
     histograms = metrics.get("histograms", {})
     if histograms:
         rows = []
@@ -289,6 +470,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ["histogram", "observations", "mean"],
             rows,
             title="Histograms",
+        ))
+    labeled = metrics.get("labeled", {})
+    if labeled:
+        rows = []
+        for name, family in sorted(labeled.items()):
+            for rendered, value in sorted(family.get("children", {}).items()):
+                if family.get("type") == "histogram":
+                    count = value.get("count", 0)
+                    mean = value.get("sum", 0.0) / count if count else 0.0
+                    shown = f"{count} obs, mean {mean:.2f}"
+                else:
+                    shown = value
+                rows.append([f"{name}{{{rendered}}}", shown])
+            overflow = family.get("overflow_total", 0)
+            if overflow:
+                rows.append([f"{name} (beyond cardinality cap)", overflow])
+        sections.append(render_table(
+            ["labeled series", "value"],
+            rows,
+            title="Labeled families",
         ))
 
     if not sections:
@@ -302,7 +503,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.sim.campaign import Campaign, CampaignPhase
     from repro.sim.world import World
 
-    world = World(seed=args.seed)
+    registry, tracer = _observability_for(bool(args.metrics_out))
+    world = World(seed=args.seed, registry=registry, tracer=tracer)
+    engine = _alert_engine_for(args.alert_rules, registry, world.server)
     campaign = Campaign(world, start=args.start, end=args.end)
     phases = []
     if args.sparse_days > 0:
@@ -326,7 +529,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for phase in {p.name for p in phases}:
         print(f"mean uploads/day in {phase}: "
               f"{result.uploads_per_day(phase):.0f}")
+    _print_alert_status(engine)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, "campaign", world.server, registry,
+                       tracer)
     return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.obs import AlertEngine, lint_rules, load_rules, \
+        samples_from_document
+
+    problems = lint_rules(args.rules)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 2
+    rules = load_rules(args.rules)
+    print(f"{args.rules}: {len(rules)} rule(s) OK")
+    if not args.metrics:
+        return 0
+
+    document = _load_metrics_document(args.metrics)
+    samples = samples_from_document(document)
+    engine = AlertEngine(rules)
+    # A static document is one persistent world state: repeat the pass
+    # until every rule's `for` debounce could have elapsed.
+    for tick in range(max(rule.for_count for rule in rules)):
+        engine.evaluate(samples, now=float(tick))
+    active = engine.active
+    if not active:
+        print(f"{args.metrics}: all {len(rules)} rule(s) healthy "
+              f"({len(samples)} samples)")
+        return 0
+    print(f"{args.metrics}: {len(active)} alert(s) firing")
+    for event in active:
+        labels = ",".join(f"{k}={v}" for k, v in event.labels)
+        where = f"{{{labels}}}" if labels else ""
+        print(f"  [{event.severity}] {event.rule}{where} "
+              f"value={event.value:g} threshold={event.threshold:g}")
+    return 1
 
 
 def _cmd_power(args: argparse.Namespace) -> int:

@@ -1,0 +1,160 @@
+"""Traffic-map freshness: how stale is each segment / route right now?
+
+The paper's map is only useful where a bus ride refreshed it recently
+(coverage tracks rider participation per route, Fig. 8–9), so the
+operational question is *staleness*: seconds since each road segment —
+and, aggregated, each bus route — last received a fused observation in
+the published map.
+
+:class:`FreshnessTracker` sits next to the
+:class:`~repro.core.traffic_map.TrafficMapEstimator`:
+
+* the backend reports every leg estimate (``observe_update``), which
+  pins each route's *last refresh time*;
+* every publish tick (``observe_publish``) recomputes staleness, sets
+  the ``map_route_freshness_s`` / ``map_route_covered_segments``
+  labeled gauges, and caches a JSON-ready report for the exporter's
+  ``/freshness`` endpoint.
+
+A route that nobody rides simply stops refreshing, so its freshness
+grows without bound — exactly the signal the
+``map_route_freshness_s{route=*} < 900`` SLO rule watches.
+
+Routes that have never been refreshed age from the tracker's epoch (the
+first publish tick), so a dead route alerts even if it never produced a
+single estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.city.road_network import SegmentId
+from repro.city.routes import RouteNetwork
+from repro.core.traffic_map import TrafficMapEstimator
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["FreshnessTracker"]
+
+
+class FreshnessTracker:
+    """Per-segment / per-route staleness of the published map."""
+
+    def __init__(
+        self,
+        route_network: RouteNetwork,
+        traffic_map: TrafficMapEstimator,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.traffic_map = traffic_map
+        self._route_segments: Dict[str, Tuple[SegmentId, ...]] = {
+            route.route_id: tuple(route.segments)
+            for route in route_network.routes
+        }
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._g_route_freshness = reg.labeled_gauge(
+            "map_route_freshness_s", ("route",),
+            help="seconds since the route last refreshed any map segment",
+        )
+        self._g_route_covered = reg.labeled_gauge(
+            "map_route_covered_segments", ("route",),
+            help="route segments present in the latest published frame",
+        )
+        self._g_worst = reg.gauge(
+            "map_freshness_worst_s",
+            help="staleness of the least recently refreshed route",
+        )
+        #: Route id -> time of its most recent accepted leg estimate.
+        self._route_last_update: Dict[str, float] = {}
+        #: Epoch for never-refreshed routes: the first publish tick.
+        self._epoch_s: Optional[float] = None
+        self._last_report: Optional[Dict] = None
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe_update(self, route_id: str, t: float) -> None:
+        """Record that ``route_id`` refreshed some segment at time ``t``."""
+        last = self._route_last_update.get(route_id)
+        if last is None or t > last:
+            self._route_last_update[route_id] = t
+
+    def observe_publish(self, at_s: float) -> Dict:
+        """Recompute staleness at a publish tick; returns the report."""
+        if self._epoch_s is None:
+            self._epoch_s = at_s
+        report = self.report(at_s)
+        worst = 0.0
+        for route_id, entry in report["routes"].items():
+            freshness = entry["freshness_s"]
+            self._g_route_freshness.labels(route_id).set(freshness)
+            self._g_route_covered.labels(route_id).set(
+                entry["covered_segments"]
+            )
+            worst = max(worst, freshness)
+        self._g_worst.set(worst)
+        self._last_report = report
+        return report
+
+    # -- reading -------------------------------------------------------------
+
+    def route_freshness_s(self, route_id: str, at_s: float) -> float:
+        """Seconds since the route last refreshed anything (see module doc)."""
+        last = self._route_last_update.get(route_id)
+        if last is None:
+            last = self._epoch_s if self._epoch_s is not None else at_s
+        return max(0.0, at_s - last)
+
+    def report(self, at_s: Optional[float] = None) -> Dict:
+        """The JSON document ``/freshness`` serves.
+
+        With ``at_s=None`` the most recent publish-tick report is
+        returned (so the exporter thread never races the simulation
+        clock); pass a time to compute a fresh one.
+        """
+        if at_s is None:
+            if self._last_report is not None:
+                return self._last_report
+            at_s = self._epoch_s if self._epoch_s is not None else 0.0
+        segment_ages = self.traffic_map.published_freshness(at_s)
+        routes: Dict[str, Dict] = {}
+        for route_id, segments in sorted(self._route_segments.items()):
+            ages = [
+                segment_ages[segment]
+                for segment in segments
+                if segment in segment_ages
+            ]
+            routes[route_id] = {
+                "freshness_s": round(self.route_freshness_s(route_id, at_s), 3),
+                "covered_segments": len(ages),
+                "total_segments": len(segments),
+                "oldest_covered_s": round(max(ages), 3) if ages else None,
+                "newest_covered_s": round(min(ages), 3) if ages else None,
+            }
+        return {
+            "at_s": at_s,
+            "published_frames": len(self.traffic_map.publish_times),
+            "segments": {
+                # GeoJSON-free wire form: "u-v" -> age in seconds.
+                f"{u}-{v}": round(age, 3)
+                for (u, v), age in sorted(segment_ages.items())
+            },
+            "routes": routes,
+        }
+
+    def samples(self, at_s: float) -> List[Tuple[str, Dict[str, str], float]]:
+        """Alert-engine samples: one ``map_route_freshness_s`` per route."""
+        out: List[Tuple[str, Dict[str, str], float]] = []
+        for route_id in self._route_segments:
+            out.append((
+                "map_route_freshness_s",
+                {"route": route_id},
+                self.route_freshness_s(route_id, at_s),
+            ))
+        return out
+
+    def reset(self) -> None:
+        """Forget refresh history (e.g. between back-to-back campaigns)."""
+        self._route_last_update.clear()
+        self._epoch_s = None
+        self._last_report = None

@@ -160,6 +160,16 @@ class SampleMatcher:
             buckets=(0, 1, 2, 5, 10, 20, 50),
             help="candidate stops sharing a tower with a sample",
         )
+        self._fam_verdicts = reg.labeled_counter(
+            "matcher_verdicts_total", ("verdict",),
+            help="per-verdict sample matching outcomes",
+        )
+        self._c_accepted_verdict = self._fam_verdicts.labels("accepted")
+        self._c_rejected_verdict = self._fam_verdicts.labels("rejected")
+        self._fam_stop_matches = reg.labeled_counter(
+            "matcher_stop_matches_total", ("stop",),
+            help="accepted samples per matched bus stop",
+        )
         self._fingerprints = dict(fingerprints)
         # Inverted index: only stops sharing at least one cell id with the
         # sample can score above zero, so score only those.
@@ -191,10 +201,14 @@ class SampleMatcher:
             if best is None or key > best:
                 best = key
         if best is None:
+            if self._observing:
+                self._c_rejected_verdict.inc()
             return MatchResult(station_id=None, score=0.0, common_ids=0)
+        score, common, neg_station = best
         if self._observing:
             self._m_accepted.inc()
-        score, common, neg_station = best
+            self._c_accepted_verdict.inc()
+            self._fam_stop_matches.labels(str(-neg_station)).inc()
         return MatchResult(station_id=-neg_station, score=score, common_ids=common)
 
     def match_many(
@@ -244,8 +258,13 @@ class SampleMatcher:
                 results.append(
                     MatchResult(station_id=-neg_station, score=score, common_ids=common)
                 )
+                if observing:
+                    self._fam_stop_matches.labels(str(-neg_station)).inc()
         if observing:
-            self._m_accepted.inc(sum(1 for entry in best if entry is not None))
+            accepted = sum(1 for entry in best if entry is not None)
+            self._m_accepted.inc(accepted)
+            self._c_accepted_verdict.inc(accepted)
+            self._c_rejected_verdict.inc(len(best) - accepted)
         return results
 
     def scores(self, tower_ids: Sequence[int]) -> Dict[int, float]:

@@ -21,13 +21,16 @@ from repro.city.routes import BusRoute, RouteNetwork
 from repro.config import SystemConfig
 from repro.core.clustering import MatchedSample, SampleCluster, cluster_trip_samples
 from repro.core.fingerprint import FingerprintDatabase
+from repro.core.freshness import FreshnessTracker
 from repro.core.matching import SampleMatcher
 from repro.core.traffic_map import TrafficMapEstimator
 from repro.core.traffic_model import TrafficModel
 from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
+from repro.obs.alerts import AlertEngine, Sample
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.tracing import NULL_TRACER
+from repro.obs.windows import WindowSet
 from repro.phone.trip_recorder import TripUpload
 from repro.util.units import ms_to_kmh
 
@@ -71,8 +74,11 @@ class ServerStats:
     ):
         # Stats must always count — they are the server's public record —
         # so a do-nothing registry is swapped for a private recording one.
-        if registry is None or isinstance(registry, NullRegistry):
+        private = registry is None or isinstance(registry, NullRegistry)
+        if private:
             registry = MetricsRegistry()
+        self.__dict__["_registry"] = registry
+        self.__dict__["_private_registry"] = private
         self.__dict__["_counters"] = {
             name: registry.counter(
                 f"{namespace}_{name}",
@@ -111,9 +117,19 @@ class ServerStats:
         return {name: getattr(self, name) for name in STAT_FIELDS}
 
     def reset(self) -> None:
-        """Zero every counter (e.g. between campaign phases)."""
-        for counter in self.__dict__["_counters"].values():
-            counter.reset()
+        """Zero every counter (e.g. between campaign phases).
+
+        When the stats own a private registry (the default), the whole
+        registry is reset — histogram bucket counts and labeled children
+        included — so back-to-back runs never leak counts.  On a shared
+        pipeline registry only the stats' own counters are touched; use
+        :meth:`BackendServer.reset_metrics` for a full telemetry reset.
+        """
+        if self.__dict__["_private_registry"]:
+            self.__dict__["_registry"].reset()
+        else:
+            for counter in self.__dict__["_counters"].values():
+                counter.reset()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ServerStats):
@@ -161,6 +177,10 @@ class BackendServer:
         # public counters always count either way.
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Per-trip dimensional instrumentation is branch-guarded on this
+        # flag so the NULL_REGISTRY fast path stays within ~2% of the
+        # uninstrumented baseline.
+        self._observing = not isinstance(self.registry, NullRegistry)
         self.matcher = SampleMatcher(
             database.as_dict(), self.config.matching, registry=self.registry
         )
@@ -170,12 +190,55 @@ class BackendServer:
             network, self.config.fusion,
             registry=self.registry, tracer=self.tracer,
         )
+        self.freshness = FreshnessTracker(
+            route_network, self.traffic_map, registry=self.registry
+        )
         self.stats = ServerStats(registry=self.registry)
+        self.registry.gauge(
+            "fingerprint_db_stops",
+            help="bus stops with a surveyed fingerprint (freshness denominator)",
+        ).set(len(database))
+        self._fam_route_trips = self.registry.labeled_counter(
+            "trips_uploaded_total", ("route",),
+            help="mapped trip uploads attributed to each bus route",
+        )
+        self._fam_route_segments = self.registry.labeled_counter(
+            "segments_updated_total", ("route",),
+            help="map segment updates contributed by each bus route",
+        )
+        #: Trailing 5-minute windows over the ingest stream (sim clock).
+        self.windows = WindowSet(
+            window_s=self.config.fusion.update_period_s, buckets=30
+        )
+        self._fam_window_route = self.registry.labeled_gauge(
+            "window_route_trips", ("route",),
+            help="mapped trips per route over the trailing publish window",
+        )
+        self._g_window_trips = self.registry.gauge(
+            "window_trips_received",
+            help="uploads received over the trailing publish window",
+        )
+        self._g_window_accepted = self.registry.gauge(
+            "window_samples_accepted",
+            help="samples accepted over the trailing publish window",
+        )
+        self._g_accept_ratio = self.registry.gauge(
+            "match_accept_ratio",
+            help="accepted / received samples over the whole run",
+        )
+        #: Optional SLO engine, evaluated on every publish tick.
+        self.alerts: Optional[AlertEngine] = None
         self._seen_trip_keys: set = set()
+
+    def attach_alerts(self, engine: AlertEngine) -> None:
+        """Evaluate ``engine`` on every publish tick from now on."""
+        self.alerts = engine
 
     # -- ingestion ---------------------------------------------------------------
 
-    def receive_trip(self, upload: TripUpload) -> TripReport:
+    def receive_trip(
+        self, upload: TripUpload, now_s: Optional[float] = None
+    ) -> TripReport:
         """Run one uploaded trip through the full pipeline.
 
         Re-delivered uploads (flaky phone connectivity retries the POST)
@@ -184,11 +247,16 @@ class BackendServer:
         ``samples_discarded`` (so aggregate stats agree with the sum of
         per-trip ``discarded_samples``) and the dedicated
         ``samples_duplicate`` counter.
+
+        ``now_s`` is the ingest time for sliding-window rates (the event
+        engine passes its clock); it defaults to the upload's end time.
         """
         with self.tracer.span("receive_trip"):
-            return self._receive_trip(upload)
+            return self._receive_trip(upload, now_s)
 
-    def _receive_trip(self, upload: TripUpload) -> TripReport:
+    def _receive_trip(
+        self, upload: TripUpload, now_s: Optional[float] = None
+    ) -> TripReport:
         if upload.trip_key in self._seen_trip_keys:
             self.stats.trips_duplicate += 1
             self.stats.samples_discarded += len(upload.samples)
@@ -207,6 +275,11 @@ class BackendServer:
         self._seen_trip_keys.add(upload.trip_key)
         self.stats.trips_received += 1
         self.stats.samples_received += len(upload.samples)
+        observing = self._observing
+        if observing:
+            if now_s is None:
+                now_s = upload.end_s
+            self.windows.add("trips_received", now=now_s)
 
         matched: List[MatchedSample] = []
         discarded = 0
@@ -220,6 +293,9 @@ class BackendServer:
                 else:
                     discarded += 1
         self.stats.samples_discarded += discarded
+        if observing:
+            self.windows.add("samples_accepted", len(matched), now=now_s)
+            self.windows.add("samples_discarded", discarded, now=now_s)
 
         with self.tracer.span("clustering"):
             clusters = cluster_trip_samples(
@@ -250,7 +326,10 @@ class BackendServer:
             return report
         self.stats.trips_mapped += 1
         with self.tracer.span("leg_estimation"):
-            self._estimate_legs(mapped, report)
+            trip_route = self._estimate_legs(mapped, report)
+        if observing and trip_route is not None:
+            self._fam_route_trips.labels(trip_route).inc()
+            self.windows.add("route_trips", now=now_s, route=trip_route)
         log_event(
             _log, "trip_processed", level=logging.DEBUG,
             trip_key=upload.trip_key,
@@ -265,19 +344,87 @@ class BackendServer:
         ordered = sorted(uploads, key=lambda u: u.start_s if u.samples else 0.0)
         return [self.receive_trip(upload) for upload in ordered]
 
+    def reset_metrics(self) -> None:
+        """Zero every counter for a fresh run in the same process.
+
+        Back-to-back campaigns sharing one server used to leak counts
+        across runs: histograms kept their bucket counts and labeled
+        children kept accumulating.  This resets the pipeline registry
+        (flat instruments, histogram buckets, and every labeled child),
+        the server stats, the sliding windows, and the freshness
+        history.  The fused map and the duplicate-trip ledger are *not*
+        touched — they are state, not telemetry.
+        """
+        self.registry.reset()
+        self.stats.reset()
+        self.windows.reset()
+        self.freshness.reset()
+        self.registry.gauge("fingerprint_db_stops").set(len(self.database))
+
     def publish(self, at_s: float) -> None:
-        """Publish the current map (the T = 5 min refresh cycle)."""
+        """Publish the current map (the T = 5 min refresh cycle).
+
+        Each publish tick also refreshes the freshness gauges, exports
+        the sliding-window rates, and — when an :class:`AlertEngine` is
+        attached — evaluates every SLO rule against the live samples.
+        """
         self.traffic_map.publish(at_s)
+        self.freshness.observe_publish(at_s)
+        if self._observing:
+            self._g_window_trips.set(self.windows.window("trips_received").total(at_s))
+            self._g_window_accepted.set(
+                self.windows.window("samples_accepted").total(at_s)
+            )
+            for name, labels, total in self.windows.series(at_s):
+                if name == "route_trips" and "route" in labels:
+                    self._fam_window_route.labels(labels["route"]).set(total)
+            self._g_accept_ratio.set(self.match_accept_ratio())
+        if self.alerts is not None:
+            self.alerts.evaluate(self.alert_samples(at_s), at_s)
+
+    def match_accept_ratio(self) -> float:
+        """Accepted / received samples over the run (1.0 before any data)."""
+        received = self.stats.samples_received
+        if not received:
+            return 1.0
+        accepted = received - (
+            self.stats.samples_discarded - self.stats.samples_duplicate
+        )
+        return accepted / received
+
+    def alert_samples(self, at_s: float) -> List[Sample]:
+        """The sample set SLO rules are evaluated against.
+
+        Always includes per-route freshness, the run-wide acceptance
+        ratio, pipeline counters, and window totals — even with the
+        null registry, so alerting works without full metrics recording.
+        """
+        samples: List[Sample] = self.freshness.samples(at_s)
+        samples.append(("match_accept_ratio", {}, self.match_accept_ratio()))
+        samples.extend(
+            (f"server_{name}", {}, float(value))
+            for name, value in self.stats.as_dict().items()
+        )
+        for name, labels, total in self.windows.series(at_s):
+            samples.append((f"window_{name}", labels, total))
+        return samples
 
     # -- travel-time extraction (§III-D) -------------------------------------------
 
-    def _estimate_legs(self, mapped: MappedTrip, report: TripReport) -> None:
-        # Stats are accumulated locally and written once per trip; the
-        # registry-backed attribute writes are not free enough for the
-        # per-leg/per-segment loop.
+    def _estimate_legs(
+        self, mapped: MappedTrip, report: TripReport
+    ) -> Optional[str]:
+        """Extract per-segment speeds; returns the trip's dominant route.
+
+        Stats are accumulated locally and written once per trip; the
+        registry-backed attribute writes are not free enough for the
+        per-leg/per-segment loop.
+        """
         legs_rejected = 0
         legs_estimated = 0
         segments_updated = 0
+        route_legs: Dict[str, int] = {}
+        observing = self._observing
         for prev, cur in zip(mapped.stops, mapped.stops[1:]):
             if prev.station_id == cur.station_id:
                 continue                      # duplicate cluster of one stop
@@ -292,7 +439,9 @@ class BackendServer:
             if btt <= 0:
                 legs_rejected += 1
                 continue
-            segments = self._segments_between(prev.station_id, cur.station_id)
+            route_id, segments = self._route_between(
+                prev.station_id, cur.station_id
+            )
             if not segments:
                 legs_rejected += 1
                 continue
@@ -302,10 +451,12 @@ class BackendServer:
                 legs_rejected += 1
                 continue
             legs_estimated += 1
+            route_legs[route_id] = route_legs.get(route_id, 0) + 1
             # A missing stop merges adjacent road segments into one leg
             # (§III-D); the running time is split over the spanned
             # segments in proportion to their length, which assumes a
             # uniform speed over the leg.
+            leg_segments = 0
             for segment_id in segments:
                 segment = self.network.segment(segment_id)
                 seg_btt = btt * segment.length_m / total_length
@@ -315,24 +466,34 @@ class BackendServer:
                 self.traffic_map.update(
                     segment_id, estimate.speed_kmh, cur.arrival_s
                 )
-                segments_updated += 1
+                leg_segments += 1
                 report.estimates.append(
                     (segment_id, estimate.speed_kmh, cur.arrival_s)
                 )
+            segments_updated += leg_segments
+            self.freshness.observe_update(route_id, cur.arrival_s)
+            if observing and leg_segments:
+                self._fam_route_segments.labels(route_id).inc(leg_segments)
         if legs_rejected:
             self.stats.legs_rejected += legs_rejected
         if legs_estimated:
             self.stats.legs_estimated += legs_estimated
         if segments_updated:
             self.stats.segments_updated += segments_updated
+        if not route_legs:
+            return None
+        # Dominant route: the one explaining the most legs (ties -> id order).
+        return max(sorted(route_legs), key=lambda rid: route_legs[rid])
 
-    def _segments_between(self, x: int, y: int) -> List[SegmentId]:
-        """Directed segments a bus covers from station x to station y.
+    def _route_between(
+        self, x: int, y: int
+    ) -> Tuple[Optional[str], List[SegmentId]]:
+        """The route and directed segments a bus covers from x to y.
 
         When several routes serve the pair, the one with the fewest
         intermediate stops is the natural explanation of the leg.
         """
-        best: Optional[Tuple[int, List[SegmentId]]] = None
+        best: Optional[Tuple[int, str, List[SegmentId]]] = None
         for route in self.route_network.routes:
             from_order = route.station_order(x)
             to_order = route.station_order(y)
@@ -340,5 +501,15 @@ class BackendServer:
                 continue
             hops = to_order - from_order
             if best is None or hops < best[0]:
-                best = (hops, route.segments_between(from_order, to_order))
-        return best[1] if best else []
+                best = (
+                    hops,
+                    route.route_id,
+                    route.segments_between(from_order, to_order),
+                )
+        if best is None:
+            return None, []
+        return best[1], best[2]
+
+    def _segments_between(self, x: int, y: int) -> List[SegmentId]:
+        """Back-compat shim: just the segments of :meth:`_route_between`."""
+        return self._route_between(x, y)[1]

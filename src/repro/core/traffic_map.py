@@ -181,6 +181,23 @@ class TrafficMapEstimator:
         """Times of all published frames."""
         return [t for t, _ in self._history]
 
+    def published_freshness(self, at_s: float) -> Dict[SegmentId, float]:
+        """Per-segment staleness (seconds since last fused observation).
+
+        Read from the latest frame published at or before ``at_s`` — the
+        consumer-visible map — so a segment's age keeps growing between
+        rides even though its fused belief is unchanged.  Segments absent
+        from the frame (never updated, or stale beyond ``max_age_s`` at
+        publish time) are omitted.
+        """
+        frame = self._frame_at(at_s)
+        if frame is None:
+            return {}
+        return {
+            segment_id: max(0.0, at_s - last_update)
+            for segment_id, (_, _, last_update) in frame[1].items()
+        }
+
     def published_speed(
         self, segment_id: SegmentId, t: float
     ) -> Optional[float]:

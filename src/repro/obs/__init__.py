@@ -1,10 +1,22 @@
-"""Observability: metrics registry, span tracing, structured logging.
+"""Observability: metrics, labels, windows, tracing, logging, HTTP, SLOs.
 
-The three pillars the phone→server pipeline reports itself through:
+The pillars the phone→server pipeline reports itself through:
 
 * :class:`MetricsRegistry` — counters / gauges / fixed-bucket
-  histograms with JSON (:meth:`~MetricsRegistry.as_dict`) and
-  Prometheus-text (:meth:`~MetricsRegistry.render_prometheus`) export.
+  histograms, plus *labeled families* of each
+  (``labeled_counter("trips_uploaded_total", ("route",))``), with JSON
+  (:meth:`~MetricsRegistry.as_dict`) and Prometheus-text
+  (:meth:`~MetricsRegistry.render_prometheus`) export and
+  :func:`parse_prometheus_text` to read the latter back.
+* :class:`SlidingWindowCounter` / :class:`WindowSet` — ring-buffer time
+  windows over an explicit (sim or wall) clock, for live rates like
+  matches-accepted-per-5-minutes.
+* :class:`MetricsHTTPServer` — a stdlib-only threaded exporter serving
+  ``/metrics``, ``/healthz``, ``/stats`` and ``/freshness`` while a
+  campaign runs (``repro simulate --serve-metrics PORT``).
+* :class:`AlertEngine` / :class:`AlertRule` — declarative SLO rules
+  (``map_route_freshness_s{route=*} < 900``) evaluated on publish
+  ticks, firing structured-log events and the ``alerts_active`` gauge.
 * :class:`Tracer` — nested ``with tracer.span("matching"):`` timing,
   aggregated per stage name; :data:`NULL_TRACER` makes instrumented
   hot paths free when tracing is off.
@@ -14,6 +26,25 @@ The three pillars the phone→server pipeline reports itself through:
 Everything is dependency-free and safe to import from any layer.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    lint_rules,
+    load_rules,
+    parse_rule_expr,
+    samples_from_document,
+    samples_from_registry,
+)
+from repro.obs.http_exporter import PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer
+from repro.obs.labels import (
+    DEFAULT_MAX_CHILDREN,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    escape_help,
+    escape_label_value,
+)
 from repro.obs.logging import (
     JsonFormatter,
     KeyValueFormatter,
@@ -30,8 +61,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    parse_prometheus_text,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, StageTiming, Tracer
+from repro.obs.windows import SlidingWindowCounter, WindowSet
 
 __all__ = [
     "Counter",
@@ -41,6 +74,25 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "parse_prometheus_text",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
+    "DEFAULT_MAX_CHILDREN",
+    "escape_help",
+    "escape_label_value",
+    "SlidingWindowCounter",
+    "WindowSet",
+    "MetricsHTTPServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "load_rules",
+    "lint_rules",
+    "parse_rule_expr",
+    "samples_from_registry",
+    "samples_from_document",
     "StageTiming",
     "Tracer",
     "NullTracer",

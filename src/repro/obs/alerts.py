@@ -1,0 +1,390 @@
+"""Declarative SLO rules evaluated against live metric samples.
+
+A rule states the *healthy* condition as a tiny expression::
+
+    map_route_freshness_s{route=*} < 900
+    match_accept_ratio > 0.6
+    ingest_backlog_trips{} <= 50
+
+and the engine fires an alert for every sample that **violates** it.
+``label=*`` is a wildcard: the rule is evaluated once per label value
+present, so one freshness rule covers every route and fires per-route
+alert instances.  Rules carry an optional ``for`` count — the violation
+must persist that many consecutive evaluations before firing — which
+suppresses single-tick flapping.
+
+The engine is clock-agnostic (evaluations carry an explicit ``now``,
+simulation or wall time) and reports three ways:
+
+* structured-log events ``alert_fired`` / ``alert_resolved``,
+* an ``alerts_active`` gauge plus a per-rule ``alert_active`` labeled
+  gauge in the attached registry,
+* the return value of :meth:`AlertEngine.evaluate` (the transitions)
+  and :attr:`AlertEngine.active` (the standing set).
+
+``repro alerts`` lints rule files (JSON: ``{"rules": [{"name", "expr",
+"severity"?, "for"?}]}``) and evaluates them against a metrics document.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = [
+    "AlertRule",
+    "AlertEvent",
+    "AlertEngine",
+    "Sample",
+    "load_rules",
+    "lint_rules",
+    "parse_rule_expr",
+    "samples_from_registry",
+    "samples_from_document",
+]
+
+_log = get_logger(__name__)
+
+#: One metric sample: name, labels, value.
+Sample = Tuple[str, Dict[str, str], float]
+
+#: Wildcard marker in a rule's label matchers.
+WILDCARD = "*"
+
+_EXPR_RE = re.compile(
+    r"^\s*(?P<metric>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"\s*(?:\{(?P<matchers>[^}]*)\})?"
+    r"\s*(?P<op><=|>=|==|!=|<|>)"
+    r"\s*(?P<threshold>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?)\s*$"
+)
+_MATCHER_RE = re.compile(
+    r'^\s*(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+    r'(?P<value>\*|"[^"]*"|[^,\s"]+)\s*$'
+)
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def parse_rule_expr(expr: str) -> Tuple[str, Dict[str, str], str, float]:
+    """``(metric, matchers, op, threshold)`` from an SLO expression.
+
+    Raises :class:`ValueError` with a pointed message on bad input —
+    this is what ``repro alerts`` lint surfaces.
+    """
+    match = _EXPR_RE.match(expr)
+    if match is None:
+        raise ValueError(
+            f"cannot parse {expr!r} "
+            "(expected: metric{label=value,...} OP number)"
+        )
+    matchers: Dict[str, str] = {}
+    raw = match.group("matchers")
+    if raw:
+        for part in raw.split(","):
+            m = _MATCHER_RE.match(part)
+            if m is None:
+                raise ValueError(f"bad label matcher {part.strip()!r} in {expr!r}")
+            value = m.group("value")
+            if value.startswith('"'):
+                value = value[1:-1]
+            if m.group("label") in matchers:
+                raise ValueError(
+                    f"duplicate label {m.group('label')!r} in {expr!r}"
+                )
+            matchers[m.group("label")] = value
+    return (
+        match.group("metric"),
+        matchers,
+        match.group("op"),
+        float(match.group("threshold")),
+    )
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One SLO assertion (see module docstring for semantics)."""
+
+    name: str
+    expr: str
+    severity: str = "warning"
+    for_count: int = 1                  # consecutive violating evaluations
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an alert rule needs a name")
+        if self.for_count < 1:
+            raise ValueError(f"rule {self.name!r}: 'for' must be >= 1")
+        metric, matchers, op, threshold = parse_rule_expr(self.expr)
+        object.__setattr__(self, "_metric", metric)
+        object.__setattr__(self, "_matchers", matchers)
+        object.__setattr__(self, "_op", op)
+        object.__setattr__(self, "_threshold", threshold)
+
+    @property
+    def metric(self) -> str:
+        return self._metric            # type: ignore[attr-defined]
+
+    @property
+    def matchers(self) -> Dict[str, str]:
+        return dict(self._matchers)    # type: ignore[attr-defined]
+
+    @property
+    def op(self) -> str:
+        return self._op                # type: ignore[attr-defined]
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold         # type: ignore[attr-defined]
+
+    def matches(self, labels: Dict[str, str]) -> bool:
+        """Do a sample's labels satisfy this rule's matchers?"""
+        for label, wanted in self._matchers.items():   # type: ignore[attr-defined]
+            have = labels.get(label)
+            if have is None:
+                return False
+            if wanted != WILDCARD and have != wanted:
+                return False
+        return True
+
+    def healthy(self, value: float) -> bool:
+        """True when the sample satisfies the SLO (no alert)."""
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One fired/resolved transition from an evaluation."""
+
+    rule: str
+    severity: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    threshold: float
+    fired: bool                          # False: resolved
+    at_s: float
+
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+class AlertEngine:
+    """Evaluates rules against samples and tracks the active alert set."""
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        registry: Optional[MetricsRegistry] = None,
+        logger: Optional[logging.Logger] = None,
+    ):
+        self.rules = list(rules)
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._log = logger or _log
+        self._g_active = reg.gauge(
+            "alerts_active", help="currently firing alert instances"
+        )
+        self._fam_active = reg.labeled_gauge(
+            "alert_active", ("rule",), help="firing instances per alert rule"
+        )
+        self._c_fired = reg.counter(
+            "alerts_fired_total", help="alert instances fired over the run"
+        )
+        self._c_evals = reg.counter(
+            "alert_evaluations_total", help="rule-set evaluation passes"
+        )
+        # (rule name, label items) -> consecutive violating evaluations.
+        self._violating: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+        self._active: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                           AlertEvent] = {}
+
+    @property
+    def active(self) -> List[AlertEvent]:
+        """Currently firing alert instances, sorted by rule then labels."""
+        return [self._active[key] for key in sorted(self._active)]
+
+    def evaluate(
+        self, samples: Iterable[Sample], now: float
+    ) -> List[AlertEvent]:
+        """One evaluation pass; returns the fired/resolved transitions.
+
+        A sample that is absent from this pass leaves any standing alert
+        untouched (missing data is not evidence of health); alerts
+        resolve only on an explicitly satisfied sample.
+        """
+        self._c_evals.inc()
+        samples = list(samples)
+        events: List[AlertEvent] = []
+        for rule in self.rules:
+            for name, labels, value in samples:
+                if name != rule.metric or not rule.matches(labels):
+                    continue
+                key = (rule.name, tuple(sorted(labels.items())))
+                if rule.healthy(value):
+                    self._violating.pop(key, None)
+                    standing = self._active.pop(key, None)
+                    if standing is not None:
+                        event = AlertEvent(
+                            rule=rule.name, severity=rule.severity,
+                            labels=key[1], value=value,
+                            threshold=rule.threshold, fired=False, at_s=now,
+                        )
+                        events.append(event)
+                        log_event(
+                            self._log, "alert_resolved",
+                            rule=rule.name, severity=rule.severity,
+                            value=round(value, 6), expr=rule.expr, at_s=now,
+                            **dict(key[1]),
+                        )
+                    continue
+                streak = self._violating.get(key, 0) + 1
+                self._violating[key] = streak
+                if streak < rule.for_count or key in self._active:
+                    continue
+                event = AlertEvent(
+                    rule=rule.name, severity=rule.severity, labels=key[1],
+                    value=value, threshold=rule.threshold, fired=True,
+                    at_s=now,
+                )
+                self._active[key] = event
+                self._c_fired.inc()
+                events.append(event)
+                log_event(
+                    self._log, "alert_fired", level=logging.WARNING,
+                    rule=rule.name, severity=rule.severity,
+                    value=round(value, 6), threshold=rule.threshold,
+                    expr=rule.expr, at_s=now, **dict(key[1]),
+                )
+        self._export_gauges()
+        return events
+
+    def _export_gauges(self) -> None:
+        self._g_active.set(len(self._active))
+        per_rule: Dict[str, int] = {rule.name: 0 for rule in self.rules}
+        for rule_name, _ in self._active:
+            per_rule[rule_name] = per_rule.get(rule_name, 0) + 1
+        for rule_name, count in per_rule.items():
+            self._fam_active.labels(rule_name).set(count)
+
+
+# -- rule files ----------------------------------------------------------------
+
+def _rules_from_payload(payload: Union[Dict, List]) -> List[AlertRule]:
+    entries = payload.get("rules") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ValueError('rule file must be a list or {"rules": [...]}')
+    rules: List[AlertRule] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"rule #{index} is not an object")
+        unknown = set(entry) - {"name", "expr", "severity", "for"}
+        if unknown:
+            raise ValueError(
+                f"rule #{index} has unknown keys {sorted(unknown)}"
+            )
+        try:
+            rules.append(AlertRule(
+                name=entry.get("name", ""),
+                expr=entry.get("expr", ""),
+                severity=entry.get("severity", "warning"),
+                for_count=int(entry.get("for", 1)),
+            ))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"rule #{index}: {exc}") from None
+    names = [rule.name for rule in rules]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate rule names")
+    return rules
+
+
+def load_rules(path: str) -> List[AlertRule]:
+    """Parse a JSON rule file; raises :class:`ValueError` on any defect."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    return _rules_from_payload(payload)
+
+
+def lint_rules(path: str) -> List[str]:
+    """Every problem with a rule file, as human-readable strings."""
+    try:
+        load_rules(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return []
+
+
+# -- sample sources ------------------------------------------------------------
+
+def samples_from_registry(registry: MetricsRegistry) -> List[Sample]:
+    """Flatten a registry into alert-engine samples.
+
+    Flat counters/gauges yield one unlabeled sample; labeled families
+    yield one per child; histograms yield ``<name>_count`` and
+    ``<name>_sum``.
+    """
+    doc = registry.as_dict()
+    samples: List[Sample] = []
+    for name, value in doc["counters"].items():
+        samples.append((name, {}, float(value)))
+    for name, value in doc["gauges"].items():
+        samples.append((name, {}, float(value)))
+    for name, data in doc["histograms"].items():
+        samples.append((f"{name}_count", {}, float(data["count"])))
+        samples.append((f"{name}_sum", {}, float(data["sum"])))
+    for name, family in doc.get("labeled", {}).items():
+        for rendered, value in family["children"].items():
+            labels = _labels_from_rendered(rendered)
+            if family["type"] == "histogram":
+                samples.append((f"{name}_count", labels, float(value["count"])))
+                samples.append((f"{name}_sum", labels, float(value["sum"])))
+            else:
+                samples.append((name, labels, float(value)))
+    return samples
+
+
+def _labels_from_rendered(rendered: str) -> Dict[str, str]:
+    from repro.obs.metrics import _parse_labels
+
+    return _parse_labels(rendered)
+
+
+def samples_from_document(document: Dict) -> List[Sample]:
+    """Samples from a ``--metrics-out`` JSON document (``repro alerts``)."""
+    metrics = document.get("metrics", document)
+    samples: List[Sample] = []
+    if isinstance(metrics, dict) and "counters" in metrics:
+        registry_like = metrics
+        for name, value in registry_like.get("counters", {}).items():
+            samples.append((name, {}, float(value)))
+        for name, value in registry_like.get("gauges", {}).items():
+            samples.append((name, {}, float(value)))
+        for name, data in registry_like.get("histograms", {}).items():
+            samples.append((f"{name}_count", {}, float(data.get("count", 0))))
+            samples.append((f"{name}_sum", {}, float(data.get("sum", 0.0))))
+        for name, family in registry_like.get("labeled", {}).items():
+            for rendered, value in family.get("children", {}).items():
+                labels = _labels_from_rendered(rendered)
+                if family.get("type") == "histogram":
+                    samples.append(
+                        (f"{name}_count", labels, float(value["count"]))
+                    )
+                    samples.append((f"{name}_sum", labels, float(value["sum"])))
+                else:
+                    samples.append((name, labels, float(value)))
+    for name, value in document.get("stats", {}).items():
+        samples.append((f"server_{name}", {}, float(value)))
+    return samples

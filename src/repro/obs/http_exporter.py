@@ -1,0 +1,198 @@
+"""An embedded HTTP exporter: scrape the pipeline while it runs.
+
+Pure-stdlib (``http.server``): a daemon thread serves four endpoints
+off whatever registry / callables the host wires in:
+
+* ``/metrics``   — Prometheus text exposition of the registry,
+* ``/healthz``   — liveness JSON (status, uptime, request counts),
+* ``/stats``     — a JSON status document (by default the registry's
+  ``as_dict()``; the backend wires in pipeline stats + window rates),
+* ``/freshness`` — per-segment / per-route staleness of the published
+  traffic map (wired by :class:`~repro.core.server.BackendServer`).
+
+``repro simulate --serve-metrics PORT`` runs one next to the campaign;
+``port=0`` binds an ephemeral port (the bound port is in
+:attr:`MetricsHTTPServer.port` once started), which is what tests and
+the CI scrape-smoke use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsHTTPServer", "PROMETHEUS_CONTENT_TYPE"]
+
+_log = get_logger(__name__)
+
+#: Content type of the Prometheus text exposition format, v0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning exporter; everything else is a 404/405."""
+
+    server_version = "repro-metrics/1.0"
+    exporter: "MetricsHTTPServer"          # set per bound subclass
+
+    def do_GET(self) -> None:              # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        handler = self.exporter.routes.get(path)
+        self.exporter.request_counts[path] = (
+            self.exporter.request_counts.get(path, 0) + 1
+        )
+        if handler is None:
+            self._respond(404, "application/json",
+                          json.dumps({"error": f"no such endpoint {path}"}))
+            return
+        try:
+            content_type, body = handler()
+        except Exception as exc:            # pragma: no cover - defensive
+            log_event(_log, "exporter_handler_error", path=path, error=str(exc))
+            self._respond(500, "application/json",
+                          json.dumps({"error": str(exc)}))
+            return
+        self._respond(200, content_type, body)
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route access logs into structured logging instead of stderr.
+        log_event(_log, "exporter_request", detail=format % args, level=10)
+
+
+class MetricsHTTPServer:
+    """A threaded exporter bound to one registry (see module docstring).
+
+    Usable as a context manager::
+
+        with MetricsHTTPServer(registry, port=0) as exporter:
+            scrape(f"http://127.0.0.1:{exporter.port}/metrics")
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stats_fn: Optional[Callable[[], Dict]] = None,
+        freshness_fn: Optional[Callable[[], Dict]] = None,
+        health_fn: Optional[Callable[[], Dict]] = None,
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._stats_fn = stats_fn or registry.as_dict
+        self._freshness_fn = freshness_fn
+        self._health_fn = health_fn
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self.request_counts: Dict[str, int] = {}
+        self.routes: Dict[str, Callable[[], tuple]] = {
+            "/metrics": self._metrics,
+            "/healthz": self._healthz,
+            "/stats": self._stats,
+            "/freshness": self._freshness,
+            "/": self._index,
+        }
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _metrics(self):
+        return PROMETHEUS_CONTENT_TYPE, self.registry.render_prometheus()
+
+    def _healthz(self):
+        payload = {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": dict(sorted(self.request_counts.items())),
+        }
+        if self._health_fn is not None:
+            payload.update(self._health_fn())
+        return "application/json", json.dumps(payload, indent=2)
+
+    def _stats(self):
+        return "application/json", json.dumps(self._stats_fn(), indent=2)
+
+    def _freshness(self):
+        if self._freshness_fn is None:
+            return "application/json", json.dumps(
+                {"error": "no freshness source wired"}
+            )
+        return "application/json", json.dumps(self._freshness_fn(), indent=2)
+
+    def _index(self):
+        return "application/json", json.dumps(
+            {"endpoints": sorted(p for p in self.routes if p != "/")}
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` once started)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the exporter."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> int:
+        """Bind and serve from a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            raise RuntimeError("exporter already started")
+        handler = type("_BoundHandler", (_Handler,), {"exporter": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        log_event(_log, "exporter_started", host=self.host, port=self.port)
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        log_event(_log, "exporter_stopped", host=self.host, port=self.port)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

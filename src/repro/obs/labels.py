@@ -1,0 +1,267 @@
+"""Labeled metric families: counters/gauges/histograms keyed by label sets.
+
+PR-1's flat registry can say "12,000 samples matched" but not "route
+179's acceptance collapsed" — crowd-sensing coverage is inherently
+per-route / per-stop (Fig. 8–9), so the interesting questions are
+dimensional.  A :class:`LabeledCounter` / :class:`LabeledGauge` /
+:class:`LabeledHistogram` is a *family*: ``family.labels(route="179")``
+returns a child instrument (a plain :class:`~repro.obs.metrics.Counter`
+etc.), created on first use and cached thereafter, so the hot path after
+warm-up is one dict lookup.
+
+Guard rails, because label values come from data:
+
+* **Cardinality cap** — a family holds at most ``max_children`` distinct
+  label sets; further novel sets share one ``_overflow`` child and are
+  counted in :attr:`LabeledFamily.overflow_total`, so a buggy label
+  (e.g. a raw trip key) cannot grow memory without bound.
+* **Escaping** — label values and HELP text are escaped per the
+  Prometheus text exposition rules (``\\``, ``\"``, ``\n``), handled in
+  :func:`escape_label_value` / :func:`escape_help`.
+
+Families live in a :class:`~repro.obs.metrics.MetricsRegistry` via its
+``labeled_counter()`` / ``labeled_gauge()`` / ``labeled_histogram()``
+factories and render into both ``as_dict()`` and Prometheus text.  The
+null registry returns shared do-nothing families, keeping instrumented
+hot paths free when observability is off.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CHILDREN",
+    "OVERFLOW_LABEL_VALUE",
+    "LabeledFamily",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
+    "escape_label_value",
+    "escape_help",
+    "render_label_pairs",
+]
+
+#: Default per-family cardinality cap (distinct label sets).
+DEFAULT_MAX_CHILDREN = 256
+
+#: Label value carried by the shared overflow child once the cap is hit.
+OVERFLOW_LABEL_VALUE = "_overflow"
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Reserved label names (Prometheus internals / histogram machinery).
+_RESERVED_LABELS = frozenset({"le", "quantile", "__name__"})
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text for the Prometheus text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_label_pairs(
+    labelnames: Sequence[str], values: Sequence[str]
+) -> str:
+    """``route="179",stop="12"`` — the inside of a sample's ``{...}``."""
+    return ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+
+
+class LabeledFamily:
+    """Common machinery of a labeled metric family (see module docstring)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        labelnames: Sequence[str],
+        help: str = "",
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ):
+        labelnames = tuple(labelnames)
+        if not labelnames:
+            raise ValueError(
+                f"labeled metric {name!r} needs at least one label name"
+            )
+        if len(set(labelnames)) != len(labelnames):
+            raise ValueError(f"duplicate label names in {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} in {name!r}")
+            if label in _RESERVED_LABELS or label.startswith("__"):
+                raise ValueError(f"reserved label name {label!r} in {name!r}")
+        if max_children < 1:
+            raise ValueError("max_children must be positive")
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.max_children = max_children
+        self._children: Dict[Tuple[str, ...], object] = {}
+        #: Novel label sets routed to the overflow child after the cap.
+        self.overflow_total = 0
+
+    # -- children ------------------------------------------------------------
+
+    def labels(self, *values, **by_name):
+        """The child instrument for one label set (created on first use).
+
+        Accepts either positional values in ``labelnames`` order or
+        keyword arguments; values are stringified.
+        """
+        if by_name:
+            if values:
+                raise ValueError("pass label values positionally or by name")
+            try:
+                values = tuple(by_name.pop(name) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"{self.name!r} is missing label {exc.args[0]!r}"
+                ) from None
+            if by_name:
+                raise ValueError(
+                    f"{self.name!r} got unexpected labels {sorted(by_name)}"
+                )
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name!r} takes {len(self.labelnames)} label value(s), "
+                f"got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_children:
+                self.overflow_total += 1
+                key = (OVERFLOW_LABEL_VALUE,) * len(self.labelnames)
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make_child()
+            else:
+                child = self._children[key] = self._make_child()
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    @property
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """All ``(label values, instrument)`` pairs, sorted by values."""
+        return sorted(self._children.items())
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def reset(self) -> None:
+        """Zero every child in place (cached handles stay live)."""
+        for child in self._children.values():
+            child.reset()
+        self.overflow_total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"labels={list(self.labelnames)}, children={len(self)})"
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON view: type, label names, children keyed by pairs."""
+        return {
+            "type": self.kind,
+            "labels": list(self.labelnames),
+            "overflow_total": self.overflow_total,
+            "children": {
+                render_label_pairs(self.labelnames, values): self._child_value(
+                    child
+                )
+                for values, child in self.children
+            },
+        }
+
+    def _child_value(self, child):
+        return child.value
+
+    def render_prometheus(self) -> Iterator[str]:
+        """Exposition-format lines for this family (HELP, TYPE, samples)."""
+        if self.help:
+            yield f"# HELP {self.name} {escape_help(self.help)}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for values, child in self.children:
+            pairs = render_label_pairs(self.labelnames, values)
+            yield from self._render_child(pairs, child)
+
+    def _render_child(self, pairs: str, child) -> Iterator[str]:
+        yield f"{self.name}{{{pairs}}} {child.value:g}"
+
+
+class LabeledCounter(LabeledFamily):
+    """A family of monotone counters keyed by label sets."""
+
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter(self.name, self.help)
+
+
+class LabeledGauge(LabeledFamily):
+    """A family of gauges keyed by label sets."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge(self.name, self.help)
+
+
+class LabeledHistogram(LabeledFamily):
+    """A family of fixed-bucket histograms keyed by label sets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ):
+        super().__init__(name, labelnames, help, max_children)
+        # Validate once up front so a bad ladder fails at registration.
+        self.buckets = tuple(Histogram(name, buckets).bounds)
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.name, self.buckets, self.help)
+
+    def _child_value(self, child: Histogram) -> Dict[str, object]:
+        return {
+            "count": child.count,
+            "sum": child.sum,
+            "bounds": list(child.bounds),
+            "bucket_counts": child.bucket_counts,
+        }
+
+    def _render_child(self, pairs: str, child: Histogram) -> Iterator[str]:
+        for bound, cumulative in child.cumulative():
+            le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            yield f'{self.name}_bucket{{{pairs},le="{le}"}} {cumulative}'
+        yield f"{self.name}_sum{{{pairs}}} {child.sum:g}"
+        yield f"{self.name}_count{{{pairs}}} {child.count}"

@@ -7,10 +7,17 @@ The backend and simulator report what they do through a
 * :class:`Gauge` — a point-in-time level (``set``/``inc``/``dec``),
 * :class:`Histogram` — observation counts over fixed upper-bound buckets.
 
+and *labeled families* of each (:mod:`repro.obs.labels`) — the same
+instruments keyed by label sets (``route``, ``stop``, ``stage``,
+``verdict``), created via ``labeled_counter()`` / ``labeled_gauge()`` /
+``labeled_histogram()``.
+
 Registries export themselves two ways: :meth:`MetricsRegistry.as_dict`
 (the JSON document ``repro simulate --metrics-out`` writes and ``repro
 stats`` reads back) and :meth:`MetricsRegistry.render_prometheus` (the
 Prometheus text exposition format, for scraping in a deployment).
+:func:`parse_prometheus_text` reads the latter back — ``repro stats``
+uses it on ``.prom`` files and CI uses it to assert scrape output parses.
 
 Hot paths that should pay nothing when observability is off take a
 registry argument defaulting to :data:`NULL_REGISTRY`, whose instruments
@@ -32,6 +39,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "parse_prometheus_text",
 ]
 
 #: Default histogram upper bounds (a generic small-count/latency ladder).
@@ -196,6 +204,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._labeled: Dict[str, "object"] = {}
 
     # -- instrument factories ------------------------------------------------
 
@@ -228,8 +237,85 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, buckets, help)
         return instrument
 
+    def labeled_counter(
+        self,
+        name: str,
+        labelnames: Sequence[str],
+        help: str = "",
+        max_children: Optional[int] = None,
+    ):
+        """Get or create the labeled counter family ``name``."""
+        from repro.obs.labels import LabeledCounter
+
+        return self._labeled_family(
+            LabeledCounter, name, labelnames, help, max_children
+        )
+
+    def labeled_gauge(
+        self,
+        name: str,
+        labelnames: Sequence[str],
+        help: str = "",
+        max_children: Optional[int] = None,
+    ):
+        """Get or create the labeled gauge family ``name``."""
+        from repro.obs.labels import LabeledGauge
+
+        return self._labeled_family(
+            LabeledGauge, name, labelnames, help, max_children
+        )
+
+    def labeled_histogram(
+        self,
+        name: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        max_children: Optional[int] = None,
+    ):
+        """Get or create the labeled histogram family ``name``."""
+        from repro.obs.labels import LabeledHistogram
+
+        family = self._labeled.get(name)
+        if family is None:
+            self._check_free(name, self._labeled)
+            kwargs = {} if max_children is None else {"max_children": max_children}
+            family = self._labeled[name] = LabeledHistogram(
+                name, labelnames, buckets=buckets, help=help, **kwargs
+            )
+        self._check_family(family, LabeledHistogram, name, labelnames)
+        return family
+
+    def _labeled_family(
+        self, cls, name: str, labelnames: Sequence[str], help: str,
+        max_children: Optional[int],
+    ):
+        family = self._labeled.get(name)
+        if family is None:
+            self._check_free(name, self._labeled)
+            kwargs = {} if max_children is None else {"max_children": max_children}
+            family = self._labeled[name] = cls(
+                name, labelnames, help=help, **kwargs
+            )
+        self._check_family(family, cls, name, labelnames)
+        return family
+
+    @staticmethod
+    def _check_family(family, cls, name: str, labelnames: Sequence[str]) -> None:
+        if not isinstance(family, cls):
+            raise ValueError(
+                f"metric {name!r} already registered with a different type"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"labeled metric {name!r} already registered with labels "
+                f"{list(family.labelnames)}"
+            )
+
     def _check_free(self, name: str, home: Dict) -> None:
-        for family in (self._counters, self._gauges, self._histograms):
+        for family in (
+            self._counters, self._gauges, self._histograms, self._labeled,
+        ):
             if family is not home and name in family:
                 raise ValueError(
                     f"metric {name!r} already registered with a different type"
@@ -241,7 +327,8 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         """All registered metric names, sorted."""
         return sorted(
-            list(self._counters) + list(self._gauges) + list(self._histograms)
+            list(self._counters) + list(self._gauges)
+            + list(self._histograms) + list(self._labeled)
         )
 
     def as_dict(self) -> Dict[str, Dict]:
@@ -262,40 +349,56 @@ class MetricsRegistry:
                 }
                 for name, h in sorted(self._histograms.items())
             },
+            "labeled": {
+                name: family.as_dict()
+                for name, family in sorted(self._labeled.items())
+            },
         }
 
     def render_prometheus(self) -> str:
         """The registry in the Prometheus text exposition format."""
+        from repro.obs.labels import escape_help
+
         lines: List[str] = []
         for name, counter in sorted(self._counters.items()):
             prom = _prom_name(name)
             if counter.help:
-                lines.append(f"# HELP {prom} {counter.help}")
+                lines.append(f"# HELP {prom} {escape_help(counter.help)}")
             lines.append(f"# TYPE {prom} counter")
             lines.append(f"{prom} {counter.value:g}")
         for name, gauge in sorted(self._gauges.items()):
             prom = _prom_name(name)
             if gauge.help:
-                lines.append(f"# HELP {prom} {gauge.help}")
+                lines.append(f"# HELP {prom} {escape_help(gauge.help)}")
             lines.append(f"# TYPE {prom} gauge")
             lines.append(f"{prom} {gauge.value:g}")
         for name, histogram in sorted(self._histograms.items()):
             prom = _prom_name(name)
             if histogram.help:
-                lines.append(f"# HELP {prom} {histogram.help}")
+                lines.append(f"# HELP {prom} {escape_help(histogram.help)}")
             lines.append(f"# TYPE {prom} histogram")
             for bound, cumulative in histogram.cumulative():
                 le = "+Inf" if math.isinf(bound) else f"{bound:g}"
                 lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f"{prom}_sum {histogram.sum:g}")
             lines.append(f"{prom}_count {histogram.count}")
+        for name, family in sorted(self._labeled.items()):
+            lines.extend(family.render_prometheus())
         return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:
-        """Zero every instrument (layout and registrations are kept)."""
+        """Zero every instrument, including every labeled child, in place.
+
+        Layout and registrations are kept — cached child handles held by
+        instrumented call sites keep recording — so back-to-back
+        campaigns in one process start every count (histogram buckets
+        and labeled children included) from zero.
+        """
         for family in (self._counters, self._gauges, self._histograms):
             for instrument in family.values():
                 instrument.reset()
+        for labeled in self._labeled.values():
+            labeled.reset()
 
 
 class _NullCounter(Counter):
@@ -340,6 +443,42 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullLabeledFamily:
+    """A labeled family whose every child is one shared null instrument."""
+
+    __slots__ = ("_child", "labelnames")
+
+    kind = "untyped"
+    name = "null"
+    help = ""
+    overflow_total = 0
+    max_children = 0
+
+    def __init__(self, child) -> None:
+        self._child = child
+        self.labelnames = ()
+
+    def labels(self, *values, **by_name):
+        return self._child
+
+    @property
+    def children(self) -> List:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+    def as_dict(self) -> Dict:
+        return {"type": self.kind, "labels": [], "overflow_total": 0,
+                "children": {}}
+
+    def render_prometheus(self):
+        return iter(())
+
+
 class NullRegistry(MetricsRegistry):
     """A registry whose instruments do nothing.
 
@@ -352,6 +491,9 @@ class NullRegistry(MetricsRegistry):
         self._null_counter = _NullCounter()
         self._null_gauge = _NullGauge()
         self._null_histogram = _NullHistogram()
+        self._null_labeled_counter = _NullLabeledFamily(self._null_counter)
+        self._null_labeled_gauge = _NullLabeledFamily(self._null_gauge)
+        self._null_labeled_histogram = _NullLabeledFamily(self._null_histogram)
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._null_counter
@@ -367,6 +509,125 @@ class NullRegistry(MetricsRegistry):
     ) -> Histogram:
         return self._null_histogram
 
+    def labeled_counter(
+        self, name, labelnames, help="", max_children=None
+    ) -> _NullLabeledFamily:
+        return self._null_labeled_counter
+
+    def labeled_gauge(
+        self, name, labelnames, help="", max_children=None
+    ) -> _NullLabeledFamily:
+        return self._null_labeled_gauge
+
+    def labeled_histogram(
+        self, name, labelnames, buckets=DEFAULT_BUCKETS, help="",
+        max_children=None,
+    ) -> _NullLabeledFamily:
+        return self._null_labeled_histogram
+
 
 #: Shared do-nothing registry: the default for instrumented components.
 NULL_REGISTRY = NullRegistry()
+
+
+# -- reading the exposition format back ---------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:\\.|[^"\\])*)"\s*(?:,|$)'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"malformed label pairs: {text!r}")
+        labels[match.group("name")] = _unescape_label_value(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict]:
+    """Parse the Prometheus text exposition format back into families.
+
+    Returns ``{family: {"type", "help", "samples"}}`` where ``samples``
+    is a list of ``(sample_name, labels_dict, value)``; histogram series
+    (``_bucket``/``_sum``/``_count``) are grouped under their family
+    name.  Raises :class:`ValueError` on any malformed line — CI's
+    scrape smoke test relies on that to assert parseability.
+    """
+    families: Dict[str, Dict] = {}
+
+    def family_for(sample_name: str) -> Dict:
+        name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                name = base
+                break
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = {"type": None, "help": None, "samples": []}
+        return entry
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                name = parts[2]
+                entry = families.setdefault(
+                    name, {"type": None, "help": None, "samples": []}
+                )
+                if parts[1] == "TYPE":
+                    if len(parts) < 4:
+                        raise ValueError(f"line {lineno}: TYPE without a type")
+                    entry["type"] = parts[3].strip()
+                else:
+                    entry["help"] = parts[3] if len(parts) > 3 else ""
+            continue                       # other comments are legal noise
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        value_text = match.group("value")
+        if value_text in ("+Inf", "Inf"):
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value {value_text!r}"
+                ) from None
+        labels = _parse_labels(match.group("labels") or "")
+        entry = family_for(match.group("name"))
+        entry["samples"].append((match.group("name"), labels, value))
+    return families

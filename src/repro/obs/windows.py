@@ -1,0 +1,161 @@
+"""Sliding time windows: live rates over the trailing N seconds.
+
+Cumulative counters answer whole-run questions; a deployment needs
+"matches accepted in the last 5 minutes" *while the campaign runs*.  A
+:class:`SlidingWindowCounter` is a ring of fixed-width time buckets over
+an explicit clock — simulation time during a run, wall time in a real
+deployment — so reads are O(#buckets) and memory is O(#buckets) no
+matter how long the process lives.
+
+Timestamps are supplied by the caller (``add(2.0, now=t)``): the
+observability layer never consults the wall clock itself, which keeps
+windowed rates deterministic under the discrete-event simulator.
+
+:class:`WindowSet` manages a keyed collection of windows (name plus an
+optional label tuple, mirroring labeled metric families) and can export
+every rate as a plain dict for ``/stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["SlidingWindowCounter", "WindowSet"]
+
+
+class SlidingWindowCounter:
+    """Event counts over the trailing ``window_s`` seconds.
+
+    The window is a ring of ``buckets`` fixed-width slots.  A slot is
+    lazily zeroed when the clock re-enters it, so neither reads nor
+    writes ever scan more than the ring.  Reads include every slot that
+    overlaps ``(now - window_s, now]``, so the effective horizon is up
+    to one slot width longer than ``window_s`` — the usual ring-buffer
+    trade for O(1) writes.
+    """
+
+    __slots__ = ("window_s", "_width", "_counts", "_starts")
+
+    def __init__(self, window_s: float = 300.0, buckets: int = 30):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.window_s = float(window_s)
+        self._width = self.window_s / buckets
+        self._counts = [0.0] * buckets
+        self._starts = [None] * buckets     # slot start time, None = never used
+
+    def _slot(self, now: float) -> Tuple[int, float]:
+        start = (now // self._width) * self._width
+        return int(now // self._width) % len(self._counts), start
+
+    def add(self, amount: Union[int, float] = 1, *, now: float) -> None:
+        """Record ``amount`` at time ``now``."""
+        idx, start = self._slot(now)
+        if self._starts[idx] != start:
+            self._starts[idx] = start
+            self._counts[idx] = 0.0
+        self._counts[idx] += amount
+
+    def total(self, now: float) -> float:
+        """Sum of everything recorded in the trailing window as of ``now``."""
+        horizon = now - self.window_s
+        total = 0.0
+        for start, count in zip(self._starts, self._counts):
+            if start is None:
+                continue
+            # Keep slots overlapping (horizon, now]; drop future slots a
+            # backwards-moving clock would otherwise resurrect.
+            if start + self._width > horizon and start <= now:
+                total += count
+        return total
+
+    def rate_per_s(self, now: float) -> float:
+        """Mean event rate (events/second) over the trailing window."""
+        return self.total(now) / self.window_s
+
+    def reset(self) -> None:
+        """Forget everything (window geometry is kept)."""
+        self._counts = [0.0] * len(self._counts)
+        self._starts = [None] * len(self._starts)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowCounter(window_s={self.window_s:g}, "
+            f"buckets={len(self._counts)})"
+        )
+
+
+class WindowSet:
+    """A keyed collection of sliding windows sharing one geometry.
+
+    Keys are ``(name, label_values)`` — ``ws.window("uploads")`` for a
+    flat series, ``ws.window("uploads", route="179")`` for a labeled
+    one.  Windows are created on first use; ``max_series`` caps the
+    total (overflow label sets share one ``_overflow`` series), matching
+    the labeled-family cardinality guard.
+    """
+
+    OVERFLOW_KEY = "_overflow"
+
+    def __init__(
+        self,
+        window_s: float = 300.0,
+        buckets: int = 30,
+        max_series: int = 512,
+    ):
+        self.window_s = float(window_s)
+        self.buckets = buckets
+        self.max_series = max_series
+        self._windows: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                            SlidingWindowCounter] = {}
+
+    def window(self, name: str, **labels) -> SlidingWindowCounter:
+        """The window for one series (created on first use)."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        win = self._windows.get(key)
+        if win is None:
+            if len(self._windows) >= self.max_series:
+                key = (name, ((self.OVERFLOW_KEY, self.OVERFLOW_KEY),))
+                win = self._windows.get(key)
+                if win is None:
+                    win = self._windows[key] = SlidingWindowCounter(
+                        self.window_s, self.buckets
+                    )
+            else:
+                win = self._windows[key] = SlidingWindowCounter(
+                    self.window_s, self.buckets
+                )
+        return win
+
+    def add(self, name: str, amount: Union[int, float] = 1, *,
+            now: float, **labels) -> None:
+        """Shorthand: record into one series."""
+        self.window(name, **labels).add(amount, now=now)
+
+    def totals(self, now: float) -> Dict[str, float]:
+        """Every series' trailing-window total, keyed ``name{k="v"}``."""
+        out: Dict[str, float] = {}
+        for (name, label_items), win in sorted(self._windows.items()):
+            if label_items:
+                pairs = ",".join(f'{k}="{v}"' for k, v in label_items)
+                out[f"{name}{{{pairs}}}"] = win.total(now)
+            else:
+                out[name] = win.total(now)
+        return out
+
+    def series(self, now: float) -> List[Tuple[str, Dict[str, str], float]]:
+        """``(name, labels, trailing total)`` triples — alert-engine food."""
+        return [
+            (name, dict(label_items), win.total(now))
+            for (name, label_items), win in sorted(self._windows.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def reset(self) -> None:
+        """Forget every series' contents (series set is kept)."""
+        for win in self._windows.values():
+            win.reset()

@@ -140,6 +140,22 @@ class Campaign:
                 self.world.registry.counter(
                     "campaign_days_total", help="campaign service days simulated"
                 ).inc()
+                self.world.registry.labeled_counter(
+                    "campaign_days_by_phase_total", ("phase",),
+                    help="campaign service days simulated per phase",
+                ).labels(phase.name).inc()
+                self.world.registry.labeled_counter(
+                    "campaign_uploads_total", ("phase",),
+                    help="trip uploads received per campaign phase",
+                ).labels(phase.name).inc(day.uploads)
+                freshness = self.world.server.freshness.report(
+                    self.end_s + offset
+                )
+                stale_routes = sorted(
+                    route_id
+                    for route_id, entry in freshness["routes"].items()
+                    if not entry["covered_segments"]
+                )
                 log_event(
                     _log, "campaign_day",
                     day_index=day.day_index, phase=day.phase,
@@ -147,6 +163,7 @@ class Campaign:
                     trips_mapped=day.trips_mapped,
                     segments_updated=day.segments_updated,
                     map_coverage=round(day.map_coverage, 4),
+                    uncovered_routes=len(stale_routes),
                 )
                 prev_stats = current
                 day_index += 1

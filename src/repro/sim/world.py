@@ -196,7 +196,9 @@ class World:
             for arrive_at, upload in timed_uploads:
                 sim.schedule(
                     max(arrive_at, start_s),
-                    lambda s, u=upload: reports.append(self.server.receive_trip(u)),
+                    lambda s, u=upload: reports.append(
+                        self.server.receive_trip(u, now_s=s.now)
+                    ),
                 )
             horizon = max(
                 [end_s] + [arrive_at for arrive_at, _ in timed_uploads]

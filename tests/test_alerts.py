@@ -1,0 +1,248 @@
+"""Tests for the SLO alert-rule engine and the freshness acceptance demo."""
+
+import json
+
+import pytest
+
+from repro.city import build_city
+from repro.obs import (
+    AlertEngine,
+    AlertRule,
+    MetricsRegistry,
+    lint_rules,
+    load_rules,
+    parse_rule_expr,
+    samples_from_document,
+    samples_from_registry,
+)
+
+from conftest import SMALL_SPEC
+
+
+class TestExprParsing:
+    def test_plain_threshold(self):
+        assert parse_rule_expr("match_accept_ratio > 0.6") == (
+            "match_accept_ratio", {}, ">", 0.6
+        )
+
+    def test_matchers_and_wildcard(self):
+        metric, matchers, op, threshold = parse_rule_expr(
+            'map_route_freshness_s{route=*, stop="12"} < 900'
+        )
+        assert metric == "map_route_freshness_s"
+        assert matchers == {"route": "*", "stop": "12"}
+        assert (op, threshold) == ("<", 900.0)
+
+    def test_all_operators(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            assert parse_rule_expr(f"m {op} 1")[2] == op
+
+    def test_scientific_notation(self):
+        assert parse_rule_expr("m < 1.5e3")[3] == 1500.0
+
+    def test_rejects_garbage(self):
+        for expr in ("", "m", "m <", "< 3", "m ~ 3", "m{route} < 1",
+                     "m{route=a,route=b} < 1", "m < one"):
+            with pytest.raises(ValueError):
+                parse_rule_expr(expr)
+
+
+class TestRule:
+    def test_healthy_is_the_slo_direction(self):
+        rule = AlertRule("fresh", "map_route_freshness_s{route=*} < 900")
+        assert rule.healthy(100.0)
+        assert not rule.healthy(1200.0)
+
+    def test_matches_requires_matcher_labels(self):
+        rule = AlertRule("r", "m{route=*} < 1")
+        assert rule.matches({"route": "179-0"})
+        assert not rule.matches({})
+        exact = AlertRule("r2", 'm{route="179-0"} < 1')
+        assert exact.matches({"route": "179-0"})
+        assert not exact.matches({"route": "179-1"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule("", "m < 1")
+        with pytest.raises(ValueError):
+            AlertRule("r", "m < 1", for_count=0)
+        with pytest.raises(ValueError):
+            AlertRule("r", "not an expr")
+
+
+class TestEngine:
+    def test_fire_and_resolve_transitions(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(
+            [AlertRule("fresh", "freshness < 900")], registry=registry
+        )
+        fired = engine.evaluate([("freshness", {}, 1200.0)], now=0.0)
+        assert len(fired) == 1 and fired[0].fired
+        assert registry.gauge("alerts_active").value == 1
+        assert len(engine.active) == 1
+
+        resolved = engine.evaluate([("freshness", {}, 30.0)], now=300.0)
+        assert len(resolved) == 1 and not resolved[0].fired
+        assert registry.gauge("alerts_active").value == 0
+        assert engine.active == []
+
+    def test_wildcard_fires_per_label_value(self):
+        engine = AlertEngine(
+            [AlertRule("fresh", "freshness{route=*} < 900")]
+        )
+        samples = [
+            ("freshness", {"route": "179-0"}, 100.0),
+            ("freshness", {"route": "179-1"}, 2000.0),
+            ("freshness", {"route": "199-0"}, 3000.0),
+        ]
+        fired = engine.evaluate(samples, now=0.0)
+        assert sorted(e.label_dict()["route"] for e in fired) == [
+            "179-1", "199-0",
+        ]
+
+    def test_for_count_debounces(self):
+        engine = AlertEngine(
+            [AlertRule("r", "m < 1", for_count=3)]
+        )
+        bad = [("m", {}, 5.0)]
+        assert engine.evaluate(bad, now=0.0) == []
+        assert engine.evaluate(bad, now=1.0) == []
+        fired = engine.evaluate(bad, now=2.0)
+        assert len(fired) == 1
+        # A healthy pass resets the streak.
+        engine.evaluate([("m", {}, 0.0)], now=3.0)
+        assert engine.evaluate(bad, now=4.0) == []
+
+    def test_missing_sample_keeps_standing_alert(self):
+        engine = AlertEngine([AlertRule("r", "m < 1")])
+        engine.evaluate([("m", {}, 5.0)], now=0.0)
+        assert engine.evaluate([("other", {}, 0.0)], now=1.0) == []
+        assert len(engine.active) == 1
+
+    def test_already_firing_does_not_refire(self):
+        engine = AlertEngine([AlertRule("r", "m < 1")])
+        engine.evaluate([("m", {}, 5.0)], now=0.0)
+        assert engine.evaluate([("m", {}, 6.0)], now=1.0) == []
+        assert len(engine.active) == 1
+
+
+class TestRuleFiles:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_load_and_lint_ok(self, tmp_path):
+        path = self._write(tmp_path, {"rules": [
+            {"name": "a", "expr": "m < 1", "severity": "page", "for": 2},
+        ]})
+        rules = load_rules(path)
+        assert rules[0].severity == "page"
+        assert rules[0].for_count == 2
+        assert lint_rules(path) == []
+
+    def test_lint_reports_defects(self, tmp_path):
+        assert lint_rules(str(tmp_path / "missing.json"))
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{nope")
+        assert lint_rules(str(bad_json))
+        for payload in (
+            {"rules": [{"name": "a"}]},                       # no expr
+            {"rules": [{"name": "a", "expr": "m <"}]},        # bad expr
+            {"rules": [{"name": "a", "expr": "m < 1"},
+                       {"name": "a", "expr": "m < 2"}]},      # dup name
+            {"rules": [{"name": "a", "expr": "m < 1",
+                        "bogus": True}]},                     # unknown key
+            {"norules": []},
+        ):
+            assert lint_rules(self._write(tmp_path, payload))
+
+
+class TestSampleSources:
+    def test_samples_from_registry_flatten_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.labeled_counter("lc", ("route",)).labels("179-0").inc(3)
+        samples = {
+            (name, tuple(sorted(labels.items())), value)
+            for name, labels, value in samples_from_registry(registry)
+        }
+        assert ("c", (), 2.0) in samples
+        assert ("g", (), 1.5) in samples
+        assert ("h_count", (), 1.0) in samples
+        assert ("h_sum", (), 0.5) in samples
+        assert ("lc", (("route", "179-0"),), 3.0) in samples
+
+    def test_samples_from_document_includes_server_stats(self):
+        document = {
+            "stats": {"trips_received": 7},
+            "metrics": {
+                "counters": {"c": 1},
+                "gauges": {},
+                "histograms": {},
+                "labeled": {
+                    "lc": {"type": "counter", "labels": ["route"],
+                           "overflow_total": 0,
+                           "children": {'route="179-0"': 3}},
+                },
+            },
+        }
+        samples = samples_from_document(document)
+        assert ("server_trips_received", {}, 7.0) in samples
+        assert ("c", {}, 1.0) in samples
+        assert ("lc", {"route": "179-0"}, 3.0) in samples
+
+
+class TestFreshnessSLODemo:
+    """The acceptance scenario: a route loses its riders mid-campaign."""
+
+    @pytest.fixture(scope="class")
+    def demo(self):
+        from repro.sim.campaign import Campaign, CampaignPhase
+        from repro.sim.world import World
+
+        registry = MetricsRegistry()
+        world = World(city=build_city(SMALL_SPEC), seed=11, registry=registry)
+        all_routes = tuple(world.city.route_network.route_ids)
+        kept = tuple(r for r in all_routes if not r.startswith("199"))
+        dropped = tuple(r for r in all_routes if r.startswith("199"))
+        assert dropped, "demo needs a route to drop"
+        engine = AlertEngine(
+            [AlertRule("route_map_fresh",
+                       "map_route_freshness_s{route=*} < 900",
+                       severity="page")],
+            registry=registry,
+        )
+        world.server.attach_alerts(engine)
+        campaign = Campaign(world, start="08:00", end="09:00",
+                            headway_s=900.0)
+        campaign.run([
+            CampaignPhase("everyone", days=1, participation_rate=0.35),
+            CampaignPhase("no-199", days=1, participation_rate=0.35,
+                          route_ids=kept),
+        ])
+        return world, engine, dropped
+
+    def test_dropped_route_freshness_alert_fires(self, demo):
+        _, engine, dropped = demo
+        firing = {e.label_dict()["route"] for e in engine.active}
+        assert set(dropped) <= firing
+
+    def test_alert_gauges_exported(self, demo):
+        world, engine, _ = demo
+        doc = world.registry.as_dict()
+        assert doc["gauges"]["alerts_active"] == len(engine.active)
+        assert world.registry.counter("alerts_fired_total").value >= len(
+            engine.active
+        )
+        children = doc["labeled"]["alert_active"]["children"]
+        assert children['rule="route_map_fresh"'] == len(engine.active)
+
+    def test_freshness_report_shows_dropped_route_stale(self, demo):
+        world, _, dropped = demo
+        report = world.server.freshness.report()
+        for route_id in dropped:
+            entry = report["routes"][route_id]
+            assert entry["freshness_s"] > 900.0

@@ -157,3 +157,140 @@ class TestLoggingFlags:
     def test_rejects_unknown_level(self):
         with pytest.raises(SystemExit):
             main(["--log-level", "shouty", "power"])
+
+
+class TestAlertsCommand:
+    def _rules(self, tmp_path, rules):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": rules}))
+        return str(path)
+
+    def _freshness_doc(self, tmp_path, values):
+        doc = {
+            "metrics": {
+                "counters": {}, "gauges": {}, "histograms": {},
+                "labeled": {
+                    "map_route_freshness_s": {
+                        "type": "gauge", "labels": ["route"],
+                        "overflow_total": 0,
+                        "children": {
+                            f'route="{route}"': value
+                            for route, value in values.items()
+                        },
+                    },
+                },
+            },
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_lint_ok(self, tmp_path, capsys):
+        path = self._rules(tmp_path, [{"name": "a", "expr": "m < 1"}])
+        assert main(["alerts", path]) == 0
+        assert "1 rule(s) OK" in capsys.readouterr().out
+
+    def test_lint_failure_exits_2(self, tmp_path, capsys):
+        path = self._rules(tmp_path, [{"name": "a", "expr": "m <"}])
+        assert main(["alerts", path]) == 2
+        assert "a" in capsys.readouterr().err
+
+    def test_firing_rule_exits_1(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "fresh", "expr": "map_route_freshness_s{route=*} < 900",
+             "severity": "page", "for": 2},
+        ])
+        metrics = self._freshness_doc(
+            tmp_path, {"179-0": 1200.0, "179-1": 10.0}
+        )
+        assert main(["alerts", rules, "--metrics", metrics]) == 1
+        out = capsys.readouterr().out
+        assert "route=179-0" in out
+        assert "route=179-1" not in out
+
+    def test_healthy_rules_exit_0(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "fresh", "expr": "map_route_freshness_s{route=*} < 900"},
+        ])
+        metrics = self._freshness_doc(tmp_path, {"179-0": 10.0})
+        assert main(["alerts", rules, "--metrics", metrics]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_evaluates_prom_documents(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "fresh", "expr": "map_route_freshness_s{route=*} < 900"},
+        ])
+        prom = tmp_path / "m.prom"
+        prom.write_text(
+            "# TYPE map_route_freshness_s gauge\n"
+            'map_route_freshness_s{route="199-0"} 4000\n'
+        )
+        assert main(["alerts", rules, "--metrics", str(prom)]) == 1
+        assert "route=199-0" in capsys.readouterr().out
+
+
+class TestStatsPromInput:
+    def test_renders_prom_document(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        prom.write_text(
+            "# TYPE server_trips_received counter\n"
+            "server_trips_received 12\n"
+            "# TYPE fingerprint_db_stops gauge\n"
+            "fingerprint_db_stops 40\n"
+            "# HELP trips_uploaded_total uploads per route\n"
+            "# TYPE trips_uploaded_total counter\n"
+            'trips_uploaded_total{route="179-0"} 7\n'
+            "# TYPE match_latency histogram\n"
+            'match_latency_bucket{le="+Inf"} 3\n'
+            "match_latency_sum 1.5\n"
+            "match_latency_count 3\n"
+        )
+        assert main(["stats", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "server_trips_received" in out
+        assert "Gauges" in out and "fingerprint_db_stops" in out
+        assert "Labeled families" in out
+        assert 'trips_uploaded_total{route="179-0"}' in out
+        assert "match_latency" in out
+
+    def test_malformed_prom_raises(self, tmp_path):
+        prom = tmp_path / "bad.prom"
+        prom.write_text("this is not prometheus\n")
+        with pytest.raises(ValueError):
+            main(["stats", str(prom)])
+
+
+@pytest.mark.slow
+class TestServeMetricsAndCampaignMetrics:
+    def test_simulate_serves_metrics_and_evaluates_rules(self, capsys):
+        rules = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "alert_rules.json"
+        )
+        code = main([
+            "simulate", "--seed", "3", "--start", "08:00", "--end", "08:30",
+            "--routes", "179-0", "--headway", "1200",
+            "--serve-metrics", "0", "--alert-rules", rules,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving metrics on http://127.0.0.1:" in out
+        # Only one route ran, so other routes' freshness SLOs must fire.
+        assert "alerts:" in out
+        assert "route_map_fresh" in out
+
+    def test_campaign_metrics_out_prom(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        prom_path = str(tmp_path / "campaign.prom")
+        code = main([
+            "campaign", "--sparse-days", "1", "--intensive-days", "0",
+            "--start", "08:00", "--end", "08:30", "--seed", "3",
+            "--metrics-out", prom_path,
+        ])
+        assert code == 0
+        with open(prom_path) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        assert "campaign_days_by_phase_total" in parsed
+        ((_, labels, value),) = parsed["campaign_days_by_phase_total"]["samples"]
+        assert labels == {"phase": "sparse"}
+        assert value == 1

@@ -1,0 +1,129 @@
+"""Tests for the embedded metrics HTTP exporter (stdlib-only)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsHTTPServer,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+)
+
+
+@pytest.fixture()
+def exporter():
+    registry = MetricsRegistry()
+    registry.counter("trips_received", help="trips").inc(5)
+    registry.labeled_gauge(
+        "map_route_freshness_s", ("route",)
+    ).labels("179-0").set(120.0)
+    server = MetricsHTTPServer(
+        registry,
+        port=0,
+        stats_fn=lambda: {"command": "test", "stats": {"trips_received": 5}},
+        freshness_fn=lambda: {"routes": {"179-0": {"freshness_s": 120.0}}},
+        health_fn=lambda: {"trips_received": 5},
+    )
+    port = server.start()
+    yield server, port
+    server.stop()
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestEndpoints:
+    def test_metrics_parseable_prometheus(self, exporter):
+        _, port = exporter
+        status, headers, body = _get(port, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus_text(body)
+        assert parsed["trips_received"]["samples"][0][2] == 5
+        ((_, labels, value),) = parsed["map_route_freshness_s"]["samples"]
+        assert labels == {"route": "179-0"}
+        assert value == 120.0
+
+    def test_healthz(self, exporter):
+        _, port = exporter
+        status, headers, body = _get(port, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["trips_received"] == 5
+        assert payload["uptime_s"] >= 0
+
+    def test_stats(self, exporter):
+        _, port = exporter
+        status, _, body = _get(port, "/stats")
+        assert status == 200
+        assert json.loads(body)["stats"]["trips_received"] == 5
+
+    def test_freshness(self, exporter):
+        _, port = exporter
+        status, _, body = _get(port, "/freshness")
+        assert status == 200
+        assert json.loads(body)["routes"]["179-0"]["freshness_s"] == 120.0
+
+    def test_index_lists_endpoints(self, exporter):
+        _, port = exporter
+        status, _, body = _get(port, "/")
+        assert status == 200
+        assert "/metrics" in body
+
+    def test_unknown_path_404(self, exporter):
+        _, port = exporter
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(port, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_request_counts_accumulate(self, exporter):
+        server, port = exporter
+        _get(port, "/metrics")
+        _get(port, "/metrics")
+        assert server.request_counts["/metrics"] >= 2
+
+
+class TestLifecycle:
+    def test_live_registry_changes_visible(self, exporter):
+        server, port = exporter
+        server.registry.counter("trips_received").inc(3)
+        _, _, body = _get(port, "/metrics")
+        assert parse_prometheus_text(body)["trips_received"]["samples"][0][2] == 8
+
+    def test_stop_closes_socket(self):
+        server = MetricsHTTPServer(MetricsRegistry(), port=0)
+        port = server.start()
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=1
+            )
+
+    def test_double_start_rejected(self):
+        server = MetricsHTTPServer(MetricsRegistry(), port=0)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_context_manager(self):
+        with MetricsHTTPServer(MetricsRegistry(), port=0) as server:
+            status, _, _ = _get(server.port, "/healthz")
+            assert status == 200
+
+    def test_freshness_without_source_is_error_payload(self):
+        with MetricsHTTPServer(MetricsRegistry(), port=0) as server:
+            status, _, body = _get(server.port, "/freshness")
+            assert status == 200
+            assert "error" in json.loads(body)

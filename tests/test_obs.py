@@ -124,8 +124,9 @@ class TestMetricsRegistry:
         NULL_REGISTRY.counter("x").inc(100)
         NULL_REGISTRY.histogram("y").observe(1.0)
         NULL_REGISTRY.gauge("z").set(5)
+        NULL_REGISTRY.labeled_counter("lc", ("route",)).labels("1").inc()
         assert NULL_REGISTRY.as_dict() == {
-            "counters": {}, "gauges": {}, "histograms": {}
+            "counters": {}, "gauges": {}, "histograms": {}, "labeled": {}
         }
 
 

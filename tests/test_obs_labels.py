@@ -1,0 +1,184 @@
+"""Tests for labeled metric families and Prometheus exposition edges."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MAX_CHILDREN,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    escape_help,
+    escape_label_value,
+    parse_prometheus_text,
+)
+from repro.obs.labels import OVERFLOW_LABEL_VALUE
+
+
+class TestLabeledFamilies:
+    def test_children_created_on_first_use_and_cached(self):
+        fam = LabeledCounter("trips", ("route",))
+        child = fam.labels("179-0")
+        child.inc(2)
+        assert fam.labels("179-0") is child
+        assert fam.labels("179-0").value == 2
+        assert len(fam) == 1
+
+    def test_keyword_labels_match_positional(self):
+        fam = LabeledCounter("m", ("route", "stop"))
+        fam.labels("179-0", "12").inc()
+        assert fam.labels(route="179-0", stop="12").value == 1
+
+    def test_label_value_count_enforced(self):
+        fam = LabeledCounter("m", ("route", "stop"))
+        with pytest.raises(ValueError, match="2 label"):
+            fam.labels("179-0")
+        with pytest.raises(ValueError, match="missing label"):
+            fam.labels(route="179-0")
+        with pytest.raises(ValueError, match="unexpected"):
+            fam.labels(route="1", stop="2", verdict="x")
+
+    def test_reserved_and_invalid_label_names_rejected(self):
+        for bad in ("le", "quantile", "__name__", "__internal", "9route", ""):
+            with pytest.raises(ValueError):
+                LabeledCounter("m", (bad,))
+        with pytest.raises(ValueError, match="duplicate"):
+            LabeledCounter("m", ("route", "route"))
+        with pytest.raises(ValueError, match="at least one"):
+            LabeledCounter("m", ())
+
+    def test_values_stringified(self):
+        fam = LabeledGauge("g", ("stop",))
+        fam.labels(42).set(1.5)
+        assert fam.labels("42").value == 1.5
+
+    def test_cardinality_cap_routes_to_overflow_child(self):
+        fam = LabeledCounter("m", ("route",), max_children=2)
+        fam.labels("a").inc()
+        fam.labels("b").inc()
+        fam.labels("c").inc()
+        fam.labels("d").inc(3)
+        assert fam.overflow_total == 2
+        overflow = fam.labels(OVERFLOW_LABEL_VALUE)
+        assert overflow.value == 4
+        # a, b and the shared overflow child.
+        assert len(fam) == 3
+
+    def test_reset_zeroes_children_in_place(self):
+        fam = LabeledCounter("m", ("route",), max_children=1)
+        cached = fam.labels("a")
+        cached.inc(5)
+        fam.labels("b").inc()           # overflow
+        fam.reset()
+        assert fam.overflow_total == 0
+        assert cached.value == 0
+        cached.inc()                    # handle still live after reset
+        assert fam.labels("a").value == 1
+
+    def test_histogram_children_share_bucket_ladder(self):
+        fam = LabeledHistogram("lat", ("stage",), buckets=(1.0, 2.0))
+        fam.labels("match").observe(0.5)
+        fam.labels("fuse").observe(5.0)
+        assert fam.labels("match").bucket_counts[0] == 1
+        assert fam.labels("fuse").count == 1
+        with pytest.raises(ValueError):
+            LabeledHistogram("bad", ("s",), buckets=(1.0, 1.0))
+
+
+class TestRegistryIntegration:
+    def test_families_in_as_dict_and_names(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter("trips", ("route",)).labels("179-0").inc(3)
+        doc = registry.as_dict()
+        assert doc["labeled"]["trips"]["type"] == "counter"
+        assert doc["labeled"]["trips"]["children"] == {'route="179-0"': 3}
+        assert "trips" in registry.names
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter("m", ("route",))
+        with pytest.raises(ValueError):
+            registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.labeled_gauge("m", ("route",))
+        registry2 = MetricsRegistry()
+        registry2.counter("m")
+        with pytest.raises(ValueError):
+            registry2.labeled_counter("m", ("route",))
+
+    def test_labelnames_must_match_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter("m", ("route",))
+        with pytest.raises(ValueError):
+            registry.labeled_counter("m", ("stop",))
+
+    def test_registry_reset_clears_labeled_children(self):
+        registry = MetricsRegistry()
+        fam = registry.labeled_counter("m", ("route",))
+        fam.labels("a").inc(7)
+        registry.reset()
+        assert fam.labels("a").value == 0
+
+    def test_null_registry_labeled_families_swallow(self):
+        fam = NULL_REGISTRY.labeled_counter("m", ("route",))
+        fam.labels("a").inc(100)
+        assert NULL_REGISTRY.as_dict()["labeled"] == {}
+        assert list(fam.render_prometheus()) == []
+
+
+class TestExpositionFormat:
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_help_escaping_keeps_quotes(self):
+        assert escape_help('say "hi"\nnow') == 'say "hi"\\nnow'
+
+    def test_awkward_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        fam = registry.labeled_counter("m", ("stop",), help="odd\nhelp")
+        awkward = 'quote " back \\ newline \n done'
+        fam.labels(awkward).inc(2)
+        text = registry.render_prometheus()
+        assert "odd\\nhelp" in text
+        parsed = parse_prometheus_text(text)
+        ((_, labels, value),) = parsed["m"]["samples"]
+        assert labels == {"stop": awkward}
+        assert value == 2
+
+    def test_labeled_histogram_renders_bucket_series(self):
+        registry = MetricsRegistry()
+        fam = registry.labeled_histogram("lat", ("stage",), buckets=(1.0,))
+        fam.labels("match").observe(0.5)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{stage="match",le="1"} 1' in text
+        assert 'lat_bucket{stage="match",le="+Inf"} 1' in text
+        assert 'lat_sum{stage="match"} 0.5' in text
+        assert 'lat_count{stage="match"} 1' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["lat"]["type"] == "histogram"
+        names = {s[0] for s in parsed["lat"]["samples"]}
+        assert names == {"lat_bucket", "lat_sum", "lat_count"}
+
+    def test_empty_registry_renders_and_parses_empty(self):
+        registry = MetricsRegistry()
+        assert registry.render_prometheus() == ""
+        assert parse_prometheus_text("") == {}
+        assert parse_prometheus_text("\n# just a comment\n") == {}
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_without_value\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text('m{unterminated="x} 1\n')
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m not_a_number\n")
+
+    def test_parse_special_values(self):
+        parsed = parse_prometheus_text("a +Inf\nb -Inf\nc NaN\n")
+        assert parsed["a"]["samples"][0][2] == float("inf")
+        assert parsed["b"]["samples"][0][2] == float("-inf")
+        nan = parsed["c"]["samples"][0][2]
+        assert nan != nan

@@ -221,3 +221,124 @@ class TestMapIntegration:
         server.receive_trips(ups)
         server.publish(at_s=trace.end_s + 300.0)
         assert server.traffic_map.publish_times == [trace.end_s + 300.0]
+
+
+class TestLiveTelemetry:
+    @pytest.fixture()
+    def observed(self, small_city, database, config, uploads):
+        registry = MetricsRegistry()
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config,
+            registry=registry,
+        )
+        trace, ups = uploads
+        server.receive_trips(ups)
+        return server, registry, trace, ups
+
+    def test_trips_labeled_by_route(self, observed):
+        server, registry, _, _ = observed
+        children = registry.as_dict()["labeled"]["trips_uploaded_total"][
+            "children"
+        ]
+        assert sum(children.values()) == server.stats.trips_mapped
+        assert 'route="179-0"' in children
+
+    def test_segment_updates_labeled_by_route(self, observed):
+        server, registry, _, _ = observed
+        children = registry.as_dict()["labeled"]["segments_updated_total"][
+            "children"
+        ]
+        assert sum(children.values()) == server.stats.segments_updated
+
+    def test_matcher_verdict_labels(self, observed):
+        server, registry, _, _ = observed
+        doc = registry.as_dict()
+        verdicts = doc["labeled"]["matcher_verdicts_total"]["children"]
+        accepted = verdicts.get('verdict="accepted"', 0)
+        rejected = verdicts.get('verdict="rejected"', 0)
+        assert accepted + rejected == server.stats.samples_received
+
+    def test_fingerprint_db_gauge(self, observed, database):
+        _, registry, _, _ = observed
+        gauge = registry.as_dict()["gauges"]["fingerprint_db_stops"]
+        assert gauge == len(database)
+
+    def test_windows_track_the_ingest_stream(self, observed):
+        server, _, _, ups = observed
+        # Uploads are recorded at their own end times; the trailing
+        # window at the last arrival sees at least the freshest one.
+        totals = server.windows.totals(max(u.end_s for u in ups))
+        assert totals["trips_received"] >= 1
+        assert totals["samples_accepted"] > 0
+        assert any(key.startswith("route_trips") for key in totals)
+
+    def test_publish_exports_window_gauges_and_ratio(self, observed):
+        server, registry, trace, _ = observed
+        server.publish(at_s=trace.end_s + 60.0)
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["window_trips_received"] >= 0
+        assert gauges["match_accept_ratio"] == pytest.approx(
+            server.match_accept_ratio()
+        )
+        assert 0.0 <= gauges["match_accept_ratio"] <= 1.0
+
+    def test_freshness_report_covers_served_routes(self, observed):
+        server, _, trace, _ = observed
+        server.publish(at_s=trace.end_s + 60.0)
+        server.publish(at_s=trace.end_s + 960.0)
+        report = server.freshness.report()
+        ridden = report["routes"]["179-0"]
+        assert ridden["covered_segments"] > 0
+        assert ridden["oldest_covered_s"] is not None
+        # 199-0 never saw a trip of its own (segments it shares with
+        # 179-0 may still be covered): it ages from the first publish
+        # epoch, 60 -> 960 = 900 s stale.
+        empty = report["routes"]["199-0"]
+        assert empty["covered_segments"] <= ridden["covered_segments"]
+        assert empty["freshness_s"] == pytest.approx(900.0)
+
+    def test_alert_samples_without_recording_registry(
+        self, small_city, database, config, uploads
+    ):
+        server = BackendServer(
+            small_city.network, small_city.route_network, database, config
+        )
+        trace, ups = uploads
+        server.receive_trips(ups)
+        server.publish(at_s=trace.end_s + 60.0)
+        samples = server.alert_samples(trace.end_s + 60.0)
+        names = {name for name, _, _ in samples}
+        assert "map_route_freshness_s" in names
+        assert "match_accept_ratio" in names
+        assert "server_trips_received" in names
+
+    def test_reset_metrics_zeroes_the_whole_registry(self, observed):
+        server, registry, trace, _ = observed
+        server.publish(at_s=trace.end_s + 60.0)
+        server.reset_metrics()
+        doc = registry.as_dict()
+        assert all(v == 0 for v in doc["counters"].values())
+        for hist in doc["histograms"].values():
+            assert hist["count"] == 0
+            assert not any(hist["bucket_counts"])
+        for family in doc["labeled"].values():
+            for child in family["children"].values():
+                if family["type"] == "histogram":
+                    assert child["count"] == 0
+                else:
+                    assert child == 0
+        live_gauges = {k for k, v in doc["gauges"].items() if v}
+        assert live_gauges == {"fingerprint_db_stops"}
+        assert server.windows.totals(trace.end_s) == {
+            key: 0.0 for key in server.windows.totals(trace.end_s)
+        }
+
+    def test_stats_reset_on_shared_registry_keeps_other_metrics(self):
+        registry = MetricsRegistry()
+        other = registry.counter("other")
+        other.inc(5)
+        stats = ServerStats(registry=registry)
+        stats.trips_received += 3
+        stats.reset()
+        assert stats.trips_received == 0
+        assert other.value == 5

@@ -1,0 +1,84 @@
+"""Tests for sliding time windows (ring buffers over an explicit clock)."""
+
+import pytest
+
+from repro.obs import SlidingWindowCounter, WindowSet
+
+
+class TestSlidingWindowCounter:
+    def test_counts_within_window(self):
+        win = SlidingWindowCounter(window_s=300.0, buckets=30)
+        win.add(1, now=10.0)
+        win.add(2, now=200.0)
+        assert win.total(now=250.0) == 3
+
+    def test_old_events_age_out(self):
+        win = SlidingWindowCounter(window_s=300.0, buckets=30)
+        win.add(5, now=0.0)
+        assert win.total(now=100.0) == 5
+        # 0.0 lands in slot [0, 10); it fully leaves once the horizon
+        # passes the slot end.
+        assert win.total(now=311.0) == 0
+
+    def test_slot_reuse_zeroes_stale_counts(self):
+        win = SlidingWindowCounter(window_s=10.0, buckets=2)
+        win.add(7, now=1.0)
+        # Same ring slot one full revolution later: must not inherit 7.
+        win.add(1, now=11.0)
+        assert win.total(now=12.0) == 1
+
+    def test_rate_per_s(self):
+        win = SlidingWindowCounter(window_s=100.0, buckets=10)
+        win.add(50, now=50.0)
+        assert win.rate_per_s(now=60.0) == pytest.approx(0.5)
+
+    def test_reset_forgets_everything(self):
+        win = SlidingWindowCounter(window_s=10.0, buckets=5)
+        win.add(3, now=1.0)
+        win.reset()
+        assert win.total(now=1.0) == 0
+
+    def test_future_slots_not_counted(self):
+        win = SlidingWindowCounter(window_s=10.0, buckets=5)
+        win.add(4, now=9.0)
+        # Reading at an earlier time must not see the later write.
+        assert win.total(now=2.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(window_s=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(buckets=0)
+
+
+class TestWindowSet:
+    def test_series_keyed_by_name_and_labels(self):
+        ws = WindowSet(window_s=100.0, buckets=10)
+        ws.add("uploads", now=10.0)
+        ws.add("uploads", 2, now=10.0, route="179-0")
+        ws.add("uploads", 3, now=10.0, route="179-1")
+        totals = ws.totals(now=20.0)
+        assert totals["uploads"] == 1
+        assert totals['uploads{route="179-0"}'] == 2
+        assert totals['uploads{route="179-1"}'] == 3
+
+    def test_series_triples_for_alerting(self):
+        ws = WindowSet(window_s=100.0, buckets=10)
+        ws.add("uploads", 2, now=5.0, route="179-0")
+        assert ws.series(now=10.0) == [("uploads", {"route": "179-0"}, 2.0)]
+
+    def test_max_series_overflow_shared(self):
+        ws = WindowSet(window_s=100.0, buckets=4, max_series=1)
+        ws.add("a", 1, now=0.0)
+        ws.add("b", 2, now=0.0)            # beyond cap -> overflow series
+        ws.add("c", 3, now=0.0)
+        assert len(ws) <= 3
+        totals = ws.totals(now=1.0)
+        overflow = [v for k, v in totals.items() if WindowSet.OVERFLOW_KEY in k]
+        assert sum(overflow) == 5
+
+    def test_reset_keeps_series_set(self):
+        ws = WindowSet(window_s=100.0, buckets=4)
+        ws.add("uploads", 4, now=0.0)
+        ws.reset()
+        assert ws.totals(now=1.0) == {"uploads": 0.0}
