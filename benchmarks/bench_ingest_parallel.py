@@ -1,0 +1,97 @@
+"""Parallel ingest throughput: ingest_many at 1/2/4/8 workers.
+
+One morning's uploads are generated once, then replayed into fresh
+backends through ``ingest_many`` — serial first, then through the
+sharded :class:`IngestEngine` at growing pool sizes.  Every parallel
+run's ``ServerStats`` is asserted equal to the serial run's before its
+time counts, so the table can't quietly trade correctness for speed.
+
+The speedup column is only meaningful on a multi-core host; the report
+records the machine's core count next to it.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_ingest_parallel.py``)
+or through pytest; either way the numbers land in
+``benchmarks/reports/ingest_parallel.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.ingest import IngestEngine
+from repro.core.server import BackendServer
+from repro.sim.world import World
+from repro.util.units import parse_hhmm
+
+from conftest import report
+
+REPEATS = 3
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _fresh_server(world: World) -> BackendServer:
+    return BackendServer(
+        world.city.network,
+        world.city.route_network,
+        world.database,
+        world.config,
+    )
+
+
+def _best_time(world: World, uploads, workers: int, baseline_stats):
+    """Best-of-REPEATS wall time; verifies stats parity on every run."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        server = _fresh_server(world)
+        if workers == 1:
+            start = time.perf_counter()
+            server.ingest_many(uploads)
+            elapsed = time.perf_counter() - start
+        else:
+            # Pool spin-up + fingerprint broadcast happens once per
+            # deployment, not per batch: start it outside the clock.
+            with IngestEngine.for_server(server, workers=workers) as engine:
+                engine.start()
+                start = time.perf_counter()
+                server.ingest_many(uploads, engine=engine)
+                elapsed = time.perf_counter() - start
+        stats = server.stats.as_dict()
+        if baseline_stats is not None and stats != baseline_stats:
+            raise AssertionError(
+                f"workers={workers} diverged from serial: {stats} "
+                f"!= {baseline_stats}"
+            )
+        best = min(best, elapsed)
+    return best, stats
+
+
+def run() -> str:
+    world = World(seed=7)
+    result = world.run(parse_hhmm("07:00"), parse_hhmm("10:00"),
+                       with_official_feed=False)
+    uploads = result.uploads
+    serial_s, baseline = _best_time(world, uploads, 1, None)
+    rows = [
+        f"uploads replayed   {len(uploads)}",
+        f"host cpu cores     {os.cpu_count()}",
+        f"{'workers':>8} {'best (ms)':>10} {'trips/s':>9} {'speedup':>8}",
+        f"{1:>8} {serial_s * 1e3:>10.1f} "
+        f"{len(uploads) / serial_s:>9.0f} {1.0:>7.2f}x",
+    ]
+    for workers in WORKER_COUNTS[1:]:
+        elapsed, _ = _best_time(world, uploads, workers, baseline)
+        rows.append(
+            f"{workers:>8} {elapsed * 1e3:>10.1f} "
+            f"{len(uploads) / elapsed:>9.0f} {serial_s / elapsed:>7.2f}x"
+        )
+    rows.append("stats parity       verified at every worker count")
+    return "\n".join(rows)
+
+
+def test_ingest_parallel():
+    report("ingest_parallel", run())
+
+
+if __name__ == "__main__":
+    report("ingest_parallel", run())

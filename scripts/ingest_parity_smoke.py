@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI ingest smoke: `repro campaign --workers 2` must equal `--workers 1`.
+
+Runs the same small two-day campaign twice through the real CLI — once
+serial, once through the sharded multiprocessing ingest engine — and
+asserts the server pipeline counters and the shared matcher/clustering
+telemetry are identical.  Any scheduling-, pickling- or merge-order bug
+in the parallel path shows up here as a counter diff.
+
+Writes both metrics documents plus a parity verdict to
+``benchmarks/reports/`` so CI can upload them as artifacts.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/ingest_parity_smoke.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main as repro_main                  # noqa: E402
+
+REPORT_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "reports"
+)
+
+#: Worker-side telemetry that must merge back to the exact serial totals.
+SHARED_COUNTERS = (
+    "matcher_samples_total",
+    "matcher_samples_accepted",
+    "matcher_pairs_scored",
+    "clustering_samples_total",
+    "clustering_clusters_total",
+    "trip_mapping_attempts",
+    "trip_mapping_mapped",
+)
+
+
+def run_campaign(workers: int) -> dict:
+    out = os.path.join(REPORT_DIR, f"ingest_smoke_w{workers}.json")
+    code = repro_main([
+        "campaign",
+        "--sparse-days", "1", "--intensive-days", "1",
+        "--start", "07:30", "--end", "08:15",
+        "--seed", "7",
+        "--workers", str(workers),
+        "--metrics-out", out,
+    ])
+    assert code == 0, f"repro campaign --workers {workers} exited {code}"
+    with open(out, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    serial = run_campaign(1)
+    parallel = run_campaign(2)
+
+    problems = []
+    if serial["stats"] != parallel["stats"]:
+        problems.append(
+            f"server stats diverged:\n  serial:   {serial['stats']}"
+            f"\n  parallel: {parallel['stats']}"
+        )
+    for name in SHARED_COUNTERS:
+        a = serial["metrics"]["counters"].get(name)
+        b = parallel["metrics"]["counters"].get(name)
+        if a != b:
+            problems.append(f"counter {name}: serial={a} parallel={b}")
+    if "ingest_batches_total" not in parallel["metrics"]["counters"]:
+        problems.append("parallel run recorded no ingest_* engine metrics")
+
+    verdict = {
+        "parity": not problems,
+        "problems": problems,
+        "stats": serial["stats"],
+    }
+    with open(
+        os.path.join(REPORT_DIR, "ingest_parity.json"), "w", encoding="utf-8"
+    ) as out:
+        json.dump(verdict, out, indent=2)
+
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"parity ok: --workers 2 == --workers 1 over "
+          f"{serial['stats']['trips_received']} uploads "
+          f"({len(SHARED_COUNTERS)} shared counters checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dispatch headway in seconds")
     simulate.add_argument("--routes", nargs="*", default=None,
                           help="route ids (default: all)")
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the match/cluster/map "
+                               "stages (default: 1 = serial; results are "
+                               "identical at any count)")
     simulate.add_argument("--out", default=None,
                           help="write the final map snapshot as GeoJSON")
     simulate.add_argument("--trips-out", default=None,
@@ -108,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--start", default="07:30")
     campaign.add_argument("--end", default="09:30")
     campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the match/cluster/map "
+                               "stages (default: 1 = serial; results are "
+                               "identical at any count)")
     campaign.add_argument("--metrics-out", default=None,
                           help="dump pipeline metrics + per-stage timings "
                                "(JSON, or Prometheus text for *.prom)")
@@ -270,6 +278,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             route_ids=args.routes,
             headway_s=args.headway,
             with_official_feed=False,
+            workers=args.workers,
         )
         stats = world.server.stats
         snapshot = server.traffic_map.published_snapshot(parse_hhmm(args.end))
@@ -506,7 +515,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     registry, tracer = _observability_for(bool(args.metrics_out))
     world = World(seed=args.seed, registry=registry, tracer=tracer)
     engine = _alert_engine_for(args.alert_rules, registry, world.server)
-    campaign = Campaign(world, start=args.start, end=args.end)
+    campaign = Campaign(world, start=args.start, end=args.end,
+                        workers=args.workers)
     phases = []
     if args.sparse_days > 0:
         phases.append(

@@ -16,6 +16,7 @@ from repro.core.arrival import (
 from repro.core.bootstrap import BootstrapStats, DatabaseBootstrapper
 from repro.core.fingerprint import FingerprintDatabase, StoredFingerprint
 from repro.core.fusion import BayesianSpeedFuser, FusedSpeed
+from repro.core.ingest import IngestEngine, PreparedTrip, prepare_trip
 from repro.core.matching import (
     MatchResult,
     SampleMatcher,
@@ -57,6 +58,9 @@ __all__ = [
     "StoredFingerprint",
     "BayesianSpeedFuser",
     "FusedSpeed",
+    "IngestEngine",
+    "PreparedTrip",
+    "prepare_trip",
     "MatchResult",
     "SampleMatcher",
     "batch_smith_waterman",

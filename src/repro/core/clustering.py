@@ -132,11 +132,16 @@ def cluster_trip_samples(
     for member in ordered:
         best_cluster: Optional[SampleCluster] = None
         best_affinity = config.threshold
-        # Only recent clusters can absorb the sample: anything whose last
-        # sample is older than t0 has a non-positive time term anyway.
+        # Only recent clusters can absorb the sample: once the gap to a
+        # cluster's departing point exceeds 2*t0 the time term alone pushes
+        # the affinity below any ε in (0, 2].  Such clusters are skipped,
+        # not used to end the scan: depart_s is NOT monotone over the
+        # clusters list — an older cluster that absorbed a late sample can
+        # depart after a newer one — so a stale cluster may sit in front of
+        # a still-eligible one.
         for cluster in reversed(clusters):
             if member.time_s - cluster.depart_s > 2.0 * config.max_interval_s:
-                break
+                continue
             affinity = max(
                 link_affinity(existing, member, config)
                 for existing in cluster.samples

@@ -1,0 +1,350 @@
+"""Batched, sharded, parallel trip ingest: scaling §III across cores.
+
+The server pipeline is embarrassingly parallel per trip: matching,
+clustering and route-constrained mapping read only the (static)
+fingerprint database and route network, and every trip is independent
+until the final traffic-map update.  This module splits the pipeline
+accordingly:
+
+* :func:`prepare_trip` — the **pure** per-trip half
+  (match → cluster → map).  It touches no server state, so any number
+  of processes can run it concurrently.
+* :class:`PreparedTrip` — the pickle-safe result a worker sends back.
+* :class:`IngestEngine` — a ``multiprocessing`` pool that shards an
+  upload batch, broadcasts the fingerprint database and route
+  constraint **once per worker** (pool initializer, not per task), and
+  returns the prepared trips **in upload order**.
+
+The mutating half — dedup ledger, stats, traffic map, freshness,
+sliding windows — stays single-writer on the server
+(:meth:`~repro.core.server.BackendServer.apply_prepared`), which merges
+prepared results in deterministic upload order.  Because the serial
+path runs *the same* :func:`prepare_trip` followed by the same apply
+stage, a sharded run is bit-identical to a serial one at any worker
+count.
+
+Telemetry: each worker records matcher/clustering/mapping metrics into
+a private registry; after every shard the snapshot is folded back into
+the parent registry (:meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`),
+so a parallel run exports the same counter totals as a serial one.  The
+engine additionally exports ``ingest_*`` counters and per-stage
+histograms on the parent side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.city.routes import RouteNetwork
+from repro.config import SystemConfig
+from repro.core.clustering import (
+    MatchedSample,
+    SampleCluster,
+    cluster_trip_samples,
+)
+from repro.core.matching import SampleMatcher
+from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.phone.trip_recorder import TripUpload
+
+__all__ = ["PreparedTrip", "IngestEngine", "prepare_trip"]
+
+#: The pure per-trip stages, in pipeline order (span / histogram names).
+PREPARE_STAGES: Tuple[str, ...] = ("matching", "clustering", "trip_mapping")
+
+
+@dataclass(frozen=True)
+class PreparedTrip:
+    """Everything the pure stages learned about one upload (picklable)."""
+
+    trip_key: str
+    samples_total: int
+    end_s: Optional[float]          # last sample time; None for empty trips
+    accepted: int
+    discarded: int
+    clusters: List[SampleCluster]
+    mapped: Optional[MappedTrip]
+
+    @classmethod
+    def skipped(cls, upload: TripUpload) -> "PreparedTrip":
+        """A stub for an upload the pure stages never ran on.
+
+        Used for duplicates filtered out before dispatch: the apply
+        stage only needs the key and sample count to account for them,
+        exactly as the serial path drops duplicates before matching.
+        """
+        return cls(
+            trip_key=upload.trip_key,
+            samples_total=len(upload.samples),
+            end_s=upload.samples[-1].time_s if upload.samples else None,
+            accepted=0,
+            discarded=0,
+            clusters=[],
+            mapped=None,
+        )
+
+
+def prepare_trip(
+    upload: TripUpload,
+    *,
+    matcher: SampleMatcher,
+    clustering_config,
+    constraint: RouteConstraint,
+    registry: Optional[MetricsRegistry] = None,
+    tracer=NULL_TRACER,
+) -> PreparedTrip:
+    """Run the pure per-trip pipeline half: match → cluster → map.
+
+    This is the exact code path both the serial server and every pool
+    worker execute, which is what makes parallel results bit-identical
+    to serial ones.
+    """
+    registry = registry if registry is not None else NULL_REGISTRY
+    matched: List[MatchedSample] = []
+    discarded = 0
+    with tracer.span("matching"):
+        results = matcher.match_many([s.tower_ids for s in upload.samples])
+        for sample, result in zip(upload.samples, results):
+            if result.accepted:
+                matched.append(MatchedSample(sample=sample, match=result))
+            else:
+                discarded += 1
+    with tracer.span("clustering"):
+        clusters = cluster_trip_samples(
+            matched, clustering_config, registry=registry
+        )
+    with tracer.span("trip_mapping"):
+        mapped = (
+            map_trip(clusters, constraint, registry=registry)
+            if clusters
+            else None
+        )
+    return PreparedTrip(
+        trip_key=upload.trip_key,
+        samples_total=len(upload.samples),
+        end_s=upload.samples[-1].time_s if upload.samples else None,
+        accepted=len(matched),
+        discarded=discarded,
+        clusters=clusters,
+        mapped=mapped,
+    )
+
+
+@dataclass
+class _ShardOutcome:
+    """One shard's results plus the worker-side telemetry to merge back."""
+
+    prepared: List[PreparedTrip]
+    metrics: Dict
+    stages: Dict[str, Dict[str, float]]
+
+
+class _WorkerState:
+    """Per-process state built once by the pool initializer."""
+
+    def __init__(
+        self,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        matching_config,
+        clustering_config,
+        route_network: RouteNetwork,
+        trip_mapping_config,
+    ):
+        self.registry = MetricsRegistry()
+        self.matcher = SampleMatcher(
+            fingerprints, matching_config, registry=self.registry
+        )
+        self.clustering_config = clustering_config
+        self.constraint = RouteConstraint(route_network, trip_mapping_config)
+
+
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(
+    fingerprints, matching_config, clustering_config, route_network,
+    trip_mapping_config,
+) -> None:
+    """Pool initializer: broadcast the read-only state once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(
+        fingerprints, matching_config, clustering_config, route_network,
+        trip_mapping_config,
+    )
+
+
+def _prepare_shard(shard: Sequence[TripUpload]) -> _ShardOutcome:
+    """Task body: run the pure stages over one ordered shard of uploads."""
+    state = _WORKER_STATE
+    if state is None:
+        raise RuntimeError("ingest worker used before initialisation")
+    # The worker registry is reset per shard and its snapshot shipped
+    # back, so the parent can merge shard deltas without double counting.
+    state.registry.reset()
+    tracer = Tracer()
+    prepared = [
+        prepare_trip(
+            upload,
+            matcher=state.matcher,
+            clustering_config=state.clustering_config,
+            constraint=state.constraint,
+            registry=state.registry,
+            tracer=tracer,
+        )
+        for upload in shard
+    ]
+    return _ShardOutcome(
+        prepared=prepared,
+        metrics=state.registry.as_dict(),
+        stages=tracer.stage_stats(),
+    )
+
+
+class IngestEngine:
+    """A sharded ``multiprocessing`` fan-out for the pure pipeline half.
+
+    Use as a context manager (the pool is started lazily on first
+    :meth:`prepare` and torn down on exit)::
+
+        with IngestEngine.for_server(server, workers=4) as engine:
+            reports = server.ingest_many(uploads, engine=engine)
+
+    Determinism guarantee: shards are formed from the input sequence in
+    order, ``Pool.map`` returns shard results in submission order, and
+    shard results are concatenated in that order — so ``prepare(batch)``
+    returns exactly ``[prepare_trip(u) for u in batch]`` regardless of
+    worker count or scheduling.
+    """
+
+    def __init__(
+        self,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        route_network: RouteNetwork,
+        config: Optional[SystemConfig] = None,
+        *,
+        workers: int,
+        shard_size: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if workers < 1:
+            raise ValueError("ingest engine needs at least one worker")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        config = config or SystemConfig()
+        self.workers = workers
+        self.shard_size = shard_size
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._payload = (
+            dict(fingerprints),
+            config.matching,
+            config.clustering,
+            route_network,
+            config.trip_mapping,
+        )
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        reg = self.registry
+        self._c_batches = reg.counter(
+            "ingest_batches_total", help="upload batches fanned out"
+        )
+        self._c_shards = reg.counter(
+            "ingest_shards_total", help="shards dispatched to ingest workers"
+        )
+        self._c_trips = reg.counter(
+            "ingest_trips_total", help="trips prepared by the ingest engine"
+        )
+        reg.gauge(
+            "ingest_workers", help="worker processes of the ingest engine"
+        ).set(workers)
+        self._h_shard_trips = reg.histogram(
+            "ingest_shard_trips",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            help="trips per dispatched shard",
+        )
+        self._h_batch_seconds = reg.histogram(
+            "ingest_batch_seconds",
+            help="wall seconds per prepared batch (fan-out + merge)",
+        )
+        self._fam_stage_seconds = reg.labeled_histogram(
+            "ingest_stage_seconds", ("stage",),
+            help="per-shard worker seconds spent in each pure stage",
+        )
+
+    @classmethod
+    def for_server(cls, server, workers: int, **kwargs) -> "IngestEngine":
+        """An engine broadcasting ``server``'s database and constraints.
+
+        Worker metrics merge into the server's registry, so parallel
+        runs export the same matcher/clustering/mapping totals as
+        serial ones.
+        """
+        return cls(
+            server.database.as_dict(),
+            server.route_network,
+            server.config,
+            workers=workers,
+            registry=server.registry,
+            **kwargs,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "IngestEngine":
+        """Spawn the worker pool (idempotent)."""
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=self._payload,
+            )
+        return self
+
+    def close(self) -> None:
+        """Tear the worker pool down."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "IngestEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- fan-out -------------------------------------------------------------
+
+    def _shards(self, uploads: Sequence[TripUpload]) -> List[List[TripUpload]]:
+        """Cut the batch into ordered shards (~4 per worker by default)."""
+        size = self.shard_size
+        if size is None:
+            size = max(1, -(-len(uploads) // (self.workers * 4)))
+        return [
+            list(uploads[i: i + size]) for i in range(0, len(uploads), size)
+        ]
+
+    def prepare(self, uploads: Sequence[TripUpload]) -> List[PreparedTrip]:
+        """Fan the pure stages out over the pool; results in input order."""
+        if not uploads:
+            return []
+        self.start()
+        started = time.perf_counter()
+        shards = self._shards(uploads)
+        outcomes = self._pool.map(_prepare_shard, shards, chunksize=1)
+        prepared: List[PreparedTrip] = []
+        for shard, outcome in zip(shards, outcomes):
+            prepared.extend(outcome.prepared)
+            self.registry.merge_dict(outcome.metrics)
+            self._c_shards.inc()
+            self._h_shard_trips.observe(len(shard))
+            for stage, timing in outcome.stages.items():
+                self._fam_stage_seconds.labels(stage).observe(
+                    timing.get("total_s", 0.0)
+                )
+        self._c_batches.inc()
+        self._c_trips.inc(len(uploads))
+        self._h_batch_seconds.observe(time.perf_counter() - started)
+        return prepared

@@ -69,8 +69,11 @@ def batch_smith_waterman(
     Identical results to :func:`smith_waterman` pair by pair, but the DP
     is vectorised across the batch dimension — the hot path when the
     server matches every sample of an upload against its candidate
-    stops.  Sequences are padded with distinct sentinels (-1 / -2) that
-    can never match, which leaves local-alignment maxima unchanged.
+    stops.  Sequences are padded with two distinct sentinels derived
+    *below* the smallest observed id, so no tower id an upstream decoder
+    emits (including negative unknown-cell markers) can ever collide
+    with padding; padding therefore never scores a match and
+    local-alignment maxima are unchanged.
     """
     if len(uploads) != len(databases):
         raise ValueError("uploads and databases must pair up")
@@ -83,8 +86,13 @@ def batch_smith_waterman(
     if n_max == 0 or m_max == 0:
         return np.zeros(batch)
 
-    query = np.full((batch, n_max), -1, dtype=np.int64)
-    ref = np.full((batch, m_max), -2, dtype=np.int64)
+    lowest = min(
+        min((min(u) for u in uploads if len(u)), default=0),
+        min((min(d) for d in databases if len(d)), default=0),
+    )
+    query_pad, ref_pad = lowest - 1, lowest - 2
+    query = np.full((batch, n_max), query_pad, dtype=np.int64)
+    ref = np.full((batch, m_max), ref_pad, dtype=np.int64)
     for idx, (u, d) in enumerate(zip(uploads, databases)):
         query[idx, : len(u)] = u
         ref[idx, : len(d)] = d
@@ -177,6 +185,19 @@ class SampleMatcher:
         for station_id, towers in self._fingerprints.items():
             for tower in towers:
                 self._stops_by_tower.setdefault(tower, []).append(station_id)
+
+    def __getstate__(self) -> Dict:
+        """Pickle only the data a worker needs to rebuild the matcher.
+
+        Registry instruments (null-singleton or parent-owned) must not
+        cross a process boundary, so an unpickled matcher comes back
+        unobserved; the parallel ingest workers attach their own
+        registry by constructing matchers directly.
+        """
+        return {"fingerprints": self._fingerprints, "config": self.config}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__init__(state["fingerprints"], state["config"])
 
     def similarity(self, tower_ids: Sequence[int], station_id: int) -> float:
         """Smith-Waterman similarity of a sample to one stop's fingerprint."""

@@ -22,6 +22,7 @@ from repro.config import SystemConfig
 from repro.core.clustering import MatchedSample, SampleCluster, cluster_trip_samples
 from repro.core.fingerprint import FingerprintDatabase
 from repro.core.freshness import FreshnessTracker
+from repro.core.ingest import IngestEngine, PreparedTrip, prepare_trip
 from repro.core.matching import SampleMatcher
 from repro.core.traffic_map import TrafficMapEstimator
 from repro.core.traffic_model import TrafficModel
@@ -103,6 +104,11 @@ class ServerStats:
         counters = self.__dict__.get("_counters", {})
         if name in counters:
             counter = counters[name]
+            if value < 0:
+                raise ValueError(
+                    f"stats counter {name!r} cannot be set negative "
+                    f"(got {value!r})"
+                )
             delta = value - counter.value
             if delta >= 0:
                 counter.inc(delta)
@@ -252,75 +258,86 @@ class BackendServer:
         engine passes its clock); it defaults to the upload's end time.
         """
         with self.tracer.span("receive_trip"):
-            return self._receive_trip(upload, now_s)
+            if upload.trip_key in self._seen_trip_keys:
+                prepared = PreparedTrip.skipped(upload)
+            else:
+                prepared = self.prepare_upload(upload)
+            return self.apply_prepared(prepared, now_s=now_s)
 
-    def _receive_trip(
-        self, upload: TripUpload, now_s: Optional[float] = None
+    def prepare_upload(self, upload: TripUpload) -> PreparedTrip:
+        """The pure pipeline half for one upload (match → cluster → map).
+
+        Reads only immutable server state (fingerprint database, route
+        constraint, configs), so callers may run it concurrently — the
+        parallel ingest workers execute exactly this via
+        :func:`repro.core.ingest.prepare_trip`.
+        """
+        return prepare_trip(
+            upload,
+            matcher=self.matcher,
+            clustering_config=self.config.clustering,
+            constraint=self.constraint,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+
+    def apply_prepared(
+        self, prepared: PreparedTrip, now_s: Optional[float] = None
     ) -> TripReport:
-        if upload.trip_key in self._seen_trip_keys:
+        """The mutating pipeline half: fold one prepared trip into state.
+
+        Single-writer by design — dedup ledger, stats, sliding windows,
+        traffic map and freshness all live here.  Must be called in
+        upload order; :meth:`ingest_many` guarantees that even when the
+        preparation itself ran sharded across a worker pool.
+        """
+        if prepared.trip_key in self._seen_trip_keys:
             self.stats.trips_duplicate += 1
-            self.stats.samples_discarded += len(upload.samples)
-            self.stats.samples_duplicate += len(upload.samples)
+            self.stats.samples_discarded += prepared.samples_total
+            self.stats.samples_duplicate += prepared.samples_total
             log_event(
                 _log, "trip_duplicate", level=logging.DEBUG,
-                trip_key=upload.trip_key, samples=len(upload.samples),
+                trip_key=prepared.trip_key, samples=prepared.samples_total,
             )
             return TripReport(
-                trip_key=upload.trip_key,
+                trip_key=prepared.trip_key,
                 accepted_samples=0,
-                discarded_samples=len(upload.samples),
+                discarded_samples=prepared.samples_total,
                 clusters=[],
                 mapped=None,
             )
-        self._seen_trip_keys.add(upload.trip_key)
+        self._seen_trip_keys.add(prepared.trip_key)
         self.stats.trips_received += 1
-        self.stats.samples_received += len(upload.samples)
+        self.stats.samples_received += prepared.samples_total
         observing = self._observing
         if observing:
             if now_s is None:
-                now_s = upload.end_s
+                if prepared.end_s is None:
+                    raise ValueError(
+                        f"trip {prepared.trip_key} has no samples"
+                    )
+                now_s = prepared.end_s
             self.windows.add("trips_received", now=now_s)
-
-        matched: List[MatchedSample] = []
-        discarded = 0
-        with self.tracer.span("matching"):
-            results = self.matcher.match_many(
-                [s.tower_ids for s in upload.samples]
-            )
-            for sample, result in zip(upload.samples, results):
-                if result.accepted:
-                    matched.append(MatchedSample(sample=sample, match=result))
-                else:
-                    discarded += 1
-        self.stats.samples_discarded += discarded
+        self.stats.samples_discarded += prepared.discarded
         if observing:
-            self.windows.add("samples_accepted", len(matched), now=now_s)
-            self.windows.add("samples_discarded", discarded, now=now_s)
+            self.windows.add("samples_accepted", prepared.accepted, now=now_s)
+            self.windows.add("samples_discarded", prepared.discarded, now=now_s)
 
-        with self.tracer.span("clustering"):
-            clusters = cluster_trip_samples(
-                matched, self.config.clustering, registry=self.registry
-            )
+        clusters = prepared.clusters
+        mapped = prepared.mapped
         self.stats.clusters_formed += len(clusters)
-
-        with self.tracer.span("trip_mapping"):
-            mapped = (
-                map_trip(clusters, self.constraint, registry=self.registry)
-                if clusters
-                else None
-            )
         report = TripReport(
-            trip_key=upload.trip_key,
-            accepted_samples=len(matched),
-            discarded_samples=discarded,
+            trip_key=prepared.trip_key,
+            accepted_samples=prepared.accepted,
+            discarded_samples=prepared.discarded,
             clusters=clusters,
             mapped=mapped,
         )
         if mapped is None or len(mapped.stops) < 2:
             log_event(
                 _log, "trip_unmapped", level=logging.DEBUG,
-                trip_key=upload.trip_key,
-                accepted=len(matched), discarded=discarded,
+                trip_key=prepared.trip_key,
+                accepted=prepared.accepted, discarded=prepared.discarded,
                 clusters=len(clusters),
             )
             return report
@@ -332,8 +349,8 @@ class BackendServer:
             self.windows.add("route_trips", now=now_s, route=trip_route)
         log_event(
             _log, "trip_processed", level=logging.DEBUG,
-            trip_key=upload.trip_key,
-            accepted=len(matched), discarded=discarded,
+            trip_key=prepared.trip_key,
+            accepted=prepared.accepted, discarded=prepared.discarded,
             clusters=len(clusters), stops=len(mapped.stops),
             estimates=len(report.estimates),
         )
@@ -341,8 +358,71 @@ class BackendServer:
 
     def receive_trips(self, uploads: Sequence[TripUpload]) -> List[TripReport]:
         """Process a batch of uploads in time order."""
+        return self.ingest_many(uploads)
+
+    def ingest_many(
+        self,
+        uploads: Sequence[TripUpload],
+        *,
+        workers: int = 1,
+        engine: Optional[IngestEngine] = None,
+        shard_size: Optional[int] = None,
+    ) -> List[TripReport]:
+        """Process a batch of uploads in time order, optionally sharded.
+
+        With ``workers=1`` (and no ``engine``) this is the serial path —
+        identical to calling :meth:`receive_trip` per upload.  With
+        ``workers>1`` or an explicit :class:`IngestEngine`, the pure
+        match→cluster→map stages fan out across a process pool while the
+        stateful merge stays single-writer here, applied in upload
+        order.  Results — reports, ``stats``, the fused traffic map —
+        are bit-identical to the serial path at any worker count.
+
+        Duplicate uploads are filtered *before* dispatch (in upload
+        order, against the ledger and within the batch), matching the
+        serial semantics where a duplicate never reaches the matcher.
+        """
         ordered = sorted(uploads, key=lambda u: u.start_s if u.samples else 0.0)
-        return [self.receive_trip(upload) for upload in ordered]
+        own_engine = engine is None and workers > 1
+        if engine is None and not own_engine:
+            return [self.receive_trip(upload) for upload in ordered]
+        if own_engine:
+            engine = IngestEngine.for_server(
+                self, workers=workers, shard_size=shard_size
+            )
+        try:
+            prepared = self.prepare_many(ordered, engine)
+            with self.tracer.span("ingest_merge"):
+                return [self.apply_prepared(p) for p in prepared]
+        finally:
+            if own_engine:
+                engine.close()
+
+    def prepare_many(
+        self, uploads: Sequence[TripUpload], engine: IngestEngine
+    ) -> List[PreparedTrip]:
+        """Prepared trips for ``uploads``, in order, via a worker pool.
+
+        Uploads already in the duplicate ledger — or repeated within the
+        batch — are stubbed out *before* dispatch, in upload order, so a
+        duplicate never reaches a worker's matcher (exactly the serial
+        semantics).  The ledger itself is only written by
+        :meth:`apply_prepared`, so preparing does not commit anything.
+        """
+        seen = set(self._seen_trip_keys)
+        fresh: List[TripUpload] = []
+        plan: List[Optional[PreparedTrip]] = []
+        for upload in uploads:
+            if upload.trip_key in seen:
+                plan.append(PreparedTrip.skipped(upload))
+            else:
+                seen.add(upload.trip_key)
+                plan.append(None)           # filled from the engine below
+                fresh.append(upload)
+        prepared_fresh = iter(engine.prepare(fresh))
+        return [
+            slot if slot is not None else next(prepared_fresh) for slot in plan
+        ]
 
     def reset_metrics(self) -> None:
         """Zero every counter for a fresh run in the same process.

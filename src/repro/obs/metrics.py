@@ -182,6 +182,23 @@ class Histogram:
         out.append((math.inf, self._count))
         return out
 
+    def merge_counts(self, bucket_counts: Sequence[int], total: float) -> None:
+        """Fold another histogram's observations into this one.
+
+        ``bucket_counts`` must come from a histogram with the same bucket
+        ladder (+Inf slot included); ``total`` is that histogram's sum.
+        Used to propagate worker-side histograms into a parent registry.
+        """
+        if len(bucket_counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name!r} merge: expected "
+                f"{len(self._counts)} bucket counts, got {len(bucket_counts)}"
+            )
+        for slot, count in enumerate(bucket_counts):
+            self._counts[slot] += int(count)
+        self._count += int(sum(bucket_counts))
+        self._sum += total
+
     def reset(self) -> None:
         """Forget all observations (bucket layout is kept)."""
         self._counts = [0] * (len(self.bounds) + 1)
@@ -386,6 +403,67 @@ class MetricsRegistry:
             lines.extend(family.render_prometheus())
         return "\n".join(lines) + ("\n" if lines else "")
 
+    def merge_dict(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        Counters and histograms (flat and labeled children alike) *add*;
+        gauges adopt the snapshot's level (last writer wins — fine for
+        the structural gauges workers export).  Instruments missing here
+        are created on the fly with the snapshot's bucket ladder.  This
+        is how the parallel ingest engine propagates each worker's
+        matcher/clustering/mapping metrics back into the parent registry
+        so a sharded run exports the same totals as a serial one.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(
+                name, buckets=data.get("bounds") or DEFAULT_BUCKETS
+            )
+            self._merge_histogram(histogram, name, data)
+        for name, family in snapshot.get("labeled", {}).items():
+            self._merge_labeled(name, family)
+
+    @staticmethod
+    def _merge_histogram(histogram: Histogram, name: str, data: Dict) -> None:
+        counts = data.get("bucket_counts")
+        if counts is None:
+            raise ValueError(f"histogram {name!r} snapshot has no bucket_counts")
+        histogram.merge_counts(counts, data.get("sum", 0.0))
+
+    def _merge_labeled(self, name: str, family_snapshot: Dict) -> None:
+        kind = family_snapshot.get("type")
+        labelnames = tuple(family_snapshot.get("labels", ()))
+        children = family_snapshot.get("children", {})
+        if kind == "counter":
+            family = self.labeled_counter(name, labelnames)
+        elif kind == "gauge":
+            family = self.labeled_gauge(name, labelnames)
+        elif kind == "histogram":
+            bounds = next(
+                (tuple(child["bounds"]) for child in children.values()),
+                DEFAULT_BUCKETS,
+            )
+            family = self.labeled_histogram(name, labelnames, buckets=bounds)
+        else:
+            raise ValueError(
+                f"labeled family {name!r} has unknown type {kind!r}"
+            )
+        for rendered, value in children.items():
+            by_name = _parse_labels(rendered)
+            child = family.labels(
+                *(by_name.get(label, "") for label in labelnames)
+            )
+            if kind == "counter":
+                child.inc(value)
+            elif kind == "gauge":
+                child.set(value)
+            else:
+                self._merge_histogram(child, name, value)
+        family.overflow_total += family_snapshot.get("overflow_total", 0)
+
     def reset(self) -> None:
         """Zero every instrument, including every labeled child, in place.
 
@@ -524,6 +602,10 @@ class NullRegistry(MetricsRegistry):
         max_children=None,
     ) -> _NullLabeledFamily:
         return self._null_labeled_histogram
+
+    def merge_dict(self, snapshot: Dict[str, Dict]) -> None:
+        # Merging must not mutate the shared null singletons.
+        pass
 
 
 #: Shared do-nothing registry: the default for instrumented components.

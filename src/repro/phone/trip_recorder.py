@@ -64,8 +64,6 @@ class RecorderState(Enum):
 class TripRecorder:
     """Turns a stream of beep-triggered samples into discrete trips."""
 
-    _keys = itertools.count()
-
     def __init__(
         self,
         config: Optional[TripRecorderConfig] = None,
@@ -89,6 +87,11 @@ class TripRecorder:
         self._samples: List[CellularSample] = []
         self._last_beep_s: Optional[float] = None
         self._completed: List[TripUpload] = []
+        # Per-recorder, not process-global: trip keys must be a pure
+        # function of (phone_id, trips concluded so far) so identically
+        # seeded runs in one process produce identical keys.  Key
+        # uniqueness across recorders comes from unique phone ids.
+        self._keys = itertools.count()
 
     # -- event feed ---------------------------------------------------------
 

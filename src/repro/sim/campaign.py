@@ -87,12 +87,14 @@ class Campaign:
         end: str = "20:00",
         headway_s: Optional[float] = None,
         with_official_feed: bool = False,
+        workers: int = 1,
     ):
         self.world = world
         self.start_s = parse_hhmm(start)
         self.end_s = parse_hhmm(end)
         self.headway_s = headway_s
         self.with_official_feed = with_official_feed
+        self.workers = workers
 
     def run(self, phases: Sequence[CampaignPhase]) -> CampaignResult:
         """Execute the phases back to back; backend state persists."""
@@ -119,6 +121,7 @@ class Campaign:
                         route_ids=phase.route_ids,
                         headway_s=self.headway_s,
                         with_official_feed=self.with_official_feed,
+                        workers=self.workers,
                     )
                 results.append(result)
                 snapshot = self.world.server.traffic_map.published_snapshot(

@@ -22,6 +22,7 @@ from repro.city.builder import City, build_city
 from repro.city.road_network import SegmentId
 from repro.config import SystemConfig
 from repro.core.fingerprint import FingerprintDatabase
+from repro.core.ingest import IngestEngine
 from repro.core.server import BackendServer, TripReport
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
@@ -87,6 +88,10 @@ class World:
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = ensure_rng(seed)
+        # Persistent across run() calls: phone ids must never repeat
+        # between campaign days or the server's duplicate-trip ledger
+        # would silently drop later days' uploads.
+        self._rider_ids = itertools.count()
 
         spec = self.city.spec
         self.traffic = TrafficField(
@@ -124,6 +129,7 @@ class World:
         headway_s: Optional[float] = None,
         dsp_mode: DspMode = DspMode.FAST,
         with_official_feed: bool = True,
+        workers: int = 1,
     ) -> SimulationResult:
         """Run a sensing campaign over ``[start_s, end_s)``.
 
@@ -133,6 +139,12 @@ class World:
         channel (loss, latency, reordering) and the arrivals interleave
         with the server's 5-minute publication ticks through the event
         engine.
+
+        ``workers > 1`` runs the pure match→cluster→map stages of every
+        delivered upload across a process pool up front (in delivery
+        order), then replays the stateful merge at the original event
+        times — the map, stats and reports are bit-identical to the
+        serial run.
         """
         if end_s <= start_s:
             raise ValueError("end must be after start")
@@ -141,7 +153,7 @@ class World:
 
         trace_rng = derive_rng(self.seed, f"traces-{start_s}")
         phone_rng = derive_rng(self.seed, f"phones-{start_s}")
-        rider_ids = itertools.count()
+        rider_ids = self._rider_ids
 
         traces: List[BusTripTrace] = []
         with self.tracer.span("bus_simulation"):
@@ -193,13 +205,33 @@ class World:
         reports: List[TripReport] = []
         with self.tracer.span("ingest"):
             sim = Simulator(start_time=start_s)
-            for arrive_at, upload in timed_uploads:
-                sim.schedule(
-                    max(arrive_at, start_s),
-                    lambda s, u=upload: reports.append(
-                        self.server.receive_trip(u, now_s=s.now)
-                    ),
-                )
+            if workers > 1:
+                # Fan the pure stages out now, in delivery order (the
+                # same order the events below fire in), then schedule
+                # only the single-writer merges at the original times.
+                with IngestEngine.for_server(
+                    self.server, workers=workers
+                ) as engine:
+                    prepared_all = self.server.prepare_many(
+                        [upload for _, upload in timed_uploads], engine
+                    )
+                for (arrive_at, _), prepared in zip(
+                    timed_uploads, prepared_all
+                ):
+                    sim.schedule(
+                        max(arrive_at, start_s),
+                        lambda s, p=prepared: reports.append(
+                            self.server.apply_prepared(p, now_s=s.now)
+                        ),
+                    )
+            else:
+                for arrive_at, upload in timed_uploads:
+                    sim.schedule(
+                        max(arrive_at, start_s),
+                        lambda s, u=upload: reports.append(
+                            self.server.receive_trip(u, now_s=s.now)
+                        ),
+                    )
             horizon = max(
                 [end_s] + [arrive_at for arrive_at, _ in timed_uploads]
             ) + 1.0
@@ -252,6 +284,7 @@ def simulate_day(
     headway_s: Optional[float] = None,
     dsp_mode: DspMode = DspMode.FAST,
     with_official_feed: bool = True,
+    workers: int = 1,
 ) -> SimulationResult:
     """Build a world and run one service day (the common entry point)."""
     world = World(city=city, config=config, seed=seed)
@@ -262,4 +295,5 @@ def simulate_day(
         headway_s=headway_s,
         dsp_mode=dsp_mode,
         with_official_feed=with_official_feed,
+        workers=workers,
     )

@@ -97,6 +97,35 @@ class TestClustering:
         assert len(loose) < len(default) <= len(tight)
         assert len(default) == 4
 
+    def test_interleaved_bursts_keep_older_cluster_eligible(self):
+        """Regression: a stale cluster must be skipped, not end the scan.
+
+        depart_s is not monotone over the clusters list — an older
+        cluster that absorbs a late sample departs after a newer one.
+        Here cluster A (stop 1) reopens at t=25 after cluster B (stop 2)
+        formed at t=20; by t=85 B is stale (gap 65 s > 2·t0) but A is
+        not (gap 40 s).  The old early-exit ``break`` hit B first and
+        wrongly split the t=85 sample into a third cluster.
+        """
+        samples = [
+            ms(0.0, 1),
+            ms(20.0, 2),    # opens B: time term 0.333 < ε vs A
+            ms(25.0, 1),    # rejoins A -> A.depart (25) > B.depart (20)
+            ms(45.0, 1),    # A.depart = 45
+            ms(85.0, 1),    # B stale, A eligible: affinity 0.667 > 0.6
+        ]
+        clusters = cluster_trip_samples(samples)
+        assert [len(c) for c in clusters] == [4, 1]
+        assert [s.time_s for s in clusters[0].samples] == [0.0, 25.0, 45.0, 85.0]
+        assert clusters[1].samples[0].time_s == 20.0
+
+    def test_stale_cluster_never_absorbs(self):
+        """Beyond the 2·t0 gap the time term alone sinks the affinity,
+        so the staleness skip can never change which cluster wins."""
+        cfg = ClusteringConfig(threshold=0.05)
+        clusters = cluster_trip_samples([ms(0.0, 7), ms(70.0, 7)], cfg)
+        assert [len(c) for c in clusters] == [1, 1]
+
     def test_empty_input(self):
         assert cluster_trip_samples([]) == []
 

@@ -61,6 +61,35 @@ class TestBatchSmithWaterman:
         for upload, db, score in zip(uploads, dbs, batch):
             assert score == pytest.approx(smith_waterman(upload, db))
 
+    def test_negative_ids_match_scalar(self, rng):
+        """Regression: padding sentinels must live outside the alphabet.
+
+        The old implementation padded with the constants −1/−2, so an
+        upstream decoder emitting negative tower ids (e.g. unknown-cell
+        markers) could collide with the padding and score phantom
+        matches.  Sentinels are now derived below the smallest observed
+        id, so batch == scalar even over negative alphabets.
+        """
+        alphabet = np.arange(-10, 10)
+        uploads, dbs = [], []
+        for _ in range(40):
+            uploads.append(list(rng.choice(alphabet, size=rng.integers(1, 8),
+                                           replace=False)))
+            dbs.append(list(rng.choice(alphabet, size=rng.integers(1, 8),
+                                       replace=False)))
+        batch = batch_smith_waterman(uploads, dbs)
+        for upload, db, score in zip(uploads, dbs, batch):
+            assert score == pytest.approx(smith_waterman(upload, db))
+
+    def test_sentinel_collision_case(self):
+        """The exact collision: an id equal to the old −1 query pad
+        aligned against padding used to score a spurious match."""
+        uploads = [[-1, -2], [-1]]
+        dbs = [[-2, -1], [7]]
+        scores = batch_smith_waterman(uploads, dbs)
+        assert scores[0] == pytest.approx(smith_waterman([-1, -2], [-2, -1]))
+        assert scores[1] == pytest.approx(0.0)
+
     def test_empty_batch(self):
         assert batch_smith_waterman([], []).shape == (0,)
 
@@ -116,6 +145,15 @@ class TestSampleMatcher:
     def test_scores_exposes_all_stops(self, matcher):
         scores = matcher.scores((10, 11, 12))
         assert set(scores) == {1, 2, 3}
+
+    def test_pickle_round_trip_matches(self, matcher):
+        """A matcher crossing a process boundary must match identically
+        (the parallel ingest engine pickles worker payloads)."""
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(matcher))
+        for sample in [(20, 21, 22, 23, 24), (10, 11, 12, 15), (99, 98)]:
+            assert clone.match(sample) == matcher.match(sample)
 
     def test_requires_fingerprints(self):
         with pytest.raises(ValueError):

@@ -130,6 +130,70 @@ class TestMetricsRegistry:
         }
 
 
+class TestMergeDict:
+    """merge_dict folds a worker registry's snapshot into a parent."""
+
+    @staticmethod
+    def _worker_registry():
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.gauge("g").set(7.5)
+        worker.histogram("h", buckets=(1.0, 5.0)).observe(0.5)
+        worker.histogram("h").observe(2.0)
+        fam = worker.labeled_counter("routes_total", ("route",))
+        fam.labels("179-0").inc(2)
+        fam.labels("199-0").inc(1)
+        worker.labeled_histogram(
+            "route_lat", ("route",), buckets=(1.0,)
+        ).labels("179-0").observe(0.2)
+        return worker
+
+    def test_merge_into_empty_registry(self):
+        parent = MetricsRegistry()
+        parent.merge_dict(self._worker_registry().as_dict())
+        assert parent.as_dict() == self._worker_registry().as_dict()
+
+    def test_counters_and_histograms_add_gauges_adopt(self):
+        parent = self._worker_registry()
+        parent.merge_dict(self._worker_registry().as_dict())
+        doc = parent.as_dict()
+        assert doc["counters"]["c"] == 6
+        assert doc["gauges"]["g"] == 7.5            # last writer wins
+        assert doc["histograms"]["h"]["count"] == 4
+        assert doc["histograms"]["h"]["sum"] == pytest.approx(5.0)
+        assert doc["histograms"]["h"]["bucket_counts"] == [2, 2, 0]
+        children = doc["labeled"]["routes_total"]["children"]
+        assert children['route="179-0"'] == 4
+        assert children['route="199-0"'] == 2
+        hist_child = doc["labeled"]["route_lat"]["children"]['route="179-0"']
+        assert hist_child["count"] == 2
+
+    def test_repeated_shard_merges_accumulate(self):
+        worker = MetricsRegistry()
+        parent = MetricsRegistry()
+        for shard in range(3):
+            worker.reset()
+            worker.counter("c").inc(shard + 1)
+            parent.merge_dict(worker.as_dict())
+        assert parent.counter("c").value == 6
+
+    def test_histogram_ladder_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0, 3.0))
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge_dict(worker.as_dict())
+
+    def test_null_registry_merge_is_inert(self):
+        NULL_REGISTRY.merge_dict(self._worker_registry().as_dict())
+        assert NULL_REGISTRY.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "labeled": {}
+        }
+        # The shared null histogram singleton must stay untouched.
+        assert NULL_REGISTRY.histogram("h").count == 0
+
+
 class TestTracer:
     def test_nested_spans_aggregate_by_name(self):
         tracer = Tracer()

@@ -11,7 +11,11 @@ from repro.city.geometry import Point, Polyline
 from repro.config import ClusteringConfig, FusionConfig, MatchingConfig
 from repro.core.clustering import MatchedSample, cluster_trip_samples
 from repro.core.fusion import BayesianSpeedFuser
-from repro.core.matching import batch_smith_waterman, smith_waterman
+from repro.core.matching import (
+    SampleMatcher,
+    batch_smith_waterman,
+    smith_waterman,
+)
 from repro.core.traffic_model import TrafficModel
 from repro.eval.metrics import Cdf
 from repro.phone.cellular import CellularSample
@@ -25,6 +29,12 @@ cell_sequences = st.lists(
 )
 nonempty_cells = st.lists(
     st.integers(min_value=0, max_value=30), min_size=1, max_size=8, unique=True
+)
+signed_cells = st.lists(
+    st.integers(min_value=-30, max_value=30), min_size=0, max_size=8, unique=True
+)
+signed_nonempty_cells = st.lists(
+    st.integers(min_value=-30, max_value=30), min_size=1, max_size=8, unique=True
 )
 
 
@@ -63,6 +73,70 @@ class TestSmithWatermanProperties:
         """Appending fresh ids to the database never lowers the score."""
         extension = [x + 100 for x in extra]
         assert smith_waterman(a, b + extension) >= smith_waterman(a, b) - 1e-9
+
+    @pytest.mark.property
+    @given(st.lists(st.tuples(signed_cells, signed_cells), max_size=12))
+    def test_batch_equals_scalar_signed_alphabet(self, pairs):
+        """Batch == scalar over alphabets containing negative tower ids
+        (the padding sentinels must never collide with real ids)."""
+        uploads = [p[0] for p in pairs]
+        dbs = [p[1] for p in pairs]
+        batch = batch_smith_waterman(uploads, dbs)
+        for upload, db, score in zip(uploads, dbs, batch):
+            assert score == pytest.approx(smith_waterman(upload, db))
+
+
+@pytest.mark.property
+class TestMatcherBoundaryProperties:
+    """`match` vs `match_many` parity, pinned at the γ acceptance boundary.
+
+    The vectorised path must agree with the scalar path not only on
+    well-separated scores but when a candidate's score lands *exactly*
+    on γ (and one float step either side of it), where any rounding
+    difference between the two DP implementations would flip a verdict.
+    """
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=6), nonempty_cells,
+            min_size=1, max_size=5,
+        ),
+        st.lists(nonempty_cells, min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_match_many_parity_at_gamma_boundary(self, db, samples, pick):
+        fingerprints = {sid: tuple(seq) for sid, seq in db.items()}
+        probe = SampleMatcher(fingerprints)
+        achieved = sorted({
+            score
+            for sample in samples
+            for score in probe.scores(sample).values()
+            if score > 0.0
+        })
+        gammas = [MatchingConfig().accept_threshold]
+        if achieved:
+            boundary = achieved[pick % len(achieved)]
+            gammas += [
+                boundary,                           # score == γ: rejected
+                float(np.nextafter(boundary, -np.inf)),  # just under: accepted
+                float(np.nextafter(boundary, np.inf)),   # just over: rejected
+            ]
+        for gamma in gammas:
+            matcher = SampleMatcher(
+                fingerprints, MatchingConfig(accept_threshold=float(gamma))
+            )
+            singles = [matcher.match(s) for s in samples]
+            batch = matcher.match_many(samples)
+            assert [m.accepted for m in batch] == [m.accepted for m in singles]
+            assert [m.station_id for m in batch] == [
+                m.station_id for m in singles
+            ]
+            assert [m.common_ids for m in batch] == [
+                m.common_ids for m in singles
+            ]
+            assert [m.score for m in batch] == pytest.approx(
+                [m.score for m in singles]
+            )
 
 
 def _matched(t, station, score):

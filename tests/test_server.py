@@ -176,6 +176,31 @@ class TestServerStats:
         assert registry.counter("server_trips_mapped").value == 7
         assert registry.as_dict()["counters"]["server_trips_mapped"] == 7
 
+    def test_rollback_to_lower_value(self):
+        """Setting a field below its current value re-bases the counter
+        (a test resetting one field) instead of corrupting it."""
+        stats = ServerStats()
+        stats.trips_received = 9
+        stats.trips_received = 3
+        assert stats.trips_received == 3
+        stats.trips_received += 1
+        assert stats.trips_received == 4
+
+    def test_rollback_to_zero(self):
+        stats = ServerStats(samples_received=12)
+        stats.samples_received = 0
+        assert stats.samples_received == 0
+
+    def test_negative_value_rejected(self):
+        """Regression: the rollback path used to accept a negative
+        target, leaving a corrupt (negative-increment) counter behind."""
+        stats = ServerStats(trips_received=5)
+        with pytest.raises(ValueError, match="trips_received"):
+            stats.trips_received = -1
+        with pytest.raises(ValueError):
+            stats.trips_received -= 6     # 5 - 6 -> -1
+        assert stats.trips_received == 5  # untouched by the failed writes
+
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
             ServerStats().no_such_counter
