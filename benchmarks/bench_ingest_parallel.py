@@ -3,8 +3,10 @@
 One morning's uploads are generated once, then replayed into fresh
 backends through ``ingest_many`` — serial first, then through the
 sharded :class:`IngestEngine` at growing pool sizes.  Every parallel
-run's ``ServerStats`` is asserted equal to the serial run's before its
-time counts, so the table can't quietly trade correctness for speed.
+run's end state (stats, fused traffic map, metrics) is rendered as a
+canonical testkit trace and required byte-identical to the serial
+run's before its time counts, so the table can't quietly trade
+correctness for speed.
 
 The speedup column is only meaningful on a multi-core host; the report
 records the machine's core count next to it.
@@ -22,6 +24,7 @@ import time
 from repro.core.ingest import IngestEngine
 from repro.core.server import BackendServer
 from repro.sim.world import World
+from repro.testkit import diff_traces, render_trace, trace_from_server
 from repro.util.units import parse_hhmm
 
 from conftest import report
@@ -39,8 +42,14 @@ def _fresh_server(world: World) -> BackendServer:
     )
 
 
-def _best_time(world: World, uploads, workers: int, baseline_stats):
-    """Best-of-REPEATS wall time; verifies stats parity on every run."""
+def _best_time(world: World, uploads, workers: int, baseline_trace):
+    """Best-of-REPEATS wall time; verifies trace parity on every run.
+
+    Parity is judged by the conformance testkit: the server's end state
+    is serialized as a canonical golden trace and must render
+    byte-identically to the serial baseline's — the same referee
+    ``repro conformance`` uses for the end-to-end campaign.
+    """
     best = float("inf")
     for _ in range(REPEATS):
         server = _fresh_server(world)
@@ -56,14 +65,17 @@ def _best_time(world: World, uploads, workers: int, baseline_stats):
                 start = time.perf_counter()
                 server.ingest_many(uploads, engine=engine)
                 elapsed = time.perf_counter() - start
-        stats = server.stats.as_dict()
-        if baseline_stats is not None and stats != baseline_stats:
+        trace = trace_from_server(server)
+        if baseline_trace is not None and (
+            render_trace(trace) != render_trace(baseline_trace)
+        ):
+            diff = diff_traces(baseline_trace, trace, max_entries=16)
             raise AssertionError(
-                f"workers={workers} diverged from serial: {stats} "
-                f"!= {baseline_stats}"
+                f"workers={workers} diverged from serial:\n  "
+                + "\n  ".join(diff or ["render differs"])
             )
         best = min(best, elapsed)
-    return best, stats
+    return best, trace
 
 
 def run() -> str:
@@ -85,7 +97,7 @@ def run() -> str:
             f"{workers:>8} {elapsed * 1e3:>10.1f} "
             f"{len(uploads) / elapsed:>9.0f} {serial_s / elapsed:>7.2f}x"
         )
-    rows.append("stats parity       verified at every worker count")
+    rows.append("trace parity       byte-identical at every worker count")
     return "\n".join(rows)
 
 

@@ -9,6 +9,7 @@ Subcommands mirror a real deployment's workflow::
     repro power                              # Table III on stdout
     repro stats       metrics.json           # render a --metrics-out document
     repro alerts      rules.json --metrics m.json   # lint + evaluate SLO rules
+    repro conformance --scenarios 25         # oracles + golden-trace referee
 
 Every command is deterministic given ``--seed``.
 
@@ -139,6 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
     alerts.add_argument("--metrics", default=None,
                         help="evaluate the rules against this --metrics-out "
                              "document (JSON or *.prom); exit 1 if any fire")
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="differentially test core/ vs the spec-literal oracles and "
+             "check (or re-record) the golden end-to-end trace",
+    )
+    conformance.add_argument("--scenarios", type=int, default=25,
+                             help="randomized scenarios per estimator "
+                                  "(default: 25)")
+    conformance.add_argument("--seed", type=int, default=0,
+                             help="base seed for scenario generation")
+    conformance.add_argument("--record", action="store_true",
+                             help="re-record the golden fixture (after "
+                                  "verifying worker-invariance) instead of "
+                                  "checking against it")
+    conformance.add_argument("--check", action="store_true",
+                             help="check the golden trace (the default; "
+                                  "kept explicit for scripts)")
+    conformance.add_argument("--no-golden", action="store_true",
+                             help="differential scenarios only, skip the "
+                                  "golden end-to-end runs")
+    conformance.add_argument("--workers", type=int, nargs="*", default=None,
+                             help="worker counts the golden campaign is "
+                                  "replayed at (default: 1 2 4)")
+    conformance.add_argument("--fixture", default=None,
+                             help="golden trace path (default: the committed "
+                                  "tests/golden/campaign_small.json)")
+    conformance.add_argument("--diff-out", default=None, metavar="FILE",
+                             help="write golden-trace diff lines here on "
+                                  "mismatch (CI artifact)")
+    conformance.add_argument("--report-out", default=None, metavar="FILE",
+                             help="write the full conformance report as JSON")
     return parser
 
 
@@ -157,6 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "power": _cmd_power,
         "stats": _cmd_stats,
         "alerts": _cmd_alerts,
+        "conformance": _cmd_conformance,
     }[args.command]
     return handler(args)
 
@@ -579,6 +613,39 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         print(f"  [{event.severity}] {event.rule}{where} "
               f"value={event.value:g} threshold={event.threshold:g}")
     return 1
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testkit.conformance import (
+        DEFAULT_WORKER_COUNTS,
+        run_conformance,
+    )
+
+    worker_counts = tuple(args.workers) if args.workers else DEFAULT_WORKER_COUNTS
+    report = run_conformance(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        record=args.record,
+        check=not args.no_golden,
+        fixture=args.fixture,
+        worker_counts=worker_counts,
+    )
+    print(report.summary())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as out:
+            json.dump(report.as_dict(), out, indent=2)
+        print(f"wrote conformance report -> {args.report_out}")
+    if args.diff_out:
+        diff_lines = [
+            f"workers={workers}: {line}"
+            for workers, lines in sorted(report.golden_results.items())
+            for line in lines
+        ]
+        with open(args.diff_out, "w", encoding="utf-8") as out:
+            out.write("\n".join(diff_lines) + ("\n" if diff_lines else ""))
+        if diff_lines:
+            print(f"wrote golden-trace diff -> {args.diff_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_power(args: argparse.Namespace) -> int:

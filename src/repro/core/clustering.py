@@ -26,6 +26,13 @@ from repro.core.matching import MatchResult
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.phone.cellular import CellularSample
 
+#: Once the gap from a sample to a cluster's departing point exceeds
+#: ``STALE_AFTER_FACTOR * t0`` the Eq. (1) time term alone pushes the
+#: affinity below any ε in (0, 2], so the cluster can be skipped without
+#: scoring it.  A pure optimisation — the spec-literal oracle in
+#: `repro.testkit.oracles` omits it, and differential runs verify that.
+STALE_AFTER_FACTOR: float = 2.0
+
 
 @dataclass(frozen=True)
 class MatchedSample:
@@ -132,15 +139,13 @@ def cluster_trip_samples(
     for member in ordered:
         best_cluster: Optional[SampleCluster] = None
         best_affinity = config.threshold
-        # Only recent clusters can absorb the sample: once the gap to a
-        # cluster's departing point exceeds 2*t0 the time term alone pushes
-        # the affinity below any ε in (0, 2].  Such clusters are skipped,
-        # not used to end the scan: depart_s is NOT monotone over the
-        # clusters list — an older cluster that absorbed a late sample can
-        # depart after a newer one — so a stale cluster may sit in front of
-        # a still-eligible one.
+        # Only recent clusters can absorb the sample (STALE_AFTER_FACTOR).
+        # Stale clusters are skipped, not used to end the scan: depart_s is
+        # NOT monotone over the clusters list — an older cluster that
+        # absorbed a late sample can depart after a newer one — so a stale
+        # cluster may sit in front of a still-eligible one.
         for cluster in reversed(clusters):
-            if member.time_s - cluster.depart_s > 2.0 * config.max_interval_s:
+            if member.time_s - cluster.depart_s > STALE_AFTER_FACTOR * config.max_interval_s:
                 continue
             affinity = max(
                 link_affinity(existing, member, config)

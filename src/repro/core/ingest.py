@@ -45,7 +45,7 @@ from repro.core.clustering import (
     SampleCluster,
     cluster_trip_samples,
 )
-from repro.core.matching import SampleMatcher
+from repro.core.matching import MatchResult, SampleMatcher
 from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER, Tracer
@@ -68,6 +68,10 @@ class PreparedTrip:
     discarded: int
     clusters: List[SampleCluster]
     mapped: Optional[MappedTrip]
+    #: Per-sample match verdicts in upload order; only populated when
+    #: :func:`prepare_trip` runs with ``keep_matches=True`` (golden-trace
+    #: recording) — the hot path never pays for carrying them.
+    matches: Optional[Tuple[MatchResult, ...]] = None
 
     @classmethod
     def skipped(cls, upload: TripUpload) -> "PreparedTrip":
@@ -96,12 +100,15 @@ def prepare_trip(
     constraint: RouteConstraint,
     registry: Optional[MetricsRegistry] = None,
     tracer=NULL_TRACER,
+    keep_matches: bool = False,
 ) -> PreparedTrip:
     """Run the pure per-trip pipeline half: match → cluster → map.
 
     This is the exact code path both the serial server and every pool
     worker execute, which is what makes parallel results bit-identical
-    to serial ones.
+    to serial ones.  ``keep_matches=True`` additionally records the
+    per-sample match verdicts on the result — a pure observation hook
+    for the golden-trace recorder; it changes no pipeline decision.
     """
     registry = registry if registry is not None else NULL_REGISTRY
     matched: List[MatchedSample] = []
@@ -131,6 +138,7 @@ def prepare_trip(
         discarded=discarded,
         clusters=clusters,
         mapped=mapped,
+        matches=tuple(results) if keep_matches else None,
     )
 
 
@@ -177,7 +185,9 @@ def _init_worker(
     )
 
 
-def _prepare_shard(shard: Sequence[TripUpload]) -> _ShardOutcome:
+def _prepare_shard(
+    shard: Sequence[TripUpload], keep_matches: bool = False
+) -> _ShardOutcome:
     """Task body: run the pure stages over one ordered shard of uploads."""
     state = _WORKER_STATE
     if state is None:
@@ -194,6 +204,7 @@ def _prepare_shard(shard: Sequence[TripUpload]) -> _ShardOutcome:
             constraint=state.constraint,
             registry=state.registry,
             tracer=tracer,
+            keep_matches=keep_matches,
         )
         for upload in shard
     ]
@@ -326,14 +337,20 @@ class IngestEngine:
             list(uploads[i: i + size]) for i in range(0, len(uploads), size)
         ]
 
-    def prepare(self, uploads: Sequence[TripUpload]) -> List[PreparedTrip]:
+    def prepare(
+        self, uploads: Sequence[TripUpload], *, keep_matches: bool = False
+    ) -> List[PreparedTrip]:
         """Fan the pure stages out over the pool; results in input order."""
         if not uploads:
             return []
         self.start()
         started = time.perf_counter()
         shards = self._shards(uploads)
-        outcomes = self._pool.map(_prepare_shard, shards, chunksize=1)
+        outcomes = self._pool.starmap(
+            _prepare_shard,
+            [(shard, keep_matches) for shard in shards],
+            chunksize=1,
+        )
         prepared: List[PreparedTrip] = []
         for shard, outcome in zip(shards, outcomes):
             prepared.extend(outcome.prepared)

@@ -203,11 +203,21 @@ class SampleMatcher:
         """Smith-Waterman similarity of a sample to one stop's fingerprint."""
         return smith_waterman(tower_ids, self._fingerprints[station_id], self.config)
 
-    def match(self, tower_ids: Sequence[int]) -> MatchResult:
-        """Best stop for a sample, or a rejection below the γ threshold."""
+    def candidate_stations(self, tower_ids: Sequence[int]) -> set:
+        """Stops sharing at least one cell id with the sample.
+
+        Only these can score above zero, so they bound the search; the
+        differential oracle scans the whole database instead and must
+        agree — any stop this prunes away that could still win is a bug.
+        """
         candidates: set = set()
         for tower in tower_ids:
             candidates.update(self._stops_by_tower.get(tower, ()))
+        return candidates
+
+    def match(self, tower_ids: Sequence[int]) -> MatchResult:
+        """Best stop for a sample, or a rejection below the γ threshold."""
+        candidates = self.candidate_stations(tower_ids)
         if self._observing:
             self._m_samples.inc()
             self._m_candidates.observe(len(candidates))
@@ -247,9 +257,7 @@ class SampleMatcher:
         pair_station: List[int] = []
         observing = self._observing
         for idx, tower_ids in enumerate(samples):
-            candidates: set = set()
-            for tower in tower_ids:
-                candidates.update(self._stops_by_tower.get(tower, ()))
+            candidates = self.candidate_stations(tower_ids)
             if observing:
                 self._m_candidates.observe(len(candidates))
             for station_id in sorted(candidates):

@@ -158,6 +158,9 @@ class TripReport:
     mapped: Optional[MappedTrip]
     estimates: List[Tuple[SegmentId, float, float]] = field(default_factory=list)
     # (segment, speed_kmh, observation time)
+    #: Per-sample match verdicts in upload order; populated only when the
+    #: trip was ingested with ``keep_matches=True`` (golden-trace runs).
+    matches: Optional[Tuple] = None
 
 
 class BackendServer:
@@ -243,7 +246,11 @@ class BackendServer:
     # -- ingestion ---------------------------------------------------------------
 
     def receive_trip(
-        self, upload: TripUpload, now_s: Optional[float] = None
+        self,
+        upload: TripUpload,
+        now_s: Optional[float] = None,
+        *,
+        keep_matches: bool = False,
     ) -> TripReport:
         """Run one uploaded trip through the full pipeline.
 
@@ -261,10 +268,12 @@ class BackendServer:
             if upload.trip_key in self._seen_trip_keys:
                 prepared = PreparedTrip.skipped(upload)
             else:
-                prepared = self.prepare_upload(upload)
+                prepared = self.prepare_upload(upload, keep_matches=keep_matches)
             return self.apply_prepared(prepared, now_s=now_s)
 
-    def prepare_upload(self, upload: TripUpload) -> PreparedTrip:
+    def prepare_upload(
+        self, upload: TripUpload, *, keep_matches: bool = False
+    ) -> PreparedTrip:
         """The pure pipeline half for one upload (match → cluster → map).
 
         Reads only immutable server state (fingerprint database, route
@@ -279,6 +288,7 @@ class BackendServer:
             constraint=self.constraint,
             registry=self.registry,
             tracer=self.tracer,
+            keep_matches=keep_matches,
         )
 
     def apply_prepared(
@@ -332,6 +342,7 @@ class BackendServer:
             discarded_samples=prepared.discarded,
             clusters=clusters,
             mapped=mapped,
+            matches=prepared.matches,
         )
         if mapped is None or len(mapped.stops) < 2:
             log_event(
@@ -367,6 +378,7 @@ class BackendServer:
         workers: int = 1,
         engine: Optional[IngestEngine] = None,
         shard_size: Optional[int] = None,
+        keep_matches: bool = False,
     ) -> List[TripReport]:
         """Process a batch of uploads in time order, optionally sharded.
 
@@ -385,13 +397,18 @@ class BackendServer:
         ordered = sorted(uploads, key=lambda u: u.start_s if u.samples else 0.0)
         own_engine = engine is None and workers > 1
         if engine is None and not own_engine:
-            return [self.receive_trip(upload) for upload in ordered]
+            return [
+                self.receive_trip(upload, keep_matches=keep_matches)
+                for upload in ordered
+            ]
         if own_engine:
             engine = IngestEngine.for_server(
                 self, workers=workers, shard_size=shard_size
             )
         try:
-            prepared = self.prepare_many(ordered, engine)
+            prepared = self.prepare_many(
+                ordered, engine, keep_matches=keep_matches
+            )
             with self.tracer.span("ingest_merge"):
                 return [self.apply_prepared(p) for p in prepared]
         finally:
@@ -399,7 +416,11 @@ class BackendServer:
                 engine.close()
 
     def prepare_many(
-        self, uploads: Sequence[TripUpload], engine: IngestEngine
+        self,
+        uploads: Sequence[TripUpload],
+        engine: IngestEngine,
+        *,
+        keep_matches: bool = False,
     ) -> List[PreparedTrip]:
         """Prepared trips for ``uploads``, in order, via a worker pool.
 
@@ -419,7 +440,7 @@ class BackendServer:
                 seen.add(upload.trip_key)
                 plan.append(None)           # filled from the engine below
                 fresh.append(upload)
-        prepared_fresh = iter(engine.prepare(fresh))
+        prepared_fresh = iter(engine.prepare(fresh, keep_matches=keep_matches))
         return [
             slot if slot is not None else next(prepared_fresh) for slot in plan
         ]

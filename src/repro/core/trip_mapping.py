@@ -24,6 +24,12 @@ from repro.config import TripMappingConfig
 from repro.core.clustering import CandidateStop, SampleCluster
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
+#: A chosen candidate contributing no more than this to Eq. (2) is treated
+#: as routed-around and dropped from the mapped trip.  Shared with the
+#: spec-literal oracle (`repro.testkit.oracles`) so both sides apply the
+#: identical drop rule.
+DROP_EPSILON: float = 1e-9
+
 
 @dataclass(frozen=True)
 class MappedStop:
@@ -73,7 +79,7 @@ class RouteConstraint:
 def map_trip(
     clusters: Sequence[SampleCluster],
     constraint: RouteConstraint,
-    min_weight: float = 1e-9,
+    min_weight: float = DROP_EPSILON,
     registry: Optional[MetricsRegistry] = None,
 ) -> Optional[MappedTrip]:
     """Resolve each cluster to its most likely stop under route constraints.

@@ -130,6 +130,7 @@ class World:
         dsp_mode: DspMode = DspMode.FAST,
         with_official_feed: bool = True,
         workers: int = 1,
+        keep_matches: bool = False,
     ) -> SimulationResult:
         """Run a sensing campaign over ``[start_s, end_s)``.
 
@@ -213,7 +214,9 @@ class World:
                     self.server, workers=workers
                 ) as engine:
                     prepared_all = self.server.prepare_many(
-                        [upload for _, upload in timed_uploads], engine
+                        [upload for _, upload in timed_uploads],
+                        engine,
+                        keep_matches=keep_matches,
                     )
                 for (arrive_at, _), prepared in zip(
                     timed_uploads, prepared_all
@@ -229,7 +232,9 @@ class World:
                     sim.schedule(
                         max(arrive_at, start_s),
                         lambda s, u=upload: reports.append(
-                            self.server.receive_trip(u, now_s=s.now)
+                            self.server.receive_trip(
+                                u, now_s=s.now, keep_matches=keep_matches
+                            )
                         ),
                     )
             horizon = max(

@@ -1,0 +1,257 @@
+"""Spec-literal reference oracles for the three §III-C estimators.
+
+Every function here is *deliberately naive*: a full O(n·m) Python
+Smith-Waterman matrix instead of the vectorised rolling rows, a scan of
+the whole fingerprint database instead of the inverted tower index, an
+O(n²) pass over every open cluster instead of the 2·t0 staleness prune,
+and exhaustive enumeration of all Π B_k candidate sequences instead of
+the Viterbi decomposition.  That makes them slow and obviously correct —
+the property a differential referee needs.
+
+Tie-breaking is part of the observable contract, so the oracles pin the
+same deterministic choices the optimized paths make:
+
+* matching — best ``(score, common ids, smaller station id)``;
+* clustering — among equal-affinity open clusters the newest wins;
+* mapping — ties are resolved by reporting *every* optimal sequence;
+  the optimized result must be one of them.
+
+All arithmetic uses the same IEEE-754 double operations in the same
+association order as the optimized code, so comparisons are exact
+(``==``), never approximate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ClusteringConfig, MatchingConfig
+from repro.core.clustering import MatchedSample, SampleCluster
+from repro.core.matching import MatchResult
+from repro.core.trip_mapping import MappedStop, DROP_EPSILON
+
+__all__ = [
+    "OracleMatcher",
+    "oracle_cluster_trip_samples",
+    "oracle_enumerate_sequences",
+    "oracle_map_variants",
+    "oracle_smith_waterman",
+]
+
+
+# -- per-sample matching (§III-C1) --------------------------------------------
+
+
+def oracle_smith_waterman(
+    upload: Sequence[int],
+    database: Sequence[int],
+    config: Optional[MatchingConfig] = None,
+) -> float:
+    """Table II's modified Smith-Waterman, as a full Python DP matrix."""
+    config = config or MatchingConfig()
+    n, m = len(upload), len(database)
+    if n == 0 or m == 0:
+        return 0.0
+    match = config.match_score
+    mismatch = -config.mismatch_penalty
+    gap = -config.gap_penalty
+    matrix = [[0.0] * (m + 1) for _ in range(n + 1)]
+    best = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            diagonal = matrix[i - 1][j - 1] + (
+                match if upload[i - 1] == database[j - 1] else mismatch
+            )
+            value = max(0.0, diagonal, matrix[i - 1][j] + gap,
+                        matrix[i][j - 1] + gap)
+            matrix[i][j] = value
+            if value > best:
+                best = value
+    return best
+
+
+class OracleMatcher:
+    """Matches a sample against *every* stop fingerprint, no index.
+
+    The γ acceptance threshold and the common-id tie-break follow
+    §III-C1 literally; iteration order is made irrelevant by the total
+    ordering ``(score, common ids, -station_id)``.
+    """
+
+    def __init__(
+        self,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        config: Optional[MatchingConfig] = None,
+    ):
+        if not fingerprints:
+            raise ValueError("oracle matcher needs a non-empty database")
+        self.config = config or MatchingConfig()
+        self._fingerprints = {k: tuple(v) for k, v in fingerprints.items()}
+
+    def match(self, tower_ids: Sequence[int]) -> MatchResult:
+        """Best stop for one sample, or a rejection below γ."""
+        best: Optional[Tuple[float, int, int]] = None
+        for station_id in sorted(self._fingerprints):
+            fingerprint = self._fingerprints[station_id]
+            score = oracle_smith_waterman(tower_ids, fingerprint, self.config)
+            if score < self.config.accept_threshold:
+                continue
+            common = len(set(tower_ids) & set(fingerprint))
+            key = (score, common, -station_id)
+            if best is None or key > best:
+                best = key
+        if best is None:
+            return MatchResult(station_id=None, score=0.0, common_ids=0)
+        score, common, neg_station = best
+        return MatchResult(
+            station_id=-neg_station, score=score, common_ids=common
+        )
+
+    def match_many(
+        self, samples: Sequence[Sequence[int]]
+    ) -> List[MatchResult]:
+        """Per-sample :meth:`match`, one at a time (no batching)."""
+        return [self.match(sample) for sample in samples]
+
+
+# -- per-stop clustering (§III-C2) --------------------------------------------
+
+
+def _oracle_affinity(
+    a: MatchedSample, b: MatchedSample, config: ClusteringConfig
+) -> float:
+    """Eq. (1)'s left-hand side, written out literally."""
+    time_term = (
+        config.max_interval_s - abs(b.time_s - a.time_s)
+    ) / config.max_interval_s
+    if (
+        a.match.station_id is not None
+        and a.match.station_id == b.match.station_id
+    ):
+        match_term = (
+            config.max_similarity - abs(b.match.score - a.match.score)
+        ) / config.max_similarity
+    else:
+        match_term = 0.0
+    return time_term + match_term
+
+
+def oracle_cluster_trip_samples(
+    matched: Sequence[MatchedSample],
+    config: Optional[ClusteringConfig] = None,
+) -> List[List[MatchedSample]]:
+    """O(n²) greedy clustering: every sample against every open cluster.
+
+    Identical semantics to
+    :func:`repro.core.clustering.cluster_trip_samples` — time-ordered
+    scan, a sample joins the best cluster whose maximum member affinity
+    strictly clears ε, newest cluster wins ties — but *without* the
+    2·t0 staleness prune, which the optimized path relies on being a
+    pure optimisation.  Differential runs therefore also verify that
+    claim.
+    """
+    config = config or ClusteringConfig()
+    ordered = sorted(matched, key=lambda m: m.time_s)
+    clusters: List[List[MatchedSample]] = []
+    for member in ordered:
+        best_index: Optional[int] = None
+        best_affinity = config.threshold
+        for index, cluster in enumerate(clusters):
+            affinity = max(
+                _oracle_affinity(existing, member, config)
+                for existing in cluster
+            )
+            if affinity <= config.threshold:
+                continue
+            # ``>=`` on a forward scan == newest-wins, matching the
+            # optimized path's strict ``>`` over a reversed scan.
+            if best_index is None or affinity >= best_affinity:
+                best_affinity = affinity
+                best_index = index
+        if best_index is None:
+            clusters.append([member])
+        else:
+            clusters[best_index].append(member)
+    return clusters
+
+
+# -- per-trip sequence mapping (§III-C3) --------------------------------------
+
+
+def oracle_enumerate_sequences(
+    clusters: Sequence[SampleCluster],
+    constraint,
+) -> Optional[Tuple[List[int], float, List[tuple]]]:
+    """Exhaustively maximise Eq. (2) over all candidate sequences.
+
+    Returns ``(kept_cluster_indices, best_score, best_combos)`` where
+    ``best_combos`` holds *every* candidate combination achieving the
+    maximum (so callers can accept any optimal tie), or ``None`` when no
+    cluster has a candidate.  ``constraint`` only needs a
+    ``weight(x, y)`` method — the paper's R(x, y).
+    """
+    pools = [cluster.candidates() for cluster in clusters]
+    kept_indices = [i for i, pool in enumerate(pools) if pool]
+    if not kept_indices:
+        return None
+    kept_pools = [pools[i] for i in kept_indices]
+    best_score: Optional[float] = None
+    best_combos: List[tuple] = []
+    for combo in itertools.product(*kept_pools):
+        score = combo[0].weight
+        for prev, cur in zip(combo, combo[1:]):
+            score += cur.weight * constraint.weight(
+                prev.station_id, cur.station_id
+            )
+        if best_score is None or score > best_score:
+            best_score = score
+            best_combos = [combo]
+        elif score == best_score:
+            best_combos.append(combo)
+    return kept_indices, float(best_score), best_combos
+
+
+def oracle_map_variants(
+    clusters: Sequence[SampleCluster],
+    constraint,
+    min_weight: float = DROP_EPSILON,
+) -> Optional[Tuple[float, List[List[MappedStop]]]]:
+    """Every optimal :func:`~repro.core.trip_mapping.map_trip` outcome.
+
+    Applies the same drop rule the optimized mapper uses (clusters whose
+    chosen candidate contributes numerically zero weight are routed
+    around) to each optimal sequence, returning ``(best_score,
+    variants)`` where each variant is the resulting stop list (possibly
+    empty, meaning the mapper should return ``None``).
+    """
+    enumerated = oracle_enumerate_sequences(clusters, constraint)
+    if enumerated is None:
+        return None
+    kept_indices, best_score, best_combos = enumerated
+    variants: List[List[MappedStop]] = []
+    for combo in best_combos:
+        stops: List[MappedStop] = []
+        for position, (candidate, cluster_index) in enumerate(
+            zip(combo, kept_indices)
+        ):
+            if position > 0:
+                contributed = candidate.weight * constraint.weight(
+                    combo[position - 1].station_id, candidate.station_id
+                )
+            else:
+                contributed = candidate.weight
+            if position > 0 and contributed <= min_weight:
+                continue
+            cluster = clusters[cluster_index]
+            stops.append(
+                MappedStop(
+                    station_id=candidate.station_id,
+                    arrival_s=cluster.arrival_s,
+                    depart_s=cluster.depart_s,
+                    cluster_size=len(cluster),
+                    weight=contributed,
+                )
+            )
+        variants.append(stops)
+    return best_score, variants

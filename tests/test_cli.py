@@ -294,3 +294,66 @@ class TestServeMetricsAndCampaignMetrics:
         ((_, labels, value),) = parsed["campaign_days_by_phase_total"]["samples"]
         assert labels == {"phase": "sparse"}
         assert value == 1
+
+
+class TestConformanceCommand:
+    def test_differential_only_run(self, capsys):
+        code = main(["conformance", "--scenarios", "3", "--no-golden"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "3 scenarios x 3 estimators" in output
+        assert "all conformant" in output
+        assert "golden:" not in output
+
+    def test_serial_golden_check_against_committed_fixture(
+        self, tmp_path, capsys
+    ):
+        report_path = str(tmp_path / "report.json")
+        code = main([
+            "conformance", "--scenarios", "2", "--workers", "1",
+            "--report-out", report_path,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "golden: checked" in output
+        assert "workers=1: byte-identical" in output
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["ok"] is True
+        assert report["golden_results"] == {"1": []}
+
+    def test_mismatched_fixture_fails_and_writes_diff(self, tmp_path, capsys):
+        from repro.testkit import load_trace, write_trace
+        from repro.testkit.golden import default_trace_path
+
+        doctored = load_trace(default_trace_path())
+        doctored["stats"]["trips_received"] += 1
+        fixture = tmp_path / "doctored.json"
+        write_trace(doctored, fixture)
+        diff_path = str(tmp_path / "golden_diff.txt")
+        code = main([
+            "conformance", "--scenarios", "1", "--workers", "1",
+            "--fixture", str(fixture), "--diff-out", diff_path,
+        ])
+        assert code == 1
+        assert "diffs" in capsys.readouterr().out
+        with open(diff_path) as handle:
+            diff = handle.read()
+        assert "workers=1:" in diff
+        assert "stats.trips_received" in diff
+
+    def test_record_writes_fixture(self, tmp_path, capsys):
+        fixture = tmp_path / "recorded.json"
+        code = main([
+            "conformance", "--scenarios", "1", "--workers", "1",
+            "--record", "--fixture", str(fixture),
+        ])
+        assert code == 0
+        assert "golden: recorded" in capsys.readouterr().out
+        assert fixture.exists()
+        # What --record writes is exactly what --check accepts.
+        code = main([
+            "conformance", "--scenarios", "1", "--workers", "1",
+            "--check", "--fixture", str(fixture),
+        ])
+        assert code == 0

@@ -11,11 +11,13 @@ import itertools
 import numpy as np
 import pytest
 
+from repro.config import UplinkConfig
 from repro.core import BackendServer, FingerprintDatabase
 from repro.phone import record_participant_trips
 from repro.phone.cellular import CellularSample
 from repro.phone.trip_recorder import TripUpload
 from repro.sim.bus import simulate_bus_trip
+from repro.sim.uplink import UplinkChannel
 from repro.util.units import parse_hhmm
 
 
@@ -158,6 +160,142 @@ class TestPartialDatabase:
         for report in reports:
             for _, speed_kmh, _ in report.estimates:
                 assert 2.0 <= speed_kmh <= 120.0
+
+
+class TestUplinkFailures:
+    """Uploads crossing a lossy, delaying, reordering uplink channel."""
+
+    @staticmethod
+    def _ingest_delivered(server, delivered):
+        """Feed (arrival, upload) pairs in delivery order, by trip key."""
+        return {
+            upload.trip_key: server.receive_trip(upload, now_s=arrival)
+            for arrival, upload in delivered
+        }
+
+    def _fresh_server(self, small_city, database, config):
+        return BackendServer(
+            small_city.network, small_city.route_network, database, config
+        )
+
+    def test_out_of_order_delivery_consistent(
+        self, server, small_city, database, config, real_uploads
+    ):
+        """Reordered arrival must not change any per-trip outcome or stat.
+
+        The per-trip half (match → cluster → map) is pure, so reports,
+        stats and the *set* of updated segments are delivery-order
+        independent; only fused means may differ (the Eq. 4 fuser is
+        fed in delivery order by design).
+        """
+        ready = [
+            (upload.end_s + 600.0, upload)
+            for upload in real_uploads
+            if upload.samples
+        ]
+        channel = UplinkChannel(
+            UplinkConfig(
+                loss_probability=0.0, base_delay_s=5.0,
+                mean_extra_delay_s=3000.0,
+            ),
+            rng=np.random.default_rng(77),
+        )
+        delivered = channel.transmit_all(ready)
+        assert channel.stats.delivered == len(ready)
+        offered_keys = [upload.trip_key for _, upload in ready]
+        delivered_keys = [upload.trip_key for _, upload in delivered]
+        assert delivered_keys != offered_keys, "channel failed to reorder"
+
+        out_of_order = self._ingest_delivered(server, delivered)
+        reference = self._fresh_server(small_city, database, config)
+        in_order = self._ingest_delivered(
+            reference, sorted(delivered, key=lambda pair: pair[1].start_s)
+        )
+
+        assert set(out_of_order) == set(in_order)
+        for trip_key, report in out_of_order.items():
+            expected = in_order[trip_key]
+            assert report.accepted_samples == expected.accepted_samples
+            assert report.discarded_samples == expected.discarded_samples
+            got_seq = report.mapped.station_sequence() if report.mapped else None
+            want_seq = (
+                expected.mapped.station_sequence() if expected.mapped else None
+            )
+            assert got_seq == want_seq
+            assert report.estimates == expected.estimates
+        assert server.stats.as_dict() == reference.stats.as_dict()
+        assert set(server.traffic_map.fuser.keys) == set(
+            reference.traffic_map.fuser.keys
+        )
+
+    def test_duplicate_retry_over_uplink(self, server, real_uploads):
+        """A phone retrying the same TripUpload must not touch the map."""
+        upload = max(real_uploads, key=lambda u: len(u.samples))
+        channel = UplinkChannel(
+            UplinkConfig(loss_probability=0.0, base_delay_s=60.0,
+                         mean_extra_delay_s=0.0),
+            rng=np.random.default_rng(78),
+        )
+        ready_s = upload.end_s + 600.0
+        first = channel.transmit(ready_s, upload)
+        retry = channel.transmit(ready_s + 900.0, upload)     # impatient retry
+        assert first is not None and retry is not None
+
+        server.receive_trip(upload, now_s=first[0])
+        beliefs_before = {
+            key: server.traffic_map.segment_estimate(key)
+            for key in server.traffic_map.fuser.keys
+        }
+        stats_before = server.stats.as_dict()
+
+        report = server.receive_trip(upload, now_s=retry[0])
+        assert report.mapped is None
+        assert report.discarded_samples == len(upload.samples)
+        assert server.stats.trips_duplicate == stats_before["trips_duplicate"] + 1
+        assert server.stats.trips_received == stats_before["trips_received"]
+        assert server.stats.samples_duplicate == (
+            stats_before["samples_duplicate"] + len(upload.samples)
+        )
+        assert server.stats.segments_updated == stats_before["segments_updated"]
+        # The fuser saw nothing: identical beliefs, same observation counts.
+        assert set(server.traffic_map.fuser.keys) == set(beliefs_before)
+        for key, before in beliefs_before.items():
+            assert server.traffic_map.segment_estimate(key) == before
+
+    def test_lost_then_resent_counts_once(
+        self, server, small_city, database, config, real_uploads
+    ):
+        """A lost upload re-sent later lands exactly once, as if never lost."""
+        upload = max(real_uploads, key=lambda u: len(u.samples))
+        lossy = UplinkChannel(
+            UplinkConfig(loss_probability=0.999999, base_delay_s=60.0,
+                         mean_extra_delay_s=0.0),
+            rng=np.random.default_rng(79),
+        )
+        ready_s = upload.end_s + 600.0
+        assert lossy.transmit(ready_s, upload) is None
+        assert lossy.stats.lost == 1 and lossy.stats.delivered == 0
+
+        clean = UplinkChannel(
+            UplinkConfig(loss_probability=0.0, base_delay_s=60.0,
+                         mean_extra_delay_s=0.0),
+            rng=np.random.default_rng(80),
+        )
+        resent = clean.transmit(ready_s + 3600.0, upload)     # next WiFi window
+        assert resent is not None
+        report = server.receive_trip(upload, now_s=resent[0])
+
+        reference = self._fresh_server(small_city, database, config)
+        direct = reference.receive_trip(upload, now_s=ready_s + 60.0)
+        assert report.accepted_samples == direct.accepted_samples
+        assert report.discarded_samples == direct.discarded_samples
+        got_seq = report.mapped.station_sequence() if report.mapped else None
+        want_seq = direct.mapped.station_sequence() if direct.mapped else None
+        assert got_seq == want_seq
+        assert report.estimates == direct.estimates
+        assert server.stats.trips_received == 1
+        assert server.stats.trips_duplicate == 0
+        assert server.stats.as_dict() == reference.stats.as_dict()
 
 
 class TestClockSkew:

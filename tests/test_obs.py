@@ -194,6 +194,158 @@ class TestMergeDict:
         assert NULL_REGISTRY.histogram("h").count == 0
 
 
+class TestMergeDictEdgeCases:
+    """merge_dict on degenerate and adversarial snapshots."""
+
+    def test_empty_snapshot_is_a_no_op(self):
+        parent = self._populated()
+        before = parent.as_dict()
+        parent.merge_dict({})
+        assert parent.as_dict() == before
+
+    def test_empty_sections_are_a_no_op(self):
+        parent = self._populated()
+        before = parent.as_dict()
+        parent.merge_dict(
+            {"counters": {}, "gauges": {}, "histograms": {}, "labeled": {}}
+        )
+        assert parent.as_dict() == before
+
+    @staticmethod
+    def _populated():
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_histogram_snapshot_without_bucket_counts_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError, match="bucket_counts"):
+            parent.merge_dict(
+                {"histograms": {"h": {"count": 1, "sum": 0.5, "bounds": [1.0]}}}
+            )
+
+    def test_labeled_histogram_ladder_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.labeled_histogram(
+            "lat", ("stage",), buckets=(1.0, 2.0)
+        ).labels("matching").observe(0.3)
+        worker = MetricsRegistry()
+        worker.labeled_histogram(
+            "lat", ("stage",), buckets=(5.0,)
+        ).labels("matching").observe(0.3)
+        with pytest.raises(ValueError):
+            parent.merge_dict(worker.as_dict())
+
+    def test_labeled_family_unknown_type_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown type"):
+            parent.merge_dict(
+                {"labeled": {"fam": {"type": "summary", "labels": ["x"],
+                                     "overflow_total": 0, "children": {}}}}
+            )
+
+    def test_overflow_children_merge_and_totals_add(self):
+        from repro.obs.labels import OVERFLOW_LABEL_VALUE
+
+        def overflowing_worker():
+            worker = MetricsRegistry()
+            fam = worker.labeled_counter("rt", ("route",), max_children=2)
+            fam.labels("a").inc(1)
+            fam.labels("b").inc(2)
+            fam.labels("c").inc(5)          # beyond the cap -> _overflow child
+            fam.labels("d").inc(7)          # shares the same _overflow child
+            return worker
+
+        snapshot = overflowing_worker().as_dict()
+        overflow_key = f'route="{OVERFLOW_LABEL_VALUE}"'
+        assert snapshot["labeled"]["rt"]["overflow_total"] == 2
+        assert snapshot["labeled"]["rt"]["children"][overflow_key] == 12
+
+        parent = MetricsRegistry()
+        parent.merge_dict(snapshot)
+        parent.merge_dict(overflowing_worker().as_dict())
+        family = parent.as_dict()["labeled"]["rt"]
+        # Counts add child-for-child (the _overflow child included) and the
+        # overflow totals accumulate across merges.
+        assert family["children"]['route="a"'] == 2
+        assert family["children"]['route="b"'] == 4
+        assert family["children"][overflow_key] == 24
+        assert family["overflow_total"] == 4
+
+
+class TestParsePrometheusIngestFamilies:
+    """parse_prometheus_text round-trips the ingest_* telemetry families."""
+
+    @staticmethod
+    def _ingest_registry():
+        from repro.obs.metrics import parse_prometheus_text  # noqa: F401
+
+        registry = MetricsRegistry()
+        registry.counter("ingest_batches_total").inc(2)
+        registry.counter("ingest_shards_total").inc(6)
+        registry.counter("ingest_trips_total").inc(40)
+        registry.gauge("ingest_workers").set(4)
+        registry.histogram(
+            "ingest_shard_trips", buckets=(1, 2, 4, 8)
+        ).observe(3)
+        registry.histogram("ingest_batch_seconds").observe(0.25)
+        fam = registry.labeled_histogram("ingest_stage_seconds", ("stage",))
+        for stage, seconds in (
+            ("matching", 0.12), ("clustering", 0.03), ("trip_mapping", 0.02)
+        ):
+            fam.labels(stage).observe(seconds)
+        return registry
+
+    def test_families_parse_back_with_types_and_values(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        families = parse_prometheus_text(
+            self._ingest_registry().render_prometheus()
+        )
+        assert families["ingest_batches_total"]["type"] == "counter"
+        assert families["ingest_workers"]["type"] == "gauge"
+        assert families["ingest_shard_trips"]["type"] == "histogram"
+        assert families["ingest_stage_seconds"]["type"] == "histogram"
+
+        def sample(family, suffix, **labels):
+            for name, sample_labels, value in families[family]["samples"]:
+                if name.endswith(suffix) and all(
+                    sample_labels.get(k) == v for k, v in labels.items()
+                ):
+                    return value
+            raise AssertionError(f"no {family}{suffix} sample with {labels}")
+
+        assert sample("ingest_batches_total", "ingest_batches_total") == 2
+        assert sample("ingest_trips_total", "ingest_trips_total") == 40
+        assert sample("ingest_workers", "ingest_workers") == 4
+        assert sample("ingest_shard_trips", "_count") == 1
+        assert sample("ingest_shard_trips", "_sum") == 3
+        assert sample("ingest_stage_seconds", "_count", stage="matching") == 1
+        assert sample(
+            "ingest_stage_seconds", "_sum", stage="clustering"
+        ) == pytest.approx(0.03)
+
+    def test_per_stage_buckets_grouped_under_family(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        families = parse_prometheus_text(
+            self._ingest_registry().render_prometheus()
+        )
+        stages = {
+            labels["stage"]
+            for name, labels, _ in families["ingest_stage_seconds"]["samples"]
+            if name.endswith("_bucket")
+        }
+        assert stages == {"matching", "clustering", "trip_mapping"}
+        # Every bucket series carries a le= boundary label.
+        assert all(
+            "le" in labels
+            for name, labels, _ in families["ingest_stage_seconds"]["samples"]
+            if name.endswith("_bucket")
+        )
+
+
 class TestTracer:
     def test_nested_spans_aggregate_by_name(self):
         tracer = Tracer()

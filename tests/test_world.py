@@ -121,6 +121,7 @@ class TestGenerality:
         seed=99,
     )
 
+    @pytest.mark.slow
     def test_pipeline_transfers_to_another_city(self):
         result = simulate_day(
             city=build_city(self.OTHER_SPEC),
