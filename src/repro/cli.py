@@ -161,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--no-golden", action="store_true",
                              help="differential scenarios only, skip the "
                                   "golden end-to-end runs")
+    conformance.add_argument("--matcher", choices=["indexed", "full"],
+                             default="indexed",
+                             help="matching path to test differentially: "
+                                  "candidate-pruned + memoized (indexed, "
+                                  "the production default) or the "
+                                  "whole-database scan (full); both must "
+                                  "emit identical reports")
     conformance.add_argument("--workers", type=int, nargs="*", default=None,
                              help="worker counts the golden campaign is "
                                   "replayed at (default: 1 2 4)")
@@ -453,7 +460,25 @@ def _document_from_families(families: dict) -> dict:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.reporting import render_table
 
-    document = _load_metrics_document(args.metrics)
+    # A missing or unparseable metrics file is an operator mistake, not a
+    # crash: report what went wrong on stderr and exit 2, no traceback.
+    try:
+        document = _load_metrics_document(args.metrics)
+    except OSError as exc:
+        print(f"stats: cannot read {args.metrics}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"stats: {args.metrics} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"stats: {args.metrics} is not valid Prometheus text: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(document, dict):
+        print(f"stats: {args.metrics} is not a metrics document "
+              f"(expected a JSON object, got {type(document).__name__})",
+              file=sys.stderr)
+        return 2
 
     sections: List[str] = []
     stats = document.get("stats", {})
@@ -629,6 +654,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         check=not args.no_golden,
         fixture=args.fixture,
         worker_counts=worker_counts,
+        matcher=args.matcher,
     )
     print(report.summary())
     if args.report_out:

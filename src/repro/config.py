@@ -49,6 +49,11 @@ class MatchingConfig:
     mismatch_penalty: float = 0.3       # swept 0.1..0.9; 0.3 best
     gap_penalty: float = 0.3
     accept_threshold: float = 2.0       # γ = 2 (from Fig. 2(b) measurement)
+    indexed: bool = True                # prune candidates via the inverted
+                                        # cell-id index (exact; False scans
+                                        # the whole DB — the reference path)
+    cache_size: int = 4096              # LRU memo entries for repeat
+                                        # sequences (0 disables the memo)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,12 @@ from repro.core.bootstrap import BootstrapStats, DatabaseBootstrapper
 from repro.core.fingerprint import FingerprintDatabase, StoredFingerprint
 from repro.core.fusion import BayesianSpeedFuser, FusedSpeed
 from repro.core.ingest import IngestEngine, PreparedTrip, prepare_trip
+from repro.core.match_index import (
+    CachedMatch,
+    MatchCache,
+    MatchIndex,
+    canonical_key,
+)
 from repro.core.matching import (
     MatchResult,
     SampleMatcher,
@@ -61,6 +67,10 @@ __all__ = [
     "IngestEngine",
     "PreparedTrip",
     "prepare_trip",
+    "CachedMatch",
+    "MatchCache",
+    "MatchIndex",
+    "canonical_key",
     "MatchResult",
     "SampleMatcher",
     "batch_smith_waterman",

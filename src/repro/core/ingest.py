@@ -152,7 +152,16 @@ class _ShardOutcome:
 
 
 class _WorkerState:
-    """Per-process state built once by the pool initializer."""
+    """Per-process state built once by the pool initializer.
+
+    The matcher's inverted candidate index is built here, once per
+    worker (not per shard), and its verdict memo is per-worker private —
+    caches never cross process boundaries, and the memo survives shard
+    boundaries so repeat sequences hit across a whole run.  Both knobs
+    travel inside the pickled ``matching_config``, so a full-scan or
+    cache-disabled configuration on the parent reproduces identically
+    in every worker.
+    """
 
     def __init__(
         self,

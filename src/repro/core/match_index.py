@@ -1,0 +1,266 @@
+"""Candidate pruning and memoization for per-sample matching (§III-C1).
+
+Per-sample matching is the backend's hottest path: naively, every
+uploaded cellular sample runs a Smith-Waterman alignment against every
+stop fingerprint, O(stops × |seq|²) per sample.  Two observations make
+that cost avoidable without changing a single verdict:
+
+* **Zero-overlap pruning is exact.**  Smith-Waterman only ever adds a
+  positive term on a *matching* cell id; a fingerprint sharing no id
+  with the sample can accumulate only mismatch/gap penalties, which the
+  local-alignment clamp floors at 0.  Its score is therefore exactly
+  0.0 < γ = 2, so it can never be accepted *and* never participate in
+  a tie-break (ties only form at or above γ).  Scoring only the
+  stations that share at least one cell id with the sample —
+  :class:`MatchIndex`, an inverted cell-id → stations map — provably
+  returns the same verdict as the full scan.
+
+* **Verdicts are a pure function of the sequence.**  For a fixed
+  fingerprint database, the full ``(station, score, common_ids)``
+  verdict depends only on the RSS-ordered cell-id sequence, so repeat
+  sequences (phones idling at the same stop, re-processed batches,
+  repeated scans at a surveyed platform) can be answered from a memo.
+  :class:`MatchCache` is a bounded LRU over
+  :func:`canonical_key`-normalised sequences; it must be invalidated
+  whenever the fingerprint database is rebuilt
+  (:meth:`~repro.core.matching.SampleMatcher.rebuild` does this).
+
+Telemetry: physical-work metrics live here — ``match_index_candidates``
+(candidate pool per index lookup), ``match_prune_ratio`` (fraction of
+the database pruned away, run-to-date), ``match_cache_hits_total`` /
+``match_cache_misses_total`` / ``match_cache_evictions_total`` /
+``match_cache_invalidations_total`` and the ``match_cache_entries``
+gauge.  They are deliberately *not* ``matcher_``-prefixed: the golden
+trace snapshots ``matcher_*`` as a deterministic function of the upload
+stream, whereas cache hits and index lookups depend on sharding and
+worker count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, NamedTuple, Optional, Sequence, Set, Tuple,
+)
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
+
+if TYPE_CHECKING:                        # matching.py imports this module
+    from repro.core.matching import MatchResult
+
+__all__ = ["CachedMatch", "MatchCache", "MatchIndex", "canonical_key"]
+
+
+def canonical_key(tower_ids: Sequence[int]) -> Tuple[int, ...]:
+    """The canonical, hashable form of an RSS-ordered cell-id sequence.
+
+    Samples arrive as lists, tuples or numpy rows; the memo key is the
+    plain int tuple so equal sequences hash equally regardless of the
+    container (or numpy scalar type) they arrived in.  The RSS *order*
+    is preserved — it is part of what Smith-Waterman scores.
+    """
+    return tuple(int(t) for t in tower_ids)
+
+
+class MatchIndex:
+    """Inverted cell-id → candidate-station index over a fingerprint DB.
+
+    ``candidates(sample)`` returns every station whose fingerprint
+    shares at least one cell id with the sample — the only stations a
+    Smith-Waterman scan can score above 0.0 (see the module docstring
+    for the exactness argument).  The index is immutable once built;
+    rebuild it when the database changes.
+    """
+
+    __slots__ = (
+        "_stations_by_tower", "_station_count", "_observing",
+        "_h_candidates", "_g_prune_ratio", "_lookups", "_candidates_seen",
+    )
+
+    def __init__(
+        self,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if not fingerprints:
+            raise ValueError("match index needs a non-empty fingerprint database")
+        stations_by_tower: Dict[int, list] = {}
+        for station_id, towers in fingerprints.items():
+            for tower in set(towers):
+                stations_by_tower.setdefault(int(tower), []).append(
+                    int(station_id)
+                )
+        self._stations_by_tower: Dict[int, Tuple[int, ...]] = {
+            tower: tuple(sorted(stations))
+            for tower, stations in stations_by_tower.items()
+        }
+        self._station_count = len(fingerprints)
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._observing = not isinstance(reg, NullRegistry)
+        self._h_candidates = reg.histogram(
+            "match_index_candidates",
+            buckets=(0, 1, 2, 5, 10, 20, 50),
+            help="candidate stations per inverted-index lookup",
+        )
+        self._g_prune_ratio = reg.gauge(
+            "match_prune_ratio",
+            help="fraction of (sample, station) pairs the index pruned away",
+        )
+        self._lookups = 0
+        self._candidates_seen = 0
+
+    def __len__(self) -> int:
+        """Number of indexed stations."""
+        return self._station_count
+
+    @property
+    def tower_count(self) -> int:
+        """Number of distinct cell ids across all fingerprints."""
+        return len(self._stations_by_tower)
+
+    def stations_for(self, tower_id: int) -> Tuple[int, ...]:
+        """The stations whose fingerprint contains ``tower_id`` (sorted)."""
+        return self._stations_by_tower.get(int(tower_id), ())
+
+    def candidates(self, tower_ids: Iterable[int]) -> Set[int]:
+        """Stations sharing at least one cell id with the sample.
+
+        Only these can score above zero; the differential oracle scans
+        the whole database and must agree — any station pruned here
+        that could still win is a bug.
+        """
+        lookup = self._stations_by_tower
+        found: Set[int] = set()
+        for tower in tower_ids:
+            stations = lookup.get(tower)
+            if stations:
+                found.update(stations)
+        if self._observing:
+            self._lookups += 1
+            self._candidates_seen += len(found)
+            self._h_candidates.observe(len(found))
+            self._g_prune_ratio.set(
+                1.0 - self._candidates_seen
+                / (self._lookups * self._station_count)
+            )
+        return found
+
+
+class CachedMatch(NamedTuple):
+    """A memoized verdict plus the candidate-pool size that produced it.
+
+    The pool size rides along so a cache hit can replay the exact
+    ``matcher_*`` accounting (samples, candidates histogram, pairs) the
+    uncached path would have recorded — those metrics are part of the
+    golden trace and must stay a deterministic function of the upload
+    stream, cache or no cache.
+    """
+
+    result: "MatchResult"
+    candidates: int
+
+
+class MatchCache:
+    """A bounded LRU memo of full match verdicts.
+
+    Keys are :func:`canonical_key` sequences; values are
+    :class:`CachedMatch`.  ``maxsize=0`` disables the cache (every
+    lookup misses, nothing is stored) so one code path serves both
+    configurations.  Not thread-safe — each ingest worker owns its own
+    instance, exactly like its matcher.
+    """
+
+    __slots__ = (
+        "maxsize", "_entries", "_observing",
+        "_c_hits", "_c_misses", "_c_evictions", "_c_invalidations",
+        "_g_entries",
+    )
+
+    def __init__(
+        self,
+        maxsize: int,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if maxsize < 0:
+            raise ValueError("cache maxsize cannot be negative")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[int, ...], CachedMatch]" = OrderedDict()
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._observing = not isinstance(reg, NullRegistry)
+        self._c_hits = reg.counter(
+            "match_cache_hits_total", help="match verdicts served from the memo"
+        )
+        self._c_misses = reg.counter(
+            "match_cache_misses_total", help="match memo lookups that missed"
+        )
+        self._c_evictions = reg.counter(
+            "match_cache_evictions_total",
+            help="memo entries evicted by the LRU bound",
+        )
+        self._c_invalidations = reg.counter(
+            "match_cache_invalidations_total",
+            help="full memo flushes (fingerprint DB rebuilds)",
+        )
+        self._g_entries = reg.gauge(
+            "match_cache_entries", help="live entries in the match memo"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: Tuple[int, ...]) -> Optional[CachedMatch]:
+        """The memoized verdict for ``key``, refreshing its recency."""
+        entry = self.peek(key)
+        self.record_lookup(entry is not None)
+        return entry
+
+    def peek(self, key: Tuple[int, ...]) -> Optional[CachedMatch]:
+        """:meth:`get` without the hit/miss accounting.
+
+        Batch matching peeks while planning its scan, then replays
+        serial-equivalent accounting per sample occurrence via
+        :meth:`record_lookup` — a within-batch repeat must count as the
+        hit it would have been had the samples arrived one by one.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def record_lookup(self, hit: bool) -> None:
+        """Account one logical memo lookup (no-op when disabled)."""
+        if not (self.maxsize and self._observing):
+            return
+        (self._c_hits if hit else self._c_misses).inc()
+
+    def put(self, key: Tuple[int, ...], entry: CachedMatch) -> None:
+        """Memoize ``entry``, evicting the least recently used on overflow."""
+        if not self.maxsize:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = entry
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            if self._observing:
+                self._c_evictions.inc()
+        if self._observing:
+            self._g_entries.set(len(entries))
+
+    def invalidate(self) -> None:
+        """Drop every entry — required whenever the fingerprint DB changes."""
+        self._entries.clear()
+        if self._observing:
+            self._c_invalidations.inc()
+            self._g_entries.set(0)
+
+    def keys(self) -> Tuple[Tuple[int, ...], ...]:
+        """Current keys, least recently used first (test/debug helper)."""
+        return tuple(self._entries.keys())

@@ -243,6 +243,19 @@ class BackendServer:
         """Evaluate ``engine`` on every publish tick from now on."""
         self.alerts = engine
 
+    def rebuild_fingerprints(self, database: FingerprintDatabase) -> None:
+        """Adopt a re-surveyed (or bootstrapped) fingerprint database.
+
+        Rebuilds the matcher's inverted candidate index and invalidates
+        its verdict memo — a cached verdict against the old database
+        must never be served against the new one — then refreshes the
+        ``fingerprint_db_stops`` gauge.  Trips already ingested are not
+        reprocessed; the duplicate ledger and fused map are untouched.
+        """
+        self.database = database
+        self.matcher.rebuild(database.as_dict())
+        self.registry.gauge("fingerprint_db_stops").set(len(database))
+
     # -- ingestion ---------------------------------------------------------------
 
     def receive_trip(

@@ -17,7 +17,7 @@ shells over :func:`run_conformance`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,9 +62,29 @@ DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
 # -- differential --------------------------------------------------------------
 
 
-def _check_matching(rng: np.random.Generator, tag: str) -> List[str]:
+def _matcher_config(config, matcher: str):
+    """The scenario's matching config, adjusted for the requested mode.
+
+    ``indexed`` is the production path — candidate pruning plus the
+    verdict memo (which the per-sample/batched double run below
+    exercises: the batch pass replays sequences the per-sample pass
+    already cached).  ``full`` strips both, scanning the whole database
+    exactly like the oracle.
+    """
+    if matcher == "indexed":
+        return replace(config, indexed=True)
+    if matcher == "full":
+        return replace(config, indexed=False, cache_size=0)
+    raise ValueError(f"unknown matcher mode {matcher!r} (indexed|full)")
+
+
+def _check_matching(
+    rng: np.random.Generator, tag: str, matcher: str = "indexed"
+) -> List[str]:
     scenario = random_matching_scenario(rng)
-    optimized = SampleMatcher(scenario.fingerprints, scenario.config)
+    optimized = SampleMatcher(
+        scenario.fingerprints, _matcher_config(scenario.config, matcher)
+    )
     oracle = OracleMatcher(scenario.fingerprints, scenario.config)
     failures: List[str] = []
     expected = oracle.match_many(scenario.samples)
@@ -129,16 +149,22 @@ def _check_mapping(rng: np.random.Generator, tag: str) -> List[str]:
     return failures
 
 
-def run_differential(scenarios: int = 25, seed: int = 0) -> List[str]:
+def run_differential(
+    scenarios: int = 25, seed: int = 0, matcher: str = "indexed"
+) -> List[str]:
     """Differentially test all three estimators on randomized scenarios.
 
     Returns failure messages (empty = conformant).  Scenario ``i`` is
     seeded as ``(seed, i)``, so a reported tag reproduces standalone.
+    ``matcher`` selects the matching path under test — ``indexed``
+    (candidate pruning + memo, the production default) or ``full``
+    (whole-database scan); both must be indistinguishable from the
+    oracle, so both must yield identical reports.
     """
     failures: List[str] = []
     for index in range(scenarios):
         for kind, check in (
-            ("matching", _check_matching),
+            ("matching", lambda r, t: _check_matching(r, t, matcher)),
             ("clustering", _check_clustering),
             ("mapping", _check_mapping),
         ):
@@ -281,14 +307,18 @@ def run_conformance(
     check: bool = True,
     fixture: Optional[Path] = None,
     worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    matcher: str = "indexed",
 ) -> ConformanceReport:
     """The full conformance suite, as the CLI and CI run it.
 
     ``record=True`` re-records the golden fixture (after verifying
-    worker-invariance) instead of checking against it.
+    worker-invariance) instead of checking against it.  ``matcher``
+    selects the differential matching path (``indexed`` or ``full``);
+    the report is deliberately mode-agnostic — both paths are exact, so
+    both modes must emit identical reports.
     """
     report = ConformanceReport(scenarios=scenarios, seed=seed)
-    report.differential_failures = run_differential(scenarios, seed)
+    report.differential_failures = run_differential(scenarios, seed, matcher)
     if record:
         path, failures = record_golden(fixture, worker_counts)
         report.golden_fixture = str(path)

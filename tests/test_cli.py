@@ -140,6 +140,23 @@ class TestStatsCommand:
         path.write_text("{}")
         assert main(["stats", str(path)]) == 2
 
+    def test_missing_file_exits_2_without_traceback(self, tmp_path, capsys):
+        path = tmp_path / "does-not-exist.json"
+        assert main(["stats", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "stats: cannot read" in captured.err
+        assert str(path) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_json_exits_2_without_traceback(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"metrics": {"counters": ')
+        assert main(["stats", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "stats:" in captured.err
+        assert "not valid JSON" in captured.err
+        assert "Traceback" not in captured.err
+
 
 class TestLoggingFlags:
     def test_log_level_flag_configures_namespace_logger(self, capsys):
@@ -253,11 +270,13 @@ class TestStatsPromInput:
         assert 'trips_uploaded_total{route="179-0"}' in out
         assert "match_latency" in out
 
-    def test_malformed_prom_raises(self, tmp_path):
+    def test_malformed_prom_exits_2(self, tmp_path, capsys):
         prom = tmp_path / "bad.prom"
         prom.write_text("this is not prometheus\n")
-        with pytest.raises(ValueError):
-            main(["stats", str(prom)])
+        assert main(["stats", str(prom)]) == 2
+        captured = capsys.readouterr()
+        assert "not valid Prometheus text" in captured.err
+        assert "Traceback" not in captured.err
 
 
 @pytest.mark.slow
@@ -304,6 +323,28 @@ class TestConformanceCommand:
         assert "3 scenarios x 3 estimators" in output
         assert "all conformant" in output
         assert "golden:" not in output
+
+    def test_matcher_modes_emit_identical_reports(self, tmp_path, capsys):
+        """--matcher indexed and --matcher full agree byte-for-byte.
+
+        Both paths are exact, so the emitted report (and the JSON
+        report file) must be indistinguishable between modes.
+        """
+        reports = {}
+        for mode in ("indexed", "full"):
+            path = tmp_path / f"report-{mode}.json"
+            code = main([
+                "conformance", "--scenarios", "2", "--no-golden",
+                "--matcher", mode, "--report-out", str(path),
+            ])
+            assert code == 0
+            reports[mode] = path.read_text()
+        assert reports["indexed"] == reports["full"]
+        assert "all conformant" in capsys.readouterr().out
+
+    def test_rejects_unknown_matcher_mode(self):
+        with pytest.raises(SystemExit):
+            main(["conformance", "--matcher", "sloppy"])
 
     def test_serial_golden_check_against_committed_fixture(
         self, tmp_path, capsys

@@ -139,6 +139,81 @@ class TestMatcherBoundaryProperties:
             )
 
 
+@pytest.mark.property
+class TestIndexedMatcherOracleEquivalence:
+    """Candidate-pruned, memoized matching ≡ the full-matrix oracle.
+
+    The inverted cell-id index only skips stations sharing zero cells
+    with the sample, and the LRU memo only replays verdicts already
+    computed — so the production matcher must equal the spec-literal
+    :class:`OracleMatcher` *exactly* (``==`` on floats) on every random
+    database, including negative tower ids (index keys below the
+    padding-sentinel range) and γ pinned on an achieved score where one
+    ULP of drift would flip a verdict.
+    """
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=8), signed_nonempty_cells,
+            min_size=1, max_size=6,
+        ),
+        st.lists(signed_cells, min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_indexed_cached_equals_oracle_at_gamma_boundary(
+        self, db, samples, pick
+    ):
+        from repro.testkit.oracles import OracleMatcher
+
+        fingerprints = {sid: tuple(seq) for sid, seq in db.items()}
+        achieved = sorted({
+            score
+            for result in OracleMatcher(
+                fingerprints, MatchingConfig(accept_threshold=0.0)
+            ).match_many(samples)
+            for score in [result.score]
+            if score > 0.0
+        })
+        gammas = [MatchingConfig().accept_threshold]
+        if achieved:
+            boundary = achieved[pick % len(achieved)]
+            gammas += [
+                boundary,
+                float(np.nextafter(boundary, -np.inf)),
+                float(np.nextafter(boundary, np.inf)),
+            ]
+        # Replay every sample twice so the second round is all cache
+        # hits — memoized verdicts must equal freshly computed ones.
+        replayed = samples + samples
+        for gamma in gammas:
+            config = MatchingConfig(
+                accept_threshold=float(gamma), indexed=True, cache_size=64
+            )
+            matcher = SampleMatcher(fingerprints, config)
+            oracle = OracleMatcher(fingerprints, config)
+            expected = oracle.match_many(replayed)
+            assert [matcher.match(s) for s in replayed] == expected
+            assert matcher.match_many(replayed) == expected
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=8), signed_nonempty_cells,
+            min_size=1, max_size=6,
+        ),
+        st.lists(signed_cells, min_size=1, max_size=8),
+    )
+    def test_candidate_pool_never_drops_a_scoring_station(self, db, samples):
+        """Pruning soundness: any station with a positive Smith-Waterman
+        score against the sample shares a cell id, so it is in the pool."""
+        fingerprints = {sid: tuple(seq) for sid, seq in db.items()}
+        matcher = SampleMatcher(fingerprints, MatchingConfig(indexed=True))
+        for sample in samples:
+            pool = matcher.candidate_stations(sample)
+            for station_id, fingerprint in fingerprints.items():
+                if smith_waterman(sample, fingerprint) > 0.0:
+                    assert station_id in pool
+
+
 def _matched(t, station, score):
     return MatchedSample(
         sample=CellularSample(time_s=t, tower_ids=(1,)),

@@ -223,6 +223,23 @@ class TestDifferentialRunner:
         assert failures
         assert any("matching" in failure for failure in failures)
 
+    def test_full_scan_mode_also_clean(self):
+        assert run_differential(scenarios=5, seed=1, matcher="full") == []
+
+    def test_unknown_matcher_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_differential(scenarios=1, matcher="sloppy")
+
+    def test_indexed_and_full_reports_identical(self):
+        """Both matcher modes are exact, so the conformance verdict —
+        the whole serialized report — must not depend on the mode."""
+        from repro.testkit.conformance import run_conformance
+
+        indexed = run_conformance(scenarios=4, check=False, matcher="indexed")
+        full = run_conformance(scenarios=4, check=False, matcher="full")
+        assert indexed.ok and full.ok
+        assert indexed.as_dict() == full.as_dict()
+
 
 class TestKeepMatchesHook:
     def test_matches_recorded_only_when_asked(self, small_city, database, config):
