@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI fleet-analytics smoke: run a small campaign, scrape its telemetry.
+
+Runs a short campaign with the fleet-health stage enabled and a live
+exporter, fetches ``/metrics`` and ``/fleet`` over real HTTP, asserts
+the headway / bunching / ghost families are present and non-empty in
+the Prometheus exposition, and writes the fleet-health JSON report to
+``benchmarks/reports/fleet_health.json`` so CI can upload it as an
+artifact.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/analytics_smoke.py
+"""
+
+import argparse
+import json
+import os
+import sys
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import (                                   # noqa: E402
+    MetricsHTTPServer,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.sim.world import World                         # noqa: E402
+from repro.util.units import parse_hhmm                   # noqa: E402
+
+REPORT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "reports",
+    "fleet_health.json",
+)
+
+#: Label families the fleet stage must export from any non-trivial run.
+REQUIRED_FAMILIES = (
+    "headway_seconds",
+    "bunching_rate",
+    "excess_wait_seconds",
+    "ghost_vehicles",
+    "ghost_last_seen_seconds",
+    "od_flow_trips",
+)
+
+
+def fetch(port: int, path: str) -> str:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        assert response.status == 200, f"{path} returned {response.status}"
+        return response.read().decode()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--start", default="07:30")
+    parser.add_argument("--end", default="08:15")
+    parser.add_argument("--report-out", default=REPORT_PATH)
+    args = parser.parse_args()
+
+    registry = MetricsRegistry()
+    world = World(seed=args.seed, registry=registry)
+    server = world.server
+    assert server.analytics is not None, "fleet stage disabled by default?"
+
+    end_s = parse_hhmm(args.end)
+    world.run(parse_hhmm(args.start), end_s, with_official_feed=False)
+
+    with MetricsHTTPServer(
+        registry,
+        port=0,
+        fleet_fn=server.analytics.report,
+    ) as exporter:
+        exposition = fetch(exporter.port, "/metrics")
+        fleet_body = fetch(exporter.port, "/fleet")
+
+    families = parse_prometheus_text(exposition)
+    missing = [
+        name for name in REQUIRED_FAMILIES
+        if not families.get(name, {}).get("samples")
+    ]
+    assert not missing, f"fleet families missing or empty: {missing}"
+    headway_routes = {
+        labels["route"]
+        for _, labels, _ in families["headway_seconds"]["samples"]
+        if labels.get("route") != "_overflow"
+    }
+    assert headway_routes, "no per-route headway samples scraped"
+
+    fleet = json.loads(fleet_body)
+    assert fleet["routes"], "fleet report has no routes"
+    assert fleet["od"]["total_trips"] > 0, "fleet report saw no O-D trips"
+    busiest = max(
+        fleet["routes"].values(), key=lambda row: row["bus_events"]
+    )
+    assert busiest["bus_events"] > 0, "no bus events in the fleet report"
+
+    report = server.analytics.report(end_s)
+    os.makedirs(os.path.dirname(args.report_out), exist_ok=True)
+    with open(args.report_out, "w", encoding="utf-8") as out:
+        json.dump(report, out, indent=2)
+    print(f"scraped {len(headway_routes)} routes with headways, "
+          f"{fleet['od']['total_trips']} O-D trips; "
+          f"wrote {args.report_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,13 @@ detection on the fused speed series.
 """
 
 from repro.analysis.attribution import PipelineAudit, audit_trip
+from repro.analysis.fleet import (
+    FleetHealthAnalytics,
+    GhostDetector,
+    HeadwayTracker,
+    ODFlowMatrix,
+    excess_wait_s,
+)
 from repro.analysis.coverage import (
     RouteContribution,
     coverage_over_time,
@@ -24,6 +31,11 @@ from repro.analysis.quality import (
 __all__ = [
     "PipelineAudit",
     "audit_trip",
+    "FleetHealthAnalytics",
+    "GhostDetector",
+    "HeadwayTracker",
+    "ODFlowMatrix",
+    "excess_wait_s",
     "RouteContribution",
     "coverage_over_time",
     "redundancy_histogram",

@@ -1,0 +1,27 @@
+"""Fleet-health analytics: headways, ghost buses, O-D flows.
+
+A pipeline stage over matched/clustered/mapped rider trips producing
+the telemetry a transit operator watches: per-route headway series with
+bunching rate and excess wait time, ghost-vehicle detection against the
+dispatch schedule, and origin–destination flow matrices.  See
+:class:`FleetHealthAnalytics` for the wiring.
+"""
+
+from repro.analysis.fleet.ghosts import GhostDetector, RouteGhostStatus
+from repro.analysis.fleet.headways import (
+    HeadwayObservation,
+    HeadwayTracker,
+    excess_wait_s,
+)
+from repro.analysis.fleet.odflows import ODFlowMatrix
+from repro.analysis.fleet.pipeline import FleetHealthAnalytics
+
+__all__ = [
+    "FleetHealthAnalytics",
+    "GhostDetector",
+    "HeadwayObservation",
+    "HeadwayTracker",
+    "ODFlowMatrix",
+    "RouteGhostStatus",
+    "excess_wait_s",
+]

@@ -1,0 +1,109 @@
+"""Ghost-vehicle detection: scheduled buses the crowd never saw.
+
+A *ghost bus* is a vehicle the schedule promises but no rider observes
+— cancelled, stuck, or severely off-route.  Riders are the only sensor
+here, so detection is staleness scoring of expected-vs-observed
+arrivals: every route should produce a fresh bus event roughly once per
+scheduled headway, and a route whose last observed event is older than
+``ghost_staleness_factor × headway`` has started swallowing departures.
+
+Scoring (per route, at assessment time ``now``):
+
+* ``last_seen_age_s`` — ``now − last observed bus event`` (routes never
+  observed age from the detector's epoch, the first publish tick, so a
+  dead route alerts without ever producing data);
+* ``staleness_score`` — ``age / (factor × headway)``; ≥ 1 means the
+  route is ghosting;
+* ``ghost_vehicles`` — the departures the schedule owed us during the
+  stale age, ``floor(age / headway)`` once the score crosses 1, capped
+  at ``max_ghosts_per_route`` so a dead route alerts instead of
+  counting to infinity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import AnalyticsConfig
+
+__all__ = ["GhostDetector", "RouteGhostStatus"]
+
+RouteGhostStatus = Dict[str, float]
+
+
+class GhostDetector:
+    """Per-route staleness scoring against the dispatch schedule."""
+
+    def __init__(
+        self,
+        route_ids: Iterable[str],
+        config: Optional[AnalyticsConfig] = None,
+        scheduled_headway_s: float = 600.0,
+    ):
+        if scheduled_headway_s <= 0:
+            raise ValueError("scheduled headway must be positive")
+        self.config = config or AnalyticsConfig()
+        self.scheduled_headway_s = float(scheduled_headway_s)
+        self._route_ids = sorted(set(route_ids))
+        #: Route -> most recent observed bus-event time.
+        self._last_seen: Dict[str, float] = {}
+        #: Epoch for never-observed routes: the first assessment tick.
+        self._epoch_s: Optional[float] = None
+
+    @property
+    def route_ids(self) -> List[str]:
+        return list(self._route_ids)
+
+    def observe_event(self, route_id: str, t: float) -> None:
+        """Record a distinct bus event on ``route_id`` at time ``t``."""
+        last = self._last_seen.get(route_id)
+        if last is None or t > last:
+            self._last_seen[route_id] = t
+
+    def observe_tick(self, now_s: float) -> None:
+        """Pin the epoch (first publish tick) for never-seen routes."""
+        if self._epoch_s is None:
+            self._epoch_s = now_s
+
+    def last_seen_age_s(self, route_id: str, now_s: float) -> float:
+        """Seconds since the route last produced a bus event."""
+        last = self._last_seen.get(route_id)
+        if last is None:
+            last = self._epoch_s if self._epoch_s is not None else now_s
+        return max(0.0, now_s - last)
+
+    def assess_route(self, route_id: str, now_s: float) -> RouteGhostStatus:
+        """Staleness score and ghost count for one route (module doc)."""
+        age = self.last_seen_age_s(route_id, now_s)
+        headway = self.scheduled_headway_s
+        tolerance = self.config.ghost_staleness_factor * headway
+        score = age / tolerance if tolerance > 0 else 0.0
+        ghosts = 0
+        if score >= 1.0:
+            ghosts = min(int(age // headway), self.config.max_ghosts_per_route)
+        return {
+            "last_seen_age_s": age,
+            "staleness_score": score,
+            "ghost_vehicles": float(ghosts),
+        }
+
+    def assess(self, now_s: float) -> Dict[str, RouteGhostStatus]:
+        """Every route's ghost status at ``now_s``, keyed by route id."""
+        self.observe_tick(now_s)
+        return {
+            route_id: self.assess_route(route_id, now_s)
+            for route_id in self._route_ids
+        }
+
+    def ghost_routes(self, now_s: float) -> List[str]:
+        """Routes currently reporting at least one ghost vehicle."""
+        return [
+            route_id
+            for route_id, status in self.assess(now_s).items()
+            if status["ghost_vehicles"] >= 1.0
+        ]
+
+    def reset(self) -> None:
+        """Forget observation history (route set and schedule are kept)."""
+        self._last_seen.clear()
+        self._epoch_s = None

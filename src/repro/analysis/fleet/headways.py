@@ -1,0 +1,180 @@
+"""Per-route headway series from crowd-observed stop arrivals.
+
+The matched, clustered, mapped trips already pin when *a bus* served
+each stop — several riders on the same bus produce near-identical
+arrival times, so the tracker first collapses mapped arrivals at one
+``(route, stop)`` into distinct *bus events*: an arrival within
+``arrival_dedup_s`` of an existing event is the same vehicle seen by
+another rider.  Consecutive bus events at a stop are then a headway
+observation, the raw material for the two standard fleet-health
+indicators:
+
+* **bunching rate** — the fraction of observed headways shorter than
+  ``bunching_factor × scheduled headway`` (buses travelling in convoy);
+* **excess wait time (EWT)** — the mean extra wait a random rider pays
+  over the timetable, ``E[H²] / 2E[H] − H_sched / 2``: the first term
+  is the random-incidence expected wait over the observed headway
+  distribution, the second the wait a perfectly even service would
+  give.
+
+The tracker keeps the bounded per-stop event lists and answers report
+queries exactly from them; the *live* windowed gauges are fed from the
+incremental observations :meth:`HeadwayTracker.observe_arrival`
+returns (see :class:`~repro.analysis.fleet.pipeline.FleetHealthAnalytics`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import AnalyticsConfig
+
+__all__ = ["HeadwayObservation", "HeadwayTracker", "excess_wait_s"]
+
+#: One derived headway: (route, stop, gap seconds, time of the later bus).
+HeadwayObservation = Tuple[str, int, float, float]
+
+
+class HeadwayTracker:
+    """Distinct bus-arrival events and the headways between them."""
+
+    def __init__(
+        self,
+        config: Optional[AnalyticsConfig] = None,
+        scheduled_headway_s: float = 600.0,
+    ):
+        if scheduled_headway_s <= 0:
+            raise ValueError("scheduled headway must be positive")
+        self.config = config or AnalyticsConfig()
+        self.scheduled_headway_s = float(scheduled_headway_s)
+        #: (route, stop) -> sorted distinct bus-event times (bounded).
+        self._events: Dict[Tuple[str, int], List[float]] = {}
+        self._total_events = 0
+
+    def __len__(self) -> int:
+        """Total distinct bus events across every (route, stop); O(1) —
+        it is consulted on the ingest hot path after every trip."""
+        return self._total_events
+
+    @property
+    def bunching_threshold_s(self) -> float:
+        """Headways below this count as bunched."""
+        return self.config.bunching_factor * self.scheduled_headway_s
+
+    def observe_arrival(
+        self, route_id: str, stop_id: int, t: float
+    ) -> List[HeadwayObservation]:
+        """Fold one mapped arrival in; returns any *new* headways.
+
+        A rider re-observing an already known bus event (within the
+        dedup window) produces nothing.  A genuinely new event yields
+        its gap to the preceding event and — when a late-delivered
+        upload lands between two known events — the gap to the
+        following event as well, so the windowed gauges see both halves
+        of the split interval.
+        """
+        key = (route_id, stop_id)
+        events = self._events.get(key)
+        if events is None:
+            events = self._events[key] = []
+        idx = bisect.bisect_left(events, t)
+        dedup = self.config.arrival_dedup_s
+        if idx < len(events) and events[idx] - t <= dedup:
+            return []
+        if idx > 0 and t - events[idx - 1] <= dedup:
+            return []
+        events.insert(idx, t)
+        self._total_events += 1
+        if len(events) > self.config.max_arrivals_per_stop:
+            del events[0]
+            idx -= 1
+            self._total_events -= 1
+        observed: List[HeadwayObservation] = []
+        if idx > 0:
+            observed.append((route_id, stop_id, t - events[idx - 1], t))
+        if idx + 1 < len(events):
+            later = events[idx + 1]
+            observed.append((route_id, stop_id, later - t, later))
+        return observed
+
+    # -- reading -------------------------------------------------------------
+
+    def headways(self, route_id: str, stop_id: int) -> List[float]:
+        """Successive bus-event gaps at one (route, stop), in time order."""
+        events = self._events.get((route_id, stop_id), [])
+        return [b - a for a, b in zip(events, events[1:])]
+
+    def last_headway(self, route_id: str, stop_id: int) -> Optional[float]:
+        """The most recent observed headway at one (route, stop)."""
+        events = self._events.get((route_id, stop_id), [])
+        if len(events) < 2:
+            return None
+        return events[-1] - events[-2]
+
+    def routes(self) -> List[str]:
+        """Routes with at least one distinct bus event, sorted."""
+        return sorted({route for route, _ in self._events})
+
+    def stops(self, route_id: str) -> List[int]:
+        """Stops of one route with at least one bus event, sorted."""
+        return sorted(
+            stop for route, stop in self._events if route == route_id
+        )
+
+    def route_summary(self, route_id: str) -> Dict[str, float]:
+        """Cumulative headway statistics for one route.
+
+        Keys: ``bus_events``, ``headways`` (count),
+        ``mean_headway_s``, ``bunching_rate`` and ``excess_wait_s`` —
+        the report-side counterparts of the windowed live gauges,
+        recomputed exactly from the retained event lists.
+        """
+        count = 0
+        events_total = 0
+        total = 0.0
+        sumsq = 0.0
+        bunched = 0
+        threshold = self.bunching_threshold_s
+        for (route, _), events in self._events.items():
+            if route != route_id:
+                continue
+            events_total += len(events)
+            for a, b in zip(events, events[1:]):
+                gap = b - a
+                count += 1
+                total += gap
+                sumsq += gap * gap
+                if gap < threshold:
+                    bunched += 1
+        mean = total / count if count else 0.0
+        second = sumsq / count if count else 0.0
+        return {
+            "bus_events": float(events_total),
+            "headways": float(count),
+            "mean_headway_s": mean,
+            "bunching_rate": bunched / count if count else 0.0,
+            "excess_wait_s": excess_wait_s(
+                mean, second, self.scheduled_headway_s
+            ),
+        }
+
+    def reset(self) -> None:
+        """Forget every event (configuration is kept)."""
+        self._events.clear()
+        self._total_events = 0
+
+
+def excess_wait_s(
+    mean_headway_s: float, second_moment_s2: float, scheduled_headway_s: float
+) -> float:
+    """EWT from the first two headway moments (see module docstring).
+
+    Zero when there is no data, clamped at zero when the observed
+    service is *more* even than the timetable.
+    """
+    if mean_headway_s <= 0:
+        return 0.0
+    actual_wait = second_moment_s2 / (2.0 * mean_headway_s)
+    scheduled_wait = scheduled_headway_s / 2.0
+    return max(0.0, actual_wait - scheduled_wait)

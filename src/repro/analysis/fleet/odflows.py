@@ -1,0 +1,98 @@
+"""Origin–destination flow matrices from per-rider trip sequences.
+
+Each mapped trip is one rider's journey: the first resolved stop is
+their origin, the last their destination (the Wi-Fi/Bluetooth O-D
+mining literature uses exactly this first-seen/last-seen convention).
+Aggregated over a campaign the counts form the O-D flow matrix transit
+planners use for demand estimation.
+
+Cardinality is bounded twice: the exported ``od_flow_trips`` labeled
+family is capped by the registry's ``max_children`` (overflow pairs
+collapse into its ``_overflow`` child), and the tracker itself keeps at
+most ``max_od_pairs`` exact pairs — trips beyond that aggregate into a
+single overflow bucket so a million-rider campaign cannot grow the
+matrix without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import AnalyticsConfig
+
+__all__ = ["ODFlowMatrix"]
+
+
+class ODFlowMatrix:
+    """Trip counts per (origin stop, destination stop) pair."""
+
+    def __init__(self, config: Optional[AnalyticsConfig] = None):
+        self.config = config or AnalyticsConfig()
+        self._flows: Dict[Tuple[int, int], int] = {}
+        self._overflow_trips = 0
+        self._total_trips = 0
+
+    def __len__(self) -> int:
+        """Distinct exactly-tracked O-D pairs."""
+        return len(self._flows)
+
+    @property
+    def total_trips(self) -> int:
+        """Every observed trip, overflow included."""
+        return self._total_trips
+
+    @property
+    def overflow_trips(self) -> int:
+        """Trips aggregated beyond the ``max_od_pairs`` bound."""
+        return self._overflow_trips
+
+    def observe_trip(self, origin: int, dest: int) -> bool:
+        """Count one rider journey; returns False if it hit overflow."""
+        self._total_trips += 1
+        key = (origin, dest)
+        count = self._flows.get(key)
+        if count is not None:
+            self._flows[key] = count + 1
+            return True
+        if len(self._flows) >= self.config.max_od_pairs:
+            self._overflow_trips += 1
+            return False
+        self._flows[key] = 1
+        return True
+
+    def trips(self, origin: int, dest: int) -> int:
+        """Observed trips from ``origin`` to ``dest``."""
+        return self._flows.get((origin, dest), 0)
+
+    def top_flows(
+        self, k: Optional[int] = None
+    ) -> List[Tuple[int, int, int]]:
+        """The ``k`` heaviest flows as (origin, dest, trips), sorted.
+
+        Ordered by descending trip count, then (origin, dest) for a
+        deterministic report.
+        """
+        if k is None:
+            k = self.config.top_k_flows
+        ranked = sorted(
+            self._flows.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [(o, d, n) for (o, d), n in ranked[:k]]
+
+    def as_dict(self, top_k: Optional[int] = None) -> Dict:
+        """The JSON artifact shape (``repro analytics --json-out``)."""
+        return {
+            "total_trips": self._total_trips,
+            "distinct_pairs": len(self._flows),
+            "overflow_trips": self._overflow_trips,
+            "top_flows": [
+                {"origin": origin, "dest": dest, "trips": trips}
+                for origin, dest, trips in self.top_flows(top_k)
+            ],
+        }
+
+    def reset(self) -> None:
+        """Forget every flow."""
+        self._flows.clear()
+        self._overflow_trips = 0
+        self._total_trips = 0

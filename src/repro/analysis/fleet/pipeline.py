@@ -1,0 +1,312 @@
+"""The fleet-health analytics stage: trips in, operator telemetry out.
+
+:class:`FleetHealthAnalytics` sits after the single-writer merge in
+:class:`~repro.core.server.BackendServer`: every mapped trip is folded
+into three products —
+
+* per-(route, stop) **headway series** (:mod:`.headways`), with live
+  per-route bunching-rate and excess-wait-time gauges computed over a
+  trailing :class:`~repro.obs.windows.SlidingWindowStats` window;
+* **ghost-vehicle detection** (:mod:`.ghosts`), staleness-scored on
+  every publish tick;
+* the **O-D flow matrix** (:mod:`.odflows`).
+
+Telemetry flows through the shared :class:`MetricsRegistry` as labeled
+families (``headway_seconds{route,stop}``, ``bunching_rate{route}``,
+``excess_wait_seconds{route}``, ``ghost_vehicles{route}``,
+``ghost_last_seen_seconds{route}``, ``od_flow_trips{origin,dest}``),
+so the HTTP exporter serves them for free; :meth:`samples` feeds the
+alert engine on publish ticks and :meth:`report` renders the
+fleet-health JSON document (``/fleet`` endpoint, ``repro analytics``).
+
+None of the metric families carry a golden-trace whitelisted prefix,
+so enabling the stage leaves recorded conformance traces byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.city.routes import RouteNetwork
+from repro.config import AnalyticsConfig
+from repro.core.trip_mapping import MappedTrip
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
+from repro.obs.windows import SlidingWindowStats, WindowSet
+
+from repro.analysis.fleet.ghosts import GhostDetector
+from repro.analysis.fleet.headways import HeadwayTracker, excess_wait_s
+from repro.analysis.fleet.odflows import ODFlowMatrix
+
+__all__ = ["FleetHealthAnalytics"]
+
+
+class FleetHealthAnalytics:
+    """Streams mapped trips into headway / ghost / O-D telemetry."""
+
+    def __init__(
+        self,
+        route_network: RouteNetwork,
+        config: Optional[AnalyticsConfig] = None,
+        scheduled_headway_s: float = 600.0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or AnalyticsConfig()
+        self.scheduled_headway_s = float(scheduled_headway_s)
+        self._routes = {
+            route.route_id: route for route in route_network.routes
+        }
+        self.headways = HeadwayTracker(
+            self.config, scheduled_headway_s=self.scheduled_headway_s
+        )
+        self.ghosts = GhostDetector(
+            self._routes, self.config,
+            scheduled_headway_s=self.scheduled_headway_s,
+        )
+        self.od_flows = ODFlowMatrix(self.config)
+        #: Trailing per-route headway moments for the live gauges.
+        self.windows = self._make_windows()
+        self._last_publish_s: Optional[float] = None
+
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._observing = not isinstance(reg, NullRegistry)
+        self._fam_headway = reg.labeled_gauge(
+            "headway_seconds", ("route", "stop"),
+            help="latest observed bus headway at each (route, stop)",
+        )
+        self._fam_bunching = reg.labeled_gauge(
+            "bunching_rate", ("route",),
+            help="fraction of trailing-window headways under the bunching "
+                 "threshold",
+        )
+        self._fam_ewt = reg.labeled_gauge(
+            "excess_wait_seconds", ("route",),
+            help="trailing-window excess wait time over the timetable",
+        )
+        self._fam_ghosts = reg.labeled_gauge(
+            "ghost_vehicles", ("route",),
+            help="scheduled-but-unobserved vehicles per route",
+        )
+        self._fam_last_seen = reg.labeled_gauge(
+            "ghost_last_seen_seconds", ("route",),
+            help="seconds since each route last produced a bus event",
+        )
+        self._fam_od = reg.labeled_counter(
+            "od_flow_trips", ("origin", "dest"),
+            help="rider trips observed per origin-destination stop pair",
+        )
+        self._c_bus_events = reg.counter(
+            "fleet_bus_events_total",
+            help="distinct bus arrival events derived from mapped trips",
+        )
+        self._c_headways = reg.counter(
+            "fleet_headways_observed_total",
+            help="headway observations derived from bus events",
+        )
+        self._c_od_trips = reg.counter(
+            "fleet_od_trips_total",
+            help="rider trips folded into the O-D flow matrix",
+        )
+        self._g_ghost_routes = reg.gauge(
+            "fleet_ghost_routes",
+            help="routes currently reporting at least one ghost vehicle",
+        )
+
+    def _make_windows(self) -> WindowSet:
+        threshold = self.headways.bunching_threshold_s
+        # Per-route reducers are also cached directly (bypassing the
+        # WindowSet's per-call key construction) for the ingest hot path.
+        self._route_window_cache: Dict[str, SlidingWindowStats] = {}
+        return WindowSet(
+            window_s=self.config.window_s,
+            buckets=self.config.window_buckets,
+            factory=lambda w, b: SlidingWindowStats(
+                w, b, mark_below=threshold
+            ),
+        )
+
+    def _route_window(self, route_id: str) -> SlidingWindowStats:
+        win = self._route_window_cache.get(route_id)
+        if win is None:
+            win = self.windows.window("route_headways", route=route_id)
+            self._route_window_cache[route_id] = win
+        return win
+
+    def bind_schedule(self, headway_s: float) -> None:
+        """Adopt a different dispatch headway (``--headway`` overrides).
+
+        Must happen before ingest: the bunching threshold is baked into
+        the window reducers, so the (still empty) windows are rebuilt.
+        """
+        if headway_s <= 0:
+            raise ValueError("scheduled headway must be positive")
+        if headway_s == self.scheduled_headway_s:
+            return
+        self.scheduled_headway_s = float(headway_s)
+        self.headways.scheduled_headway_s = float(headway_s)
+        self.ghosts.scheduled_headway_s = float(headway_s)
+        self.windows = self._make_windows()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe_trip(
+        self, mapped: Optional[MappedTrip], route_id: Optional[str]
+    ) -> None:
+        """Fold one mapped trip in (called after the single-writer merge).
+
+        ``route_id`` is the trip's dominant route (None when no leg
+        could be attributed); headway/ghost products need it, the O-D
+        matrix only needs the stop sequence.  All timing comes from the
+        mapped stops' arrival times, not the ingest clock.
+        """
+        if mapped is None or len(mapped.stops) < 2:
+            return
+        observing = self._observing
+        first = mapped.stops[0]
+        last = mapped.stops[-1]
+        if first.station_id != last.station_id:
+            self.od_flows.observe_trip(first.station_id, last.station_id)
+            if observing:
+                self._c_od_trips.inc()
+                self._fam_od.labels(
+                    str(first.station_id), str(last.station_id)
+                ).inc()
+        route = self._routes.get(route_id) if route_id is not None else None
+        if route is None:
+            return
+        # The window reducer is always fed (the alert path reads it even
+        # with the null registry); the registry instruments only when a
+        # real registry is attached — the server's _observing pattern.
+        window = self._route_window(route_id)
+        station_order = route.station_order
+        observe_arrival = self.headways.observe_arrival
+        events_before = len(self.headways)
+        latest_seen: Optional[float] = None
+        for stop in mapped.stops:
+            if station_order(stop.station_id) is None:
+                continue                  # mapped onto a different route
+            arrival_s = stop.arrival_s
+            observed = observe_arrival(route_id, stop.station_id, arrival_s)
+            # A deduplicated arrival is still a sighting of the bus.
+            if latest_seen is None or arrival_s > latest_seen:
+                latest_seen = arrival_s
+            for _, stop_id, gap, at in observed:
+                window.add(gap, now=at)
+                if observing:
+                    self._c_headways.inc()
+                    self._fam_headway.labels(route_id, str(stop_id)).set(gap)
+        if latest_seen is not None:
+            self.ghosts.observe_event(route_id, latest_seen)
+        if observing:
+            new_events = len(self.headways) - events_before
+            if new_events:
+                self._c_bus_events.inc(new_events)
+
+    # -- publishing ----------------------------------------------------------
+
+    def observe_publish(self, now_s: float) -> None:
+        """Refresh every live gauge at a publish tick."""
+        self._last_publish_s = now_s
+        self.ghosts.observe_tick(now_s)
+        ghost_routes = 0
+        for route_id in self._routes:
+            status = self.ghosts.assess_route(route_id, now_s)
+            if status["ghost_vehicles"] >= 1.0:
+                ghost_routes += 1
+            if not self._observing:
+                continue
+            self._fam_ghosts.labels(route_id).set(status["ghost_vehicles"])
+            self._fam_last_seen.labels(route_id).set(
+                status["last_seen_age_s"]
+            )
+            stats = self._route_window(route_id).stats(now_s)
+            self._fam_bunching.labels(route_id).set(stats["below_rate"])
+            self._fam_ewt.labels(route_id).set(excess_wait_s(
+                stats["mean"], stats["second_moment"],
+                self.scheduled_headway_s,
+            ))
+        self._g_ghost_routes.set(ghost_routes)
+
+    # -- reading -------------------------------------------------------------
+
+    def samples(
+        self, now_s: float
+    ) -> List[Tuple[str, Dict[str, str], float]]:
+        """Alert-engine samples: the live per-route health indicators.
+
+        Always computed from live state (never the registry), so the
+        alert loop works with the null registry too — mirroring
+        :meth:`~repro.core.freshness.FreshnessTracker.samples`.
+        """
+        self.ghosts.observe_tick(now_s)
+        out: List[Tuple[str, Dict[str, str], float]] = []
+        for route_id in sorted(self._routes):
+            labels = {"route": route_id}
+            status = self.ghosts.assess_route(route_id, now_s)
+            out.append(
+                ("ghost_vehicles", labels, status["ghost_vehicles"])
+            )
+            out.append(
+                ("ghost_last_seen_seconds", labels,
+                 status["last_seen_age_s"])
+            )
+            stats = self._route_window(route_id).stats(now_s)
+            out.append(("bunching_rate", labels, stats["below_rate"]))
+            out.append(("excess_wait_seconds", labels, excess_wait_s(
+                stats["mean"], stats["second_moment"],
+                self.scheduled_headway_s,
+            )))
+        return out
+
+    def report(
+        self, now_s: Optional[float] = None, top_k: Optional[int] = None
+    ) -> Dict:
+        """The fleet-health JSON document (``/fleet``, ``repro analytics``).
+
+        Per-route rows combine the *cumulative* headway summary (the
+        whole campaign) with the *live* ghost assessment at ``now_s``;
+        ``now_s=None`` renders at the most recent publish tick (what
+        the exporter thread serves).
+        """
+        if now_s is None:
+            now_s = (
+                self._last_publish_s
+                if self._last_publish_s is not None else 0.0
+            )
+        self.ghosts.observe_tick(now_s)
+        routes: Dict[str, Dict] = {}
+        for route_id in sorted(self._routes):
+            summary = self.headways.route_summary(route_id)
+            status = self.ghosts.assess_route(route_id, now_s)
+            routes[route_id] = {
+                "bus_events": int(summary["bus_events"]),
+                "headways": int(summary["headways"]),
+                "mean_headway_s": round(summary["mean_headway_s"], 3),
+                "bunching_rate": round(summary["bunching_rate"], 4),
+                "excess_wait_s": round(summary["excess_wait_s"], 3),
+                "ghost_vehicles": int(status["ghost_vehicles"]),
+                "staleness_score": round(status["staleness_score"], 4),
+                "last_seen_age_s": round(status["last_seen_age_s"], 3),
+            }
+        return {
+            "at_s": now_s,
+            "scheduled_headway_s": self.scheduled_headway_s,
+            "bunching_threshold_s": self.headways.bunching_threshold_s,
+            "routes": routes,
+            "ghost_routes": sorted(
+                route_id
+                for route_id, row in routes.items()
+                if row["ghost_vehicles"] >= 1
+            ),
+            "od": self.od_flows.as_dict(
+                top_k if top_k is not None else self.config.top_k_flows
+            ),
+        }
+
+    def reset(self) -> None:
+        """Forget all analytics state (between back-to-back campaigns)."""
+        self.headways.reset()
+        self.ghosts.reset()
+        self.od_flows.reset()
+        self.windows.reset()
+        self._last_publish_s = None

@@ -9,6 +9,8 @@ Subcommands mirror a real deployment's workflow::
     repro power                              # Table III on stdout
     repro stats       metrics.json           # render a --metrics-out document
     repro alerts      rules.json --metrics m.json   # lint + evaluate SLO rules
+    repro analytics   --end 09:00            # fleet-health report (headways,
+                                             # ghost buses, O-D flows)
     repro conformance --scenarios 25         # oracles + golden-trace referee
 
 Every command is deterministic given ``--seed``.
@@ -19,9 +21,9 @@ accept ``--metrics-out FILE`` to dump pipeline counters, histograms and
 per-stage span timings (JSON, or Prometheus text when FILE ends in
 ``.prom``); ``repro stats`` renders either format back.  ``repro
 simulate --serve-metrics PORT`` runs an embedded HTTP exporter
-(``/metrics``, ``/healthz``, ``/stats``, ``/freshness``) next to the
-campaign, and ``--alert-rules FILE`` evaluates declarative SLO rules on
-every publish tick.
+(``/metrics``, ``/healthz``, ``/stats``, ``/freshness``, ``/fleet``)
+next to the campaign, and ``--alert-rules FILE`` evaluates declarative
+SLO rules on every publish tick.
 """
 
 from __future__ import annotations
@@ -141,6 +143,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate the rules against this --metrics-out "
                              "document (JSON or *.prom); exit 1 if any fire")
 
+    analytics = sub.add_parser(
+        "analytics",
+        help="fleet-health report: headways/bunching/EWT, ghost buses, "
+             "O-D flows",
+    )
+    analytics.add_argument("--metrics", default=None, metavar="FILE",
+                           help="render from a saved --metrics-out document "
+                                "(JSON or *.prom) instead of running a "
+                                "campaign")
+    analytics.add_argument("--start", default="07:30")
+    analytics.add_argument("--end", default="09:30")
+    analytics.add_argument("--seed", type=int, default=7)
+    analytics.add_argument("--headway", type=float, default=None,
+                           help="dispatch headway in seconds")
+    analytics.add_argument("--routes", nargs="*", default=None,
+                           help="route ids (default: all)")
+    analytics.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the match/cluster/map "
+                                "stages")
+    analytics.add_argument("--top-flows", type=int, default=10,
+                           help="O-D pairs shown in the flow table "
+                                "(default: 10)")
+    analytics.add_argument("--json-out", default=None, metavar="FILE",
+                           help="also write the fleet-health report as JSON")
+
     conformance = sub.add_parser(
         "conformance",
         help="differentially test core/ vs the spec-literal oracles and "
@@ -197,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "power": _cmd_power,
         "stats": _cmd_stats,
         "alerts": _cmd_alerts,
+        "analytics": _cmd_analytics,
         "conformance": _cmd_conformance,
     }[args.command]
     return handler(args)
@@ -309,6 +337,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             },
             freshness_fn=server.freshness.report,
             health_fn=lambda: {"trips_received": server.stats.trips_received},
+            fleet_fn=(
+                server.analytics.report
+                if server.analytics is not None else None
+            ),
         )
         port = exporter.start()
         print(f"serving metrics on http://127.0.0.1:{port}/metrics")
@@ -457,6 +489,27 @@ def _document_from_families(families: dict) -> dict:
     }
 
 
+def _match_memo_line(counters: dict) -> Optional[str]:
+    """How well the PR-5 match-index memo worked, from its counters.
+
+    Logical lookups split into cache hits (memo served the match) and
+    misses (a physical candidate-pruned match ran).  Absent counters
+    mean the document predates the memo (or matching never ran): no line.
+    """
+    hits = counters.get("match_cache_hits_total")
+    misses = counters.get("match_cache_misses_total")
+    if hits is None and misses is None:
+        return None
+    hits = int(hits or 0)
+    misses = int(misses or 0)
+    logical = hits + misses
+    if not logical:
+        return None
+    ratio = hits / logical
+    return (f"match memo: {logical} logical lookups = {misses} physical "
+            f"matches + {hits} cache hits ({100 * ratio:.1f}% hit-ratio)")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.reporting import render_table
 
@@ -509,6 +562,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ))
 
     metrics = document.get("metrics", {})
+    memo_line = _match_memo_line(metrics.get("counters", {}))
+    if memo_line:
+        sections.append(memo_line)
     extra_counters = {
         name: value
         for name, value in metrics.get("counters", {}).items()
@@ -621,6 +677,12 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
 
     document = _load_metrics_document(args.metrics)
     samples = samples_from_document(document)
+    # A rule whose metric family never appears in the document is in a
+    # third state: not healthy (nothing satisfied the SLO), not firing
+    # (missing data is not evidence of ill health either) — report it
+    # as no-data instead of silently counting it among the healthy.
+    sample_names = {name for name, _, _ in samples}
+    no_data = [rule for rule in rules if rule.metric not in sample_names]
     engine = AlertEngine(rules)
     # A static document is one persistent world state: repeat the pass
     # until every rule's `for` debounce could have elapsed.
@@ -628,16 +690,193 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         engine.evaluate(samples, now=float(tick))
     active = engine.active
     if not active:
-        print(f"{args.metrics}: all {len(rules)} rule(s) healthy "
+        checked = len(rules) - len(no_data)
+        print(f"{args.metrics}: {checked} rule(s) healthy, "
+              f"{len(no_data)} no-data ({len(samples)} samples)"
+              if no_data else
+              f"{args.metrics}: all {len(rules)} rule(s) healthy "
               f"({len(samples)} samples)")
+        for rule in no_data:
+            print(f"  [no-data] {rule.name}: metric {rule.metric!r} "
+                  f"absent from the document")
         return 0
     print(f"{args.metrics}: {len(active)} alert(s) firing")
+    for rule in no_data:
+        print(f"  [no-data] {rule.name}: metric {rule.metric!r} "
+              f"absent from the document")
     for event in active:
         labels = ",".join(f"{k}={v}" for k, v in event.labels)
         where = f"{{{labels}}}" if labels else ""
         print(f"  [{event.severity}] {event.rule}{where} "
               f"value={event.value:g} threshold={event.threshold:g}")
     return 1
+
+
+def _print_fleet_report(report: dict, source: str) -> None:
+    """Render a fleet-health document as operator tables."""
+    from repro.eval.reporting import render_table
+
+    rows = []
+    for route_id, row in sorted(report.get("routes", {}).items()):
+        events = row.get("bus_events")
+        headways = row.get("headways")
+        mean = row.get("mean_headway_s")
+        rows.append([
+            route_id,
+            events if events is not None else "-",
+            headways if headways is not None else "-",
+            f"{mean / 60:.1f}" if mean is not None else "-",
+            f"{100 * row.get('bunching_rate', 0.0):.1f}%",
+            f"{row.get('excess_wait_s', 0.0) / 60:.2f}",
+            int(row.get("ghost_vehicles", 0)),
+            f"{row.get('last_seen_age_s', 0.0) / 60:.1f}",
+        ])
+    title = "Fleet health"
+    scheduled = report.get("scheduled_headway_s")
+    if scheduled:
+        title += f" (scheduled headway {scheduled / 60:g} min)"
+    print(render_table(
+        ["route", "bus events", "headways", "mean hdwy (min)",
+         "bunching", "EWT (min)", "ghosts", "last seen (min)"],
+        rows, title=title,
+    ))
+    ghost_routes = report.get("ghost_routes", [])
+    print(f"ghost routes: "
+          f"{', '.join(ghost_routes) if ghost_routes else 'none'}")
+
+    od = report.get("od", {})
+    flow_rows = [
+        [flow["origin"], flow["dest"], flow["trips"]]
+        for flow in od.get("top_flows", [])
+    ]
+    if flow_rows:
+        print()
+        print(render_table(
+            ["origin stop", "dest stop", "trips"],
+            flow_rows,
+            title=f"Top O-D flows ({od.get('total_trips', 0)} trips over "
+                  f"{od.get('distinct_pairs', 0)} pairs, "
+                  f"{od.get('overflow_trips', 0)} beyond the pair cap)",
+        ))
+    print(f"source: {source}")
+
+
+def _fleet_report_from_document(document: dict, top_k: int) -> dict:
+    """Reconstruct a fleet-health report from a --metrics-out document.
+
+    A saved snapshot only holds the exported label families, so the
+    per-route rows carry the live gauges (bunching/EWT/ghosts) and the
+    count of stops with an observed headway; the cumulative event
+    totals only exist in a live campaign.
+    """
+    from repro.obs import samples_from_document
+
+    routes: dict = {}
+    flows: List[dict] = []
+    od_total = od_overflow = od_counter = 0.0
+
+    def row(route_id: str) -> dict:
+        return routes.setdefault(route_id, {})
+
+    for name, labels, value in samples_from_document(document):
+        route_id = labels.get("route")
+        if route_id == "_overflow":
+            continue    # per-route families past the cardinality cap
+        if name == "headway_seconds" and route_id is not None:
+            entry = row(route_id)
+            entry["headways"] = entry.get("headways", 0) + 1
+            entry["_gap_sum"] = entry.get("_gap_sum", 0.0) + value
+        elif name == "bunching_rate" and route_id is not None:
+            row(route_id)["bunching_rate"] = value
+        elif name == "excess_wait_seconds" and route_id is not None:
+            row(route_id)["excess_wait_s"] = value
+        elif name == "ghost_vehicles" and route_id is not None:
+            row(route_id)["ghost_vehicles"] = value
+        elif name == "ghost_last_seen_seconds" and route_id is not None:
+            row(route_id)["last_seen_age_s"] = value
+        elif name == "od_flow_trips":
+            origin = labels.get("origin")
+            dest = labels.get("dest")
+            if origin in (None, "_overflow") or dest in (None, "_overflow"):
+                od_overflow += value    # the shared `_overflow` child
+            else:
+                flows.append(
+                    {"origin": origin, "dest": dest, "trips": int(value)}
+                )
+            od_total += value
+        elif name == "fleet_od_trips_total":
+            # Unlabeled running total; the family children normally sum
+            # to the same number, so take whichever saw more (a snapshot
+            # may omit either one).
+            od_counter = value
+    od_total = max(od_total, od_counter)
+
+    for entry in routes.values():
+        gap_sum = entry.pop("_gap_sum", None)
+        if gap_sum is not None and entry.get("headways"):
+            # Mean of each stop's *latest* gap, not the campaign mean.
+            entry["mean_headway_s"] = gap_sum / entry["headways"]
+    flows.sort(key=lambda f: (-f["trips"], f["origin"], f["dest"]))
+    return {
+        "routes": routes,
+        "ghost_routes": sorted(
+            route_id for route_id, entry in routes.items()
+            if entry.get("ghost_vehicles", 0) >= 1
+        ),
+        "od": {
+            "total_trips": int(od_total),
+            "distinct_pairs": len(flows),
+            "overflow_trips": int(od_overflow),
+            "top_flows": flows[:top_k],
+        },
+    }
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    if args.metrics:
+        try:
+            document = _load_metrics_document(args.metrics)
+        except OSError as exc:
+            print(f"analytics: cannot read {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, ValueError) as exc:
+            print(f"analytics: {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        report = _fleet_report_from_document(document, args.top_flows)
+        if not report["routes"] and not report["od"]["total_trips"]:
+            print(f"analytics: no fleet-health families in {args.metrics} "
+                  f"(was the campaign run with analytics enabled and "
+                  f"--metrics-out?)", file=sys.stderr)
+            return 2
+        source = args.metrics
+    else:
+        from repro.sim.world import World
+        from repro.util.units import parse_hhmm
+
+        world = World(seed=args.seed)
+        if world.server.analytics is None:
+            print("analytics: the fleet-health stage is disabled in this "
+                  "configuration", file=sys.stderr)
+            return 2
+        end_s = parse_hhmm(args.end)
+        result = world.run(
+            parse_hhmm(args.start), end_s,
+            route_ids=args.routes,
+            headway_s=args.headway,
+            with_official_feed=False,
+            workers=args.workers,
+        )
+        report = world.server.analytics.report(end_s, top_k=args.top_flows)
+        source = (f"campaign {args.start}-{args.end} seed={args.seed} "
+                  f"({len(result.traces)} bus trips, "
+                  f"{world.server.stats.trips_received} uploads)")
+    _print_fleet_report(report, source)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump(report, out, indent=2)
+        print(f"wrote fleet-health report -> {args.json_out}")
+    return 0
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:

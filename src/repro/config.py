@@ -185,6 +185,41 @@ class UplinkConfig:
 
 
 @dataclass(frozen=True)
+class AnalyticsConfig:
+    """Fleet-health analytics stage (headways, ghost buses, O-D flows).
+
+    The stage consumes mapped trips after the single-writer merge; it
+    never feeds back into the estimators, so disabling it changes no
+    pipeline output (the bench guards the <5% ingest overhead target).
+    """
+
+    enabled: bool = True
+    #: Mapped arrivals at one (route, stop) closer together than this are
+    #: the same physical bus seen by several riders, not two buses.
+    arrival_dedup_s: float = 120.0
+    #: A headway shorter than this fraction of the scheduled headway
+    #: counts as bunched.
+    bunching_factor: float = 0.25
+    #: A route unseen for longer than this multiple of its scheduled
+    #: headway starts accruing ghost vehicles.
+    ghost_staleness_factor: float = 2.0
+    #: Ghost-count gauge ceiling (a dead route should alert, not count
+    #: to infinity).
+    max_ghosts_per_route: int = 12
+    #: Trailing horizon for the live bunching-rate / EWT gauges.
+    window_s: float = 3600.0
+    #: Ring-buffer slots per analytics window.
+    window_buckets: int = 12
+    #: Bounded per-(route, stop) arrival-event history.
+    max_arrivals_per_stop: int = 512
+    #: Distinct origin-destination pairs tracked exactly; extra pairs
+    #: aggregate into one overflow bucket (mirrors the label cap).
+    max_od_pairs: int = 4096
+    #: Flows surfaced by ``repro analytics`` and the JSON artifact.
+    top_k_flows: int = 10
+
+
+@dataclass(frozen=True)
 class GoogleMapsConfig:
     """Coarse 4-level traffic indicator baseline (Fig. 10)."""
 
@@ -213,6 +248,7 @@ class SystemConfig:
     taxi: TaxiConfig = field(default_factory=TaxiConfig)
     uplink: UplinkConfig = field(default_factory=UplinkConfig)
     google_maps: GoogleMapsConfig = field(default_factory=GoogleMapsConfig)
+    analytics: AnalyticsConfig = field(default_factory=AnalyticsConfig)
 
 
 DEFAULT_CONFIG = SystemConfig()

@@ -237,6 +237,19 @@ class BackendServer:
         )
         #: Optional SLO engine, evaluated on every publish tick.
         self.alerts: Optional[AlertEngine] = None
+        #: Fleet-health analytics stage (headways / ghosts / O-D flows);
+        #: None when disabled, so the ingest hot path pays one is-None
+        #: check.  Imported lazily: repro.analysis imports this module.
+        self.analytics = None
+        if self.config.analytics.enabled:
+            from repro.analysis.fleet.pipeline import FleetHealthAnalytics
+
+            self.analytics = FleetHealthAnalytics(
+                route_network,
+                self.config.analytics,
+                scheduled_headway_s=self.config.bus.headway_s,
+                registry=self.registry,
+            )
         self._seen_trip_keys: set = set()
 
     def attach_alerts(self, engine: AlertEngine) -> None:
@@ -371,6 +384,8 @@ class BackendServer:
         if observing and trip_route is not None:
             self._fam_route_trips.labels(trip_route).inc()
             self.windows.add("route_trips", now=now_s, route=trip_route)
+        if self.analytics is not None:
+            self.analytics.observe_trip(mapped, trip_route)
         log_event(
             _log, "trip_processed", level=logging.DEBUG,
             trip_key=prepared.trip_key,
@@ -473,6 +488,8 @@ class BackendServer:
         self.stats.reset()
         self.windows.reset()
         self.freshness.reset()
+        if self.analytics is not None:
+            self.analytics.reset()
         self.registry.gauge("fingerprint_db_stops").set(len(self.database))
 
     def publish(self, at_s: float) -> None:
@@ -484,6 +501,8 @@ class BackendServer:
         """
         self.traffic_map.publish(at_s)
         self.freshness.observe_publish(at_s)
+        if self.analytics is not None:
+            self.analytics.observe_publish(at_s)
         if self._observing:
             self._g_window_trips.set(self.windows.window("trips_received").total(at_s))
             self._g_window_accepted.set(
@@ -521,6 +540,8 @@ class BackendServer:
         )
         for name, labels, total in self.windows.series(at_s):
             samples.append((f"window_{name}", labels, total))
+        if self.analytics is not None:
+            samples.extend(self.analytics.samples(at_s))
         return samples
 
     # -- travel-time extraction (§III-D) -------------------------------------------

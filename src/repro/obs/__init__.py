@@ -64,7 +64,11 @@ from repro.obs.metrics import (
     parse_prometheus_text,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, StageTiming, Tracer
-from repro.obs.windows import SlidingWindowCounter, WindowSet
+from repro.obs.windows import (
+    SlidingWindowCounter,
+    SlidingWindowStats,
+    WindowSet,
+)
 
 __all__ = [
     "Counter",
@@ -82,6 +86,7 @@ __all__ = [
     "escape_help",
     "escape_label_value",
     "SlidingWindowCounter",
+    "SlidingWindowStats",
     "WindowSet",
     "MetricsHTTPServer",
     "PROMETHEUS_CONTENT_TYPE",

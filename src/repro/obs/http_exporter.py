@@ -8,7 +8,10 @@ off whatever registry / callables the host wires in:
 * ``/stats``     — a JSON status document (by default the registry's
   ``as_dict()``; the backend wires in pipeline stats + window rates),
 * ``/freshness`` — per-segment / per-route staleness of the published
-  traffic map (wired by :class:`~repro.core.server.BackendServer`).
+  traffic map (wired by :class:`~repro.core.server.BackendServer`),
+* ``/fleet``     — the fleet-health report (headways, ghost buses,
+  O-D flows) when a
+  :class:`~repro.analysis.fleet.FleetHealthAnalytics` stage is wired.
 
 ``repro simulate --serve-metrics PORT`` runs one next to the campaign;
 ``port=0`` binds an ephemeral port (the bound port is in
@@ -91,6 +94,7 @@ class MetricsHTTPServer:
         stats_fn: Optional[Callable[[], Dict]] = None,
         freshness_fn: Optional[Callable[[], Dict]] = None,
         health_fn: Optional[Callable[[], Dict]] = None,
+        fleet_fn: Optional[Callable[[], Dict]] = None,
     ):
         self.registry = registry
         self.host = host
@@ -98,6 +102,7 @@ class MetricsHTTPServer:
         self._stats_fn = stats_fn or registry.as_dict
         self._freshness_fn = freshness_fn
         self._health_fn = health_fn
+        self._fleet_fn = fleet_fn
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
@@ -107,6 +112,7 @@ class MetricsHTTPServer:
             "/healthz": self._healthz,
             "/stats": self._stats,
             "/freshness": self._freshness,
+            "/fleet": self._fleet,
             "/": self._index,
         }
 
@@ -134,6 +140,13 @@ class MetricsHTTPServer:
                 {"error": "no freshness source wired"}
             )
         return "application/json", json.dumps(self._freshness_fn(), indent=2)
+
+    def _fleet(self):
+        if self._fleet_fn is None:
+            return "application/json", json.dumps(
+                {"error": "no fleet analytics wired"}
+            )
+        return "application/json", json.dumps(self._fleet_fn(), indent=2)
 
     def _index(self):
         return "application/json", json.dumps(

@@ -18,9 +18,9 @@ every rate as a plain dict for ``/stats``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-__all__ = ["SlidingWindowCounter", "WindowSet"]
+__all__ = ["SlidingWindowCounter", "SlidingWindowStats", "WindowSet"]
 
 
 class SlidingWindowCounter:
@@ -87,6 +87,121 @@ class SlidingWindowCounter:
         )
 
 
+class SlidingWindowStats:
+    """Moment statistics over the trailing ``window_s`` seconds.
+
+    The counter answers "how many?"; fleet-health analytics needs the
+    *shape* of a value stream — mean headway, its second moment (for
+    excess wait time, which is E[H²]/2E[H]), min/max, and how many
+    observations fell below a marked threshold (the bunching count).
+    Same ring-of-buckets design as :class:`SlidingWindowCounter`: each
+    slot holds ``(count, sum, sum of squares, min, max, below)`` and is
+    lazily zeroed when the clock re-enters it.
+    """
+
+    __slots__ = ("window_s", "mark_below", "_width", "_slots", "_starts")
+
+    def __init__(
+        self,
+        window_s: float = 300.0,
+        buckets: int = 30,
+        *,
+        mark_below: Optional[float] = None,
+    ):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.window_s = float(window_s)
+        self.mark_below = mark_below
+        self._width = self.window_s / buckets
+        # Per slot: [count, sum, sumsq, min, max, below-threshold count].
+        self._slots = [[0, 0.0, 0.0, None, None, 0] for _ in range(buckets)]
+        self._starts: List[Optional[float]] = [None] * buckets
+
+    def add(self, value: Union[int, float] = 1, *, now: float) -> None:
+        """Record one observation of ``value`` at time ``now``."""
+        idx = int(now // self._width) % len(self._slots)
+        start = (now // self._width) * self._width
+        slot = self._slots[idx]
+        if self._starts[idx] != start:
+            self._starts[idx] = start
+            slot[0] = 0
+            slot[1] = 0.0
+            slot[2] = 0.0
+            slot[3] = None
+            slot[4] = None
+            slot[5] = 0
+        value = float(value)
+        slot[0] += 1
+        slot[1] += value
+        slot[2] += value * value
+        slot[3] = value if slot[3] is None else min(slot[3], value)
+        slot[4] = value if slot[4] is None else max(slot[4], value)
+        if self.mark_below is not None and value < self.mark_below:
+            slot[5] += 1
+
+    def _live_slots(self, now: float):
+        horizon = now - self.window_s
+        for start, slot in zip(self._starts, self._slots):
+            if start is None:
+                continue
+            if start + self._width > horizon and start <= now:
+                yield slot
+
+    def stats(self, now: float) -> Dict[str, float]:
+        """Aggregate moments over the trailing window as of ``now``.
+
+        Keys: ``count``, ``sum``, ``mean``, ``second_moment`` (E[v²]),
+        ``min``, ``max``, ``below`` (observations under ``mark_below``)
+        and ``below_rate``.  With no live observations everything is 0.
+        """
+        count = 0
+        total = 0.0
+        sumsq = 0.0
+        below = 0
+        lo: Optional[float] = None
+        hi: Optional[float] = None
+        for slot in self._live_slots(now):
+            count += slot[0]
+            total += slot[1]
+            sumsq += slot[2]
+            below += slot[5]
+            if slot[3] is not None:
+                lo = slot[3] if lo is None else min(lo, slot[3])
+            if slot[4] is not None:
+                hi = slot[4] if hi is None else max(hi, slot[4])
+        return {
+            "count": float(count),
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "second_moment": sumsq / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "below": float(below),
+            "below_rate": below / count if count else 0.0,
+        }
+
+    def total(self, now: float) -> float:
+        """Sum of observed values in the window (WindowSet export hook)."""
+        return sum(slot[1] for slot in self._live_slots(now))
+
+    def count(self, now: float) -> int:
+        """Observations in the trailing window."""
+        return sum(slot[0] for slot in self._live_slots(now))
+
+    def reset(self) -> None:
+        """Forget everything (window geometry and threshold are kept)."""
+        self._slots = [[0, 0.0, 0.0, None, None, 0] for _ in self._slots]
+        self._starts = [None] * len(self._starts)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowStats(window_s={self.window_s:g}, "
+            f"buckets={len(self._slots)}, mark_below={self.mark_below!r})"
+        )
+
+
 class WindowSet:
     """A keyed collection of sliding windows sharing one geometry.
 
@@ -104,10 +219,14 @@ class WindowSet:
         window_s: float = 300.0,
         buckets: int = 30,
         max_series: int = 512,
+        factory: Optional[Callable[[float, int], "SlidingWindowCounter"]] = None,
     ):
         self.window_s = float(window_s)
         self.buckets = buckets
         self.max_series = max_series
+        # Any reducer with add(v, now=t)/total(now)/reset() fits — the
+        # analytics stage uses SlidingWindowStats here.
+        self._factory = factory or SlidingWindowCounter
         self._windows: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
                             SlidingWindowCounter] = {}
 
@@ -120,11 +239,11 @@ class WindowSet:
                 key = (name, ((self.OVERFLOW_KEY, self.OVERFLOW_KEY),))
                 win = self._windows.get(key)
                 if win is None:
-                    win = self._windows[key] = SlidingWindowCounter(
+                    win = self._windows[key] = self._factory(
                         self.window_s, self.buckets
                     )
             else:
-                win = self._windows[key] = SlidingWindowCounter(
+                win = self._windows[key] = self._factory(
                     self.window_s, self.buckets
                 )
         return win

@@ -151,6 +151,10 @@ class World:
             raise ValueError("end must be after start")
         route_ids = list(route_ids or self.city.route_network.route_ids)
         headway = headway_s or self.config.bus.headway_s
+        if self.server.analytics is not None:
+            # The bunching threshold and ghost staleness clock both
+            # derive from the dispatch headway actually driven here.
+            self.server.analytics.bind_schedule(headway)
 
         trace_rng = derive_rng(self.seed, f"traces-{start_s}")
         phone_rng = derive_rng(self.seed, f"phones-{start_s}")
@@ -247,11 +251,22 @@ class World:
                 until=horizon,
             )
             sim.run(until=horizon)
+        fleet = self.server.analytics
         log_event(
             _log, "campaign_day_complete",
             start_s=start_s, end_s=end_s,
             bus_trips=len(traces), uploads_ready=len(ready_uploads),
             uploads_delivered=len(timed_uploads), reports=len(reports),
+            fleet_bus_events=(
+                len(fleet.headways) if fleet is not None else None
+            ),
+            fleet_ghost_routes=(
+                len(fleet.ghosts.ghost_routes(horizon))
+                if fleet is not None else None
+            ),
+            fleet_od_trips=(
+                fleet.od_flows.total_trips if fleet is not None else None
+            ),
         )
 
         official = None

@@ -246,6 +246,205 @@ class TestAlertsCommand:
         assert "route=199-0" in capsys.readouterr().out
 
 
+class TestStatsMatchMemoLine:
+    def _document(self, counters):
+        return {"metrics": {"counters": counters, "gauges": {},
+                            "histograms": {}}}
+
+    def test_hit_ratio_line_rendered(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(self._document({
+            "match_cache_hits_total": 30,
+            "match_cache_misses_total": 70,
+        })))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert ("match memo: 100 logical lookups = 70 physical matches "
+                "+ 30 cache hits (30.0% hit-ratio)") in out
+
+    def test_absent_counters_render_no_line(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(self._document({
+            "server_trips_received": 12,
+        })))
+        assert main(["stats", str(path)]) == 0
+        assert "match memo" not in capsys.readouterr().out
+
+    def test_all_miss_document_shows_zero_ratio(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(self._document({
+            "match_cache_hits_total": 0,
+            "match_cache_misses_total": 5,
+        })))
+        assert main(["stats", str(path)]) == 0
+        assert "(0.0% hit-ratio)" in capsys.readouterr().out
+
+
+class TestAlertsNoDataState:
+    """Rules whose metric family is absent report no-data, not health."""
+
+    def _rules(self, tmp_path, rules):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": rules}))
+        return str(path)
+
+    def _doc(self, tmp_path, children):
+        doc = {
+            "metrics": {
+                "counters": {}, "gauges": {}, "histograms": {},
+                "labeled": {
+                    "map_route_freshness_s": {
+                        "type": "gauge", "labels": ["route"],
+                        "overflow_total": 0, "children": children,
+                    },
+                },
+            },
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_no_data_rule_distinct_from_healthy(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "fresh", "expr": "map_route_freshness_s{route=*} < 900"},
+            {"name": "no_ghosts", "expr": "ghost_vehicles{route=*} < 1"},
+        ])
+        metrics = self._doc(tmp_path, {'route="179-0"': 10.0})
+        assert main(["alerts", rules, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "1 rule(s) healthy, 1 no-data" in out
+        assert ("[no-data] no_ghosts: metric 'ghost_vehicles' absent "
+                "from the document") in out
+
+    def test_all_rules_no_data_none_healthy(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "no_ghosts", "expr": "ghost_vehicles{route=*} < 1"},
+        ])
+        metrics = self._doc(tmp_path, {'route="179-0"': 10.0})
+        assert main(["alerts", rules, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "0 rule(s) healthy, 1 no-data" in out
+        assert "[no-data] no_ghosts" in out
+
+    def test_no_data_listed_alongside_firing(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "fresh", "expr": "map_route_freshness_s{route=*} < 900",
+             "severity": "page", "for": 1},
+            {"name": "no_ghosts", "expr": "ghost_vehicles{route=*} < 1"},
+        ])
+        metrics = self._doc(tmp_path, {'route="179-0"': 4000.0})
+        assert main(["alerts", rules, "--metrics", metrics]) == 1
+        out = capsys.readouterr().out
+        assert "1 alert(s) firing" in out
+        assert "[no-data] no_ghosts" in out
+        assert "route=179-0" in out
+
+
+class TestAnalyticsCommand:
+    def _snapshot(self, tmp_path):
+        doc = {
+            "command": "simulate",
+            "metrics": {
+                "counters": {"fleet_od_trips_total": 10},
+                "gauges": {}, "histograms": {},
+                "labeled": {
+                    "headway_seconds": {
+                        "type": "gauge", "labels": ["route", "stop"],
+                        "overflow_total": 0,
+                        "children": {
+                            'route="179-0",stop="1"': 600.0,
+                            'route="179-0",stop="2"': 480.0,
+                            'route="_overflow",stop="_overflow"': 90.0,
+                        },
+                    },
+                    "bunching_rate": {
+                        "type": "gauge", "labels": ["route"],
+                        "overflow_total": 0,
+                        "children": {'route="179-0"': 0.5},
+                    },
+                    "ghost_vehicles": {
+                        "type": "gauge", "labels": ["route"],
+                        "overflow_total": 0,
+                        "children": {'route="179-0"': 0.0,
+                                     'route="199-1"': 2.0},
+                    },
+                    "od_flow_trips": {
+                        "type": "counter", "labels": ["origin", "dest"],
+                        "overflow_total": 3,
+                        "children": {
+                            'origin="1",dest="2"': 7.0,
+                            'origin="_overflow",dest="_overflow"': 3.0,
+                        },
+                    },
+                },
+            },
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_snapshot_report(self, tmp_path, capsys):
+        assert main(["analytics", "--metrics",
+                     self._snapshot(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet health" in out
+        assert "179-0" in out
+        assert "ghost routes: 199-1" in out
+        assert "Top O-D flows" in out
+        # The _overflow cardinality-cap children never become rows.
+        assert "_overflow" not in out
+
+    def test_snapshot_mean_is_mean_of_latest_gaps(self, tmp_path, capsys):
+        assert main(["analytics", "--metrics",
+                     self._snapshot(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # (600 + 480) / 2 = 540 s = 9.0 min for route 179-0.
+        assert "9.0" in out
+
+    def test_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.json"
+        assert main(["analytics", "--metrics", self._snapshot(tmp_path),
+                     "--json-out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["ghost_routes"] == ["199-1"]
+        assert report["od"]["total_trips"] == 10
+        assert report["od"]["overflow_trips"] == 3
+        assert report["od"]["top_flows"][0] == {
+            "origin": "1", "dest": "2", "trips": 7,
+        }
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "does-not-exist.json"
+        assert main(["analytics", "--metrics", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "analytics: cannot read" in err
+        assert "Traceback" not in err
+
+    def test_document_without_fleet_families_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "metrics": {"counters": {"server_trips_received": 4},
+                        "gauges": {}, "histograms": {}, "labeled": {}},
+        }))
+        assert main(["analytics", "--metrics", str(path)]) == 2
+        assert "no fleet-health families" in capsys.readouterr().err
+
+    def test_live_campaign(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.json"
+        assert main([
+            "analytics", "--start", "07:30", "--end", "07:50",
+            "--seed", "3", "--top-flows", "3",
+            "--json-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet health" in out
+        assert "source: campaign 07:30-07:50 seed=3" in out
+        report = json.loads(out_path.read_text())
+        assert report["routes"]
+        assert report["od"]["total_trips"] > 0
+        assert len(report["od"]["top_flows"]) <= 3
+
+
 class TestStatsPromInput:
     def test_renders_prom_document(self, tmp_path, capsys):
         prom = tmp_path / "m.prom"

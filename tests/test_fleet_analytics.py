@@ -1,0 +1,367 @@
+"""Tests for the fleet-health analytics stage (headways, ghosts, O-D)."""
+
+import json
+
+import pytest
+
+from repro.analysis.fleet import (
+    FleetHealthAnalytics,
+    GhostDetector,
+    HeadwayTracker,
+    ODFlowMatrix,
+    excess_wait_s,
+)
+from repro.config import AnalyticsConfig
+from repro.core.trip_mapping import MappedStop, MappedTrip
+from repro.obs import AlertEngine, AlertRule, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def small_world(small_city):
+    from repro.sim.world import World
+
+    return World(city=small_city, seed=3)
+
+
+class _StubRoute:
+    """Just enough of a BusRoute for the analytics stage."""
+
+    def __init__(self, route_id, stations):
+        self.route_id = route_id
+        self._order = {station: i for i, station in enumerate(stations)}
+
+    def station_order(self, station_id):
+        return self._order.get(station_id)
+
+
+class _StubNetwork:
+    def __init__(self, routes):
+        self.routes = routes
+
+
+def _mapped(stop_times):
+    """A MappedTrip visiting (station, arrival) pairs."""
+    return MappedTrip(
+        stops=[
+            MappedStop(station_id=s, arrival_s=t, depart_s=t + 20.0,
+                       cluster_size=3, weight=1.0)
+            for s, t in stop_times
+        ],
+        score=1.0,
+    )
+
+
+class TestHeadwayTracker:
+    def test_first_event_yields_no_headway(self):
+        tracker = HeadwayTracker()
+        assert tracker.observe_arrival("r", 1, 1000.0) == []
+
+    def test_consecutive_events_yield_gaps(self):
+        tracker = HeadwayTracker()
+        tracker.observe_arrival("r", 1, 1000.0)
+        observed = tracker.observe_arrival("r", 1, 1600.0)
+        assert observed == [("r", 1, 600.0, 1600.0)]
+        assert tracker.headways("r", 1) == [600.0]
+
+    def test_same_bus_seen_by_second_rider_deduplicates(self):
+        tracker = HeadwayTracker(AnalyticsConfig(arrival_dedup_s=120.0))
+        tracker.observe_arrival("r", 1, 1000.0)
+        assert tracker.observe_arrival("r", 1, 1090.0) == []
+        assert len(tracker) == 1
+
+    def test_late_upload_splits_known_gap(self):
+        tracker = HeadwayTracker()
+        tracker.observe_arrival("r", 1, 1000.0)
+        tracker.observe_arrival("r", 1, 2200.0)
+        observed = tracker.observe_arrival("r", 1, 1600.0)
+        # Both halves of the split interval are emitted for the windows.
+        assert ("r", 1, 600.0, 1600.0) in observed
+        assert ("r", 1, 600.0, 2200.0) in observed
+        assert tracker.headways("r", 1) == [600.0, 600.0]
+
+    def test_event_lists_are_bounded(self):
+        tracker = HeadwayTracker(AnalyticsConfig(max_arrivals_per_stop=8))
+        for i in range(40):
+            tracker.observe_arrival("r", 1, 1000.0 * i)
+        assert len(tracker) == 8
+
+    def test_route_summary_bunching_and_ewt(self):
+        config = AnalyticsConfig(bunching_factor=0.5, arrival_dedup_s=50.0)
+        tracker = HeadwayTracker(config, scheduled_headway_s=600.0)
+        # Gaps at stop 1: 100 (bunched, < 300), 500, 600.
+        for t in (0.0, 100.0, 600.0, 1200.0):
+            tracker.observe_arrival("r", 1, t)
+        summary = tracker.route_summary("r")
+        assert summary["bus_events"] == 4
+        assert summary["headways"] == 3
+        assert summary["mean_headway_s"] == pytest.approx(400.0)
+        assert summary["bunching_rate"] == pytest.approx(1 / 3)
+        # Observed service (mean 400 s) beats the 600 s timetable, so
+        # EWT clamps to zero rather than going negative.
+        assert summary["excess_wait_s"] == 0.0
+
+    def test_summary_ignores_other_routes(self):
+        tracker = HeadwayTracker()
+        tracker.observe_arrival("a", 1, 0.0)
+        tracker.observe_arrival("a", 1, 500.0)
+        tracker.observe_arrival("b", 1, 0.0)
+        assert tracker.route_summary("b")["headways"] == 0
+
+    def test_reset(self):
+        tracker = HeadwayTracker()
+        tracker.observe_arrival("r", 1, 0.0)
+        tracker.reset()
+        assert len(tracker) == 0
+        assert tracker.routes() == []
+
+
+class TestExcessWait:
+    def test_even_service_has_no_excess(self):
+        # Perfectly even 600 s headways: E[H²]/2E[H] = 300 = H_sched/2.
+        assert excess_wait_s(600.0, 600.0**2, 600.0) == 0.0
+
+    def test_uneven_service_pays(self):
+        # Alternating 200/1000 s: mean 600, E[H²] = (200²+1000²)/2.
+        second = (200.0**2 + 1000.0**2) / 2
+        expected = second / (2 * 600.0) - 300.0
+        assert excess_wait_s(600.0, second, 600.0) == pytest.approx(expected)
+        assert expected > 0
+
+    def test_no_data_is_zero(self):
+        assert excess_wait_s(0.0, 0.0, 600.0) == 0.0
+
+
+class TestGhostDetector:
+    def _detector(self, **kwargs):
+        config = AnalyticsConfig(**kwargs)
+        return GhostDetector({"r": None}, config, scheduled_headway_s=600.0)
+
+    def test_never_observed_route_ages_from_first_tick(self):
+        ghosts = self._detector(ghost_staleness_factor=2.0)
+        ghosts.observe_tick(1000.0)
+        status = ghosts.assess_route("r", 1000.0)
+        assert status["ghost_vehicles"] == 0
+        status = ghosts.assess_route("r", 1000.0 + 3 * 600.0)
+        assert status["staleness_score"] >= 1.0
+        assert status["ghost_vehicles"] == 3
+
+    def test_observed_route_is_healthy(self):
+        ghosts = self._detector()
+        ghosts.observe_tick(0.0)
+        ghosts.observe_event("r", 900.0)
+        status = ghosts.assess_route("r", 1000.0)
+        assert status["ghost_vehicles"] == 0
+        assert status["last_seen_age_s"] == pytest.approx(100.0)
+
+    def test_ghost_count_capped(self):
+        ghosts = self._detector(max_ghosts_per_route=12)
+        ghosts.observe_tick(0.0)
+        status = ghosts.assess_route("r", 600.0 * 1000)
+        assert status["ghost_vehicles"] == 12
+
+    def test_event_resolves_ghosts(self):
+        ghosts = self._detector()
+        ghosts.observe_tick(0.0)
+        assert ghosts.ghost_routes(3 * 600.0) == ["r"]
+        ghosts.observe_event("r", 3 * 600.0)
+        assert ghosts.ghost_routes(3 * 600.0 + 1.0) == []
+
+
+class TestODFlowMatrix:
+    def test_counts_trips(self):
+        od = ODFlowMatrix()
+        od.observe_trip(1, 2)
+        od.observe_trip(1, 2)
+        od.observe_trip(2, 3)
+        assert od.trips(1, 2) == 2
+        assert od.total_trips == 3
+        assert len(od) == 2
+
+    def test_top_flows_deterministic_order(self):
+        od = ODFlowMatrix()
+        od.observe_trip(5, 6)
+        od.observe_trip(1, 2)
+        od.observe_trip(1, 2)
+        od.observe_trip(3, 4)
+        assert od.top_flows(3) == [(1, 2, 2), (3, 4, 1), (5, 6, 1)]
+
+    def test_overflow_bucket_bounds_matrix(self):
+        od = ODFlowMatrix(AnalyticsConfig(max_od_pairs=2))
+        od.observe_trip(1, 2)
+        od.observe_trip(3, 4)
+        assert od.observe_trip(5, 6) is False
+        # An already-tracked pair still counts exactly.
+        assert od.observe_trip(1, 2) is True
+        assert len(od) == 2
+        assert od.overflow_trips == 1
+        assert od.total_trips == 4
+        doc = od.as_dict()
+        assert doc["overflow_trips"] == 1
+        assert doc["total_trips"] == 4
+
+
+class TestFleetHealthAnalytics:
+    def _stage(self, registry=None, **kwargs):
+        network = _StubNetwork([
+            _StubRoute("r1", [1, 2, 3]),
+            _StubRoute("r2", [7, 8, 9]),
+        ])
+        config = AnalyticsConfig(**kwargs)
+        return FleetHealthAnalytics(
+            network, config, scheduled_headway_s=600.0, registry=registry,
+        )
+
+    def test_trip_feeds_headways_ghosts_and_od(self):
+        stage = self._stage()
+        stage.observe_trip(_mapped([(1, 100.0), (2, 200.0), (3, 300.0)]),
+                           "r1")
+        stage.observe_trip(_mapped([(1, 700.0), (2, 800.0), (3, 900.0)]),
+                           "r1")
+        report = stage.report(1000.0)
+        row = report["routes"]["r1"]
+        assert row["bus_events"] == 6
+        assert row["headways"] == 3
+        assert row["mean_headway_s"] == pytest.approx(600.0)
+        assert report["od"]["total_trips"] == 2
+        assert report["od"]["top_flows"][0] == {
+            "origin": 1, "dest": 3, "trips": 2
+        }
+
+    def test_stops_off_the_route_are_skipped(self):
+        stage = self._stage()
+        # Stop 7 belongs to r2; only 1 and 2 count for r1's headways.
+        stage.observe_trip(_mapped([(1, 100.0), (7, 150.0), (2, 200.0)]),
+                           "r1")
+        assert stage.report(300.0)["routes"]["r1"]["bus_events"] == 2
+
+    def test_unattributed_trip_still_counts_od(self):
+        stage = self._stage()
+        stage.observe_trip(_mapped([(1, 100.0), (3, 300.0)]), None)
+        report = stage.report(400.0)
+        assert report["od"]["total_trips"] == 1
+        assert report["routes"]["r1"]["bus_events"] == 0
+
+    def test_registry_families_exported(self):
+        registry = MetricsRegistry()
+        stage = self._stage(registry=registry)
+        stage.observe_trip(_mapped([(1, 100.0), (2, 200.0)]), "r1")
+        stage.observe_trip(_mapped([(1, 700.0), (2, 800.0)]), "r1")
+        stage.observe_publish(900.0)
+        doc = registry.as_dict()
+        assert doc["counters"]["fleet_od_trips_total"] == 2
+        assert doc["counters"]["fleet_bus_events_total"] == 4
+        labeled = doc["labeled"]
+        assert 'route="r1",stop="1"' in labeled["headway_seconds"]["children"]
+        assert 'route="r1"' in labeled["bunching_rate"]["children"]
+        assert 'route="r2"' in labeled["ghost_vehicles"]["children"]
+        assert 'origin="1",dest="2"' in labeled["od_flow_trips"]["children"]
+
+    def test_null_registry_still_serves_samples(self):
+        stage = self._stage()
+        stage.observe_trip(_mapped([(1, 100.0), (2, 200.0)]), "r1")
+        stage.observe_trip(_mapped([(1, 700.0), (2, 800.0)]), "r1")
+        names = {name for name, _, _ in stage.samples(900.0)}
+        assert names == {
+            "ghost_vehicles", "ghost_last_seen_seconds",
+            "bunching_rate", "excess_wait_seconds",
+        }
+
+    def test_bind_schedule_rebuilds_bunching_threshold(self):
+        stage = self._stage(bunching_factor=0.25)
+        assert stage.headways.bunching_threshold_s == pytest.approx(150.0)
+        stage.bind_schedule(1200.0)
+        assert stage.headways.bunching_threshold_s == pytest.approx(300.0)
+        assert stage.ghosts.scheduled_headway_s == 1200.0
+        with pytest.raises(ValueError):
+            stage.bind_schedule(0.0)
+
+    def test_report_renders_at_last_publish_when_unclocked(self):
+        stage = self._stage()
+        stage.observe_trip(_mapped([(1, 100.0), (2, 200.0)]), "r1")
+        stage.observe_publish(500.0)
+        assert stage.report()["at_s"] == 500.0
+
+    def test_reset_forgets_everything(self):
+        stage = self._stage()
+        stage.observe_trip(_mapped([(1, 100.0), (2, 200.0)]), "r1")
+        stage.reset()
+        report = stage.report(900.0)
+        assert report["routes"]["r1"]["bus_events"] == 0
+        assert report["od"]["total_trips"] == 0
+
+    def test_ghost_alert_fires_and_resolves(self):
+        """The shipped ghost rule goes through a full fired→resolved cycle."""
+        stage = self._stage()
+        engine = AlertEngine([
+            AlertRule(name="no_ghost_buses",
+                      expr="ghost_vehicles{route=*} < 1"),
+        ])
+        stage.observe_trip(_mapped([(1, 0.0), (2, 100.0)]), "r1")
+        stage.observe_trip(_mapped([(1, 600.0), (2, 700.0)]), "r1")
+        transitions = engine.evaluate(stage.samples(800.0), now=800.0)
+        assert transitions == []
+
+        # Nothing seen on r1 for several scheduled headways: fired.
+        stale_at = 700.0 + 4 * 600.0
+        transitions = engine.evaluate(stage.samples(stale_at), now=stale_at)
+        fired = [t for t in transitions
+                 if t.fired and t.label_dict().get("route") == "r1"]
+        assert fired and fired[0].rule == "no_ghost_buses"
+
+        # A fresh sighting brings the route back: resolved.
+        stage.observe_trip(_mapped([(1, stale_at), (2, stale_at + 90.0)]),
+                           "r1")
+        transitions = engine.evaluate(
+            stage.samples(stale_at + 120.0), now=stale_at + 120.0
+        )
+        resolved = [t for t in transitions
+                    if not t.fired and t.label_dict().get("route") == "r1"]
+        assert resolved and resolved[0].rule == "no_ghost_buses"
+
+
+class TestServerIntegration:
+    @pytest.fixture(scope="class")
+    def sim(self, small_world):
+        result = small_world.run(7 * 3600.0, 8 * 3600.0,
+                                 with_official_feed=False)
+        return small_world, result
+
+    def test_backend_builds_the_stage_by_default(self, sim):
+        world, _ = sim
+        assert world.server.analytics is not None
+
+    def test_campaign_produces_fleet_products(self, sim):
+        world, result = sim
+        report = world.server.analytics.report(result.end_s)
+        assert any(
+            row["bus_events"] > 0 for row in report["routes"].values()
+        )
+        assert report["od"]["total_trips"] > 0
+
+    def test_alert_samples_include_fleet_indicators(self, sim):
+        world, result = sim
+        names = {n for n, _, _ in world.server.alert_samples(result.end_s)}
+        assert "ghost_vehicles" in names
+        assert "bunching_rate" in names
+        assert "excess_wait_seconds" in names
+
+    def test_report_is_json_serializable(self, sim):
+        world, result = sim
+        json.dumps(world.server.analytics.report(result.end_s))
+
+    def test_disabled_stage_costs_one_none_check(self, small_world):
+        import dataclasses
+
+        from repro.core.server import BackendServer
+
+        config = dataclasses.replace(
+            small_world.config, analytics=AnalyticsConfig(enabled=False)
+        )
+        server = BackendServer(
+            small_world.city.network,
+            small_world.city.route_network,
+            small_world.database,
+            config,
+        )
+        assert server.analytics is None
+        server.publish(0.0)             # must not trip on the None stage

@@ -346,6 +346,88 @@ class TestParsePrometheusIngestFamilies:
         )
 
 
+class TestParsePrometheusFleetFamilies:
+    """parse_prometheus_text round-trips the high-cardinality fleet
+    families — ``headway_seconds{route,stop}`` and
+    ``od_flow_trips{origin,dest}`` — including the shared ``_overflow``
+    child a capped family degrades into."""
+
+    @staticmethod
+    def _fleet_registry():
+        from repro.obs.labels import OVERFLOW_LABEL_VALUE  # noqa: F401
+
+        registry = MetricsRegistry()
+        headway = registry.labeled_gauge(
+            "headway_seconds", ("route", "stop"), max_children=4
+        )
+        for stop in range(4):
+            headway.labels("179-0", str(stop)).set(600.0 + stop)
+        # Beyond the cap: both land in the shared _overflow child.
+        headway.labels("199-1", "9").set(120.0)
+        headway.labels("199-1", "10").set(130.0)
+        od = registry.labeled_counter(
+            "od_flow_trips", ("origin", "dest"), max_children=3
+        )
+        od.labels("1", "2").inc(5)
+        od.labels("1", "3").inc(2)
+        od.labels("2", "3").inc(1)
+        od.labels("7", "8").inc(4)         # overflow
+        registry.labeled_gauge("bunching_rate", ("route",)).labels(
+            "179-0"
+        ).set(0.25)
+        return registry
+
+    def test_labeled_children_round_trip(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        families = parse_prometheus_text(
+            self._fleet_registry().render_prometheus()
+        )
+        assert families["headway_seconds"]["type"] == "gauge"
+        assert families["od_flow_trips"]["type"] == "counter"
+        assert families["bunching_rate"]["type"] == "gauge"
+
+        headways = {
+            (labels["route"], labels["stop"]): value
+            for _, labels, value in families["headway_seconds"]["samples"]
+        }
+        assert headways[("179-0", "0")] == 600.0
+        assert headways[("179-0", "3")] == 603.0
+        flows = {
+            (labels["origin"], labels["dest"]): value
+            for _, labels, value in families["od_flow_trips"]["samples"]
+        }
+        assert flows[("1", "2")] == 5
+        assert flows[("2", "3")] == 1
+        assert families["bunching_rate"]["samples"] == [
+            ("bunching_rate", {"route": "179-0"}, 0.25)
+        ]
+
+    def test_overflow_child_survives_the_round_trip(self):
+        from repro.obs.labels import OVERFLOW_LABEL_VALUE
+        from repro.obs.metrics import parse_prometheus_text
+
+        families = parse_prometheus_text(
+            self._fleet_registry().render_prometheus()
+        )
+        overflow_key = (OVERFLOW_LABEL_VALUE, OVERFLOW_LABEL_VALUE)
+        headways = {
+            (labels["route"], labels["stop"]): value
+            for _, labels, value in families["headway_seconds"]["samples"]
+        }
+        # Gauge overflow keeps the latest write beyond the cap.
+        assert headways[overflow_key] == 130.0
+        flows = {
+            (labels["origin"], labels["dest"]): value
+            for _, labels, value in families["od_flow_trips"]["samples"]
+        }
+        # Counter overflow accumulates every capped increment.
+        assert flows[overflow_key] == 4
+        # The capped identities themselves are NOT exported as children.
+        assert ("199-1", "9") not in headways
+        assert ("7", "8") not in flows
+
+
 class TestTracer:
     def test_nested_spans_aggregate_by_name(self):
         tracer = Tracer()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import SlidingWindowCounter, WindowSet
+from repro.obs import SlidingWindowCounter, SlidingWindowStats, WindowSet
 
 
 class TestSlidingWindowCounter:
@@ -51,6 +51,71 @@ class TestSlidingWindowCounter:
             SlidingWindowCounter(buckets=0)
 
 
+class TestSlidingWindowStats:
+    def test_moments_over_live_window(self):
+        win = SlidingWindowStats(window_s=300.0, buckets=30)
+        for value in (100.0, 200.0, 300.0):
+            win.add(value, now=50.0)
+        stats = win.stats(now=100.0)
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(200.0)
+        assert stats["second_moment"] == pytest.approx(
+            (100.0**2 + 200.0**2 + 300.0**2) / 3
+        )
+        assert stats["min"] == 100.0
+        assert stats["max"] == 300.0
+
+    def test_below_threshold_counting(self):
+        win = SlidingWindowStats(window_s=100.0, buckets=10,
+                                 mark_below=150.0)
+        win.add(100.0, now=10.0)
+        win.add(200.0, now=10.0)
+        win.add(149.9, now=20.0)
+        stats = win.stats(now=30.0)
+        assert stats["below"] == 2
+        assert stats["below_rate"] == pytest.approx(2 / 3)
+
+    def test_no_threshold_never_marks_below(self):
+        win = SlidingWindowStats(window_s=100.0, buckets=10)
+        win.add(1.0, now=0.0)
+        assert win.stats(now=1.0)["below_rate"] == 0.0
+
+    def test_observations_age_out(self):
+        win = SlidingWindowStats(window_s=300.0, buckets=30)
+        win.add(42.0, now=0.0)
+        assert win.stats(now=100.0)["count"] == 1
+        assert win.stats(now=311.0)["count"] == 0
+        assert win.stats(now=311.0)["mean"] == 0.0
+
+    def test_slot_reuse_zeroes_stale_moments(self):
+        win = SlidingWindowStats(window_s=10.0, buckets=2)
+        win.add(7.0, now=1.0)
+        win.add(1.0, now=11.0)       # same ring slot, one revolution later
+        stats = win.stats(now=12.0)
+        assert stats["count"] == 1
+        assert stats["sum"] == 1.0
+
+    def test_total_and_count_hooks(self):
+        win = SlidingWindowStats(window_s=100.0, buckets=10)
+        win.add(2.5, now=0.0)
+        win.add(3.5, now=1.0)
+        assert win.total(now=10.0) == pytest.approx(6.0)
+        assert win.count(now=10.0) == 2
+
+    def test_reset_keeps_threshold(self):
+        win = SlidingWindowStats(window_s=100.0, buckets=10, mark_below=5.0)
+        win.add(1.0, now=0.0)
+        win.reset()
+        assert win.stats(now=1.0)["count"] == 0
+        assert win.mark_below == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowStats(window_s=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowStats(buckets=0)
+
+
 class TestWindowSet:
     def test_series_keyed_by_name_and_labels(self):
         ws = WindowSet(window_s=100.0, buckets=10)
@@ -82,3 +147,16 @@ class TestWindowSet:
         ws.add("uploads", 4, now=0.0)
         ws.reset()
         assert ws.totals(now=1.0) == {"uploads": 0.0}
+
+    def test_factory_builds_custom_reducers(self):
+        ws = WindowSet(
+            window_s=100.0, buckets=10,
+            factory=lambda w, b: SlidingWindowStats(w, b, mark_below=50.0),
+        )
+        win = ws.window("headways", route="179-0")
+        assert isinstance(win, SlidingWindowStats)
+        ws.add("headways", 30.0, now=0.0, route="179-0")
+        ws.add("headways", 80.0, now=0.0, route="179-0")
+        assert win.stats(now=1.0)["below"] == 1
+        # The set's export hooks still work through the custom reducer.
+        assert ws.totals(now=1.0)['headways{route="179-0"}'] == 110.0
