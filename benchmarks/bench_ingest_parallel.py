@@ -8,6 +8,13 @@ canonical testkit trace and required byte-identical to the serial
 run's before its time counts, so the table can't quietly trade
 correctness for speed.
 
+A final traced pass (span retention on, workers=2) breaks the wall
+down into the IPC cost centres the tracer accounts for — fingerprint
+broadcast, shard pickle serialize/deserialize with byte counts, pool
+queue wait, result wait and merge — plus a per-worker
+queue-wait/deserialize/compute split, so a flat speedup curve can be
+read against where the time actually went.
+
 The speedup column is only meaningful on a multi-core host; the report
 records the machine's core count next to it.
 
@@ -23,6 +30,7 @@ import time
 
 from repro.core.ingest import IngestEngine
 from repro.core.server import BackendServer
+from repro.obs import SamplingPolicy, Tracer
 from repro.sim.world import World
 from repro.testkit import diff_traces, render_trace, trace_from_server
 from repro.util.units import parse_hhmm
@@ -31,14 +39,17 @@ from conftest import report
 
 REPEATS = 3
 WORKER_COUNTS = (1, 2, 4, 8)
+#: Pool size of the traced IPC-attribution pass.
+BREAKDOWN_WORKERS = 2
 
 
-def _fresh_server(world: World) -> BackendServer:
+def _fresh_server(world: World, tracer=None) -> BackendServer:
     return BackendServer(
         world.city.network,
         world.city.route_network,
         world.database,
         world.config,
+        tracer=tracer,
     )
 
 
@@ -78,6 +89,53 @@ def _best_time(world: World, uploads, workers: int, baseline_trace):
     return best, trace
 
 
+def _ipc_breakdown(world: World, uploads) -> list:
+    """One traced parallel pass: where the dispatch wall actually goes."""
+    tracer = Tracer(SamplingPolicy())
+    server = _fresh_server(world, tracer=tracer)
+    with IngestEngine.for_server(server, workers=BREAKDOWN_WORKERS) as engine:
+        server.ingest_many(uploads, engine=engine)
+    records = tracer.records()
+
+    def total(name, *, worker=None):
+        return sum(
+            r.duration_s for r in records
+            if r.name == name and r.worker == worker
+        )
+
+    def bytes_of(name):
+        return sum(
+            r.attrs.get("bytes", 0) for r in records if r.name == name
+        )
+
+    rows = [
+        "",
+        f"IPC cost attribution (traced pass, workers={BREAKDOWN_WORKERS}):",
+        f"  fingerprint broadcast   {total('fingerprint_broadcast') * 1e3:8.1f} ms"
+        f"   {bytes_of('fingerprint_broadcast') / 1e6:6.2f} MB",
+        f"  shard serialize         {total('shard_serialize') * 1e3:8.1f} ms"
+        f"   {bytes_of('shard_serialize') / 1e6:6.2f} MB",
+        f"  pool result wait        {total('pool_result_wait') * 1e3:8.1f} ms",
+        f"  result merge            {total('result_merge') * 1e3:8.1f} ms",
+        "",
+        f"  {'worker':>18} {'queue-wait':>11} {'deserialize':>12} "
+        f"{'compute':>9}",
+    ]
+    workers = sorted({r.worker for r in records if r.worker})
+    for worker in workers:
+        compute = sum(
+            r.duration_s for r in records
+            if r.worker == worker and r.name == "prepare_trip"
+        )
+        rows.append(
+            f"  {worker:>18} "
+            f"{total('pool_queue_wait', worker=worker) * 1e3:>8.1f} ms "
+            f"{total('shard_deserialize', worker=worker) * 1e3:>9.1f} ms "
+            f"{compute * 1e3:>6.1f} ms"
+        )
+    return rows
+
+
 def run() -> str:
     world = World(seed=7)
     result = world.run(parse_hhmm("07:00"), parse_hhmm("10:00"),
@@ -98,6 +156,7 @@ def run() -> str:
             f"{len(uploads) / elapsed:>9.0f} {serial_s / elapsed:>7.2f}x"
         )
     rows.append("trace parity       byte-identical at every worker count")
+    rows.extend(_ipc_breakdown(world, uploads))
     return "\n".join(rows)
 
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI trace smoke: traced parallel campaign → Chrome trace-event checks.
+
+Runs a tiny two-worker campaign with ``--trace-out``, then asserts the
+exported document is a well-formed Chrome trace-event file (required
+keys, monotonic timestamps, matched B/E or X events via
+:func:`validate_chrome_trace`), that every IPC accounting span the
+tracer promises is present, that worker spans stitched into the
+coordinator's trace, and that ``repro trace`` renders a summary with
+the IPC-vs-compute split.  The trace lands in
+``benchmarks/reports/trace_smoke.json`` for CI to upload — load it in
+Perfetto / ``chrome://tracing`` to eyeball a failing run.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main                                # noqa: E402
+from repro.obs import (                                   # noqa: E402
+    summarize_chrome_trace,
+    validate_chrome_trace,
+)
+
+TRACE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "reports",
+    "trace_smoke.json",
+)
+
+#: Spans the engine must account for on a parallel traced run.
+REQUIRED_SPANS = {
+    "ingest",
+    "prepare_trip",
+    "ingest_merge",
+    "fingerprint_broadcast",
+    "shard_serialize",
+    "shard_deserialize",
+    "pool_queue_wait",
+    "pool_result_wait",
+    "result_merge",
+    "matching",
+}
+
+
+def run_campaign() -> None:
+    os.makedirs(os.path.dirname(TRACE_PATH), exist_ok=True)
+    code = main([
+        "campaign",
+        "--sparse-days", "1", "--intensive-days", "0",
+        "--start", "07:30", "--end", "08:00",
+        "--workers", "2",
+        "--trace-out", TRACE_PATH,
+    ])
+    assert code == 0, f"traced campaign exited {code}"
+
+
+def check_document() -> dict:
+    with open(TRACE_PATH, encoding="utf-8") as handle:
+        document = json.load(handle)
+
+    problems = validate_chrome_trace(document)
+    assert not problems, "trace schema problems:\n  " + "\n  ".join(problems)
+
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert events, "trace contains no complete (X) events"
+    names = {e["name"] for e in events}
+    missing = REQUIRED_SPANS - names
+    assert not missing, f"accounting spans missing: {sorted(missing)}"
+
+    # Worker spans joined the coordinator's trace with a worker label.
+    workers = {
+        e["args"].get("worker") for e in events if e["args"].get("worker")
+    }
+    assert workers, "no spans carry a worker label"
+    trace_ids = {e["args"]["trace_id"] for e in events}
+    assert len(trace_ids) == 1, f"split traces: {sorted(trace_ids)}"
+
+    # Serialization accounting carries byte counts.
+    serialized = [e for e in events if e["name"] == "shard_serialize"]
+    assert all(e["args"].get("bytes", 0) > 0 for e in serialized), serialized
+
+    return document
+
+
+def check_summary(document: dict) -> None:
+    summary = summarize_chrome_trace(document)
+    assert summary["coordinator_coverage"] >= 0.95, (
+        f"named spans cover only {summary['coordinator_coverage']:.1%} "
+        "of the coordinator wall"
+    )
+    assert summary["ipc_s"] > 0, summary
+    assert summary["compute_s"] > 0, summary
+    # And the CLI renders it (also exercises the validate path).
+    assert main(["trace", "--validate", TRACE_PATH]) == 0
+    assert main(["trace", "--summary", TRACE_PATH]) == 0
+
+
+def main_smoke() -> int:
+    run_campaign()
+    document = check_document()
+    check_summary(document)
+    events = len(document["traceEvents"])
+    print(f"trace smoke OK: {events} events, "
+          f"all {len(REQUIRED_SPANS)} accounting spans present; "
+          f"wrote {TRACE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

@@ -21,9 +21,15 @@ accept ``--metrics-out FILE`` to dump pipeline counters, histograms and
 per-stage span timings (JSON, or Prometheus text when FILE ends in
 ``.prom``); ``repro stats`` renders either format back.  ``repro
 simulate --serve-metrics PORT`` runs an embedded HTTP exporter
-(``/metrics``, ``/healthz``, ``/stats``, ``/freshness``, ``/fleet``)
-next to the campaign, and ``--alert-rules FILE`` evaluates declarative
-SLO rules on every publish tick.
+(``/metrics``, ``/healthz``, ``/stats``, ``/freshness``, ``/fleet``,
+``/trace``) next to the campaign, and ``--alert-rules FILE`` evaluates
+declarative SLO rules on every publish tick.
+
+Tracing: ``simulate``/``campaign`` accept ``--trace-out FILE`` to retain
+causal span records (head sampling via ``--trace-sample``, slowest-N
+tail exemplars via ``--trace-exemplars``) and export them as Chrome
+trace-event JSON — load the file in Perfetto or ``chrome://tracing``,
+or run ``repro trace FILE`` for a terminal IPC-vs-compute breakdown.
 """
 
 from __future__ import annotations
@@ -95,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--alert-rules", default=None, metavar="FILE",
                           help="evaluate this JSON SLO rule file on every "
                                "publish tick")
+    _add_trace_flags(simulate)
 
     process = sub.add_parser("process", help="re-run the backend on stored trips")
     process.add_argument("--db", required=True, help="fingerprint database JSON")
@@ -125,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--alert-rules", default=None, metavar="FILE",
                           help="evaluate this JSON SLO rule file on every "
                                "publish tick")
+    _add_trace_flags(campaign)
 
     sub.add_parser("power", help="print the Table III power model")
 
@@ -134,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("metrics",
                        help="metrics document written by --metrics-out "
                             "(JSON, or Prometheus text for *.prom)")
+    stats.add_argument("--slow-trip-ms", type=float, default=None,
+                       metavar="MS",
+                       help="print a tracing hint when a slow-trip exemplar "
+                            "exceeds this duration (default: config)")
 
     alerts = sub.add_parser(
         "alerts", help="lint an SLO rule file; evaluate it against metrics"
@@ -142,6 +154,26 @@ def build_parser() -> argparse.ArgumentParser:
     alerts.add_argument("--metrics", default=None,
                         help="evaluate the rules against this --metrics-out "
                              "document (JSON or *.prom); exit 1 if any fire")
+    alerts.add_argument("--slow-trip-ms", type=float, default=None,
+                        metavar="MS",
+                        help="print a tracing hint when a slow-trip exemplar "
+                             "in the metrics document exceeds this duration "
+                             "(default: config)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize / validate a --trace-out Chrome trace-event file",
+    )
+    trace.add_argument("trace", help="trace JSON written by --trace-out "
+                                     "(or fetched from /trace)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print the IPC-vs-compute breakdown (the "
+                            "default output; kept explicit for scripts)")
+    trace.add_argument("--validate", action="store_true",
+                       help="only check the trace-event schema; exit 1 on "
+                            "problems, print nothing else")
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest keyed spans shown (default: 5)")
 
     analytics = sub.add_parser(
         "analytics",
@@ -209,6 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_trace_flags(command: argparse.ArgumentParser) -> None:
+    """Span-retention flags shared by ``simulate`` and ``campaign``."""
+    command.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="retain span records and write them as Chrome "
+                              "trace-event JSON (load in Perfetto / "
+                              "chrome://tracing, or `repro trace FILE`)")
+    command.add_argument("--trace-sample", type=float, default=None,
+                         metavar="RATE",
+                         help="head-sampling rate for per-trip spans, 0..1 "
+                              "(default: config; deterministic per trip key)")
+    command.add_argument("--trace-exemplars", type=int, default=None,
+                         metavar="N",
+                         help="always keep the N slowest trips regardless "
+                              "of sampling (default: config)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -226,17 +274,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         "alerts": _cmd_alerts,
         "analytics": _cmd_analytics,
         "conformance": _cmd_conformance,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 
 
-def _observability_for(tracing: bool):
-    """A (registry, tracer) pair: the tracer records when asked to."""
+def _observability_for(tracing: bool, policy=None):
+    """A (registry, tracer) pair: the tracer records when asked to.
+
+    With a :class:`~repro.obs.tracing.SamplingPolicy` the tracer also
+    retains span records for Chrome trace-event export; with plain
+    ``tracing=True`` it aggregates per-stage timings only; otherwise the
+    no-op :data:`NULL_TRACER` keeps the hot path free.
+    """
     from repro.obs import MetricsRegistry, NULL_TRACER, Tracer
 
+    if policy is not None:
+        return MetricsRegistry(), Tracer(policy)
     if tracing:
         return MetricsRegistry(), Tracer()
     return MetricsRegistry(), NULL_TRACER
+
+
+def _trace_policy(args) -> Optional[object]:
+    """The SamplingPolicy for this run, or None when retention is off."""
+    from repro.config import DEFAULT_CONFIG
+
+    defaults = DEFAULT_CONFIG.tracing
+    if not getattr(args, "trace_out", None) and not defaults.enabled:
+        return None
+    from repro.obs import SamplingPolicy
+
+    return SamplingPolicy(
+        head_rate=(
+            args.trace_sample if args.trace_sample is not None
+            else defaults.head_sample_rate
+        ),
+        slow_exemplars=(
+            args.trace_exemplars if args.trace_exemplars is not None
+            else defaults.slow_exemplars
+        ),
+        seed=defaults.sample_seed,
+        max_spans_per_trace=defaults.max_spans_per_trace,
+        max_records=defaults.max_records,
+    )
+
+
+def _write_trace(path: str, tracer) -> None:
+    """Dump the retained spans as a Chrome trace-event JSON file."""
+    document = tracer.chrome_trace()
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(document, out)
+    events = len(document.get("traceEvents", []))
+    dropped = getattr(tracer, "records_dropped", 0)
+    dropped_note = f" ({dropped} dropped by caps)" if dropped else ""
+    print(f"wrote {events} trace events -> {path}{dropped_note}")
+    print(f"  view: load {path} in Perfetto (ui.perfetto.dev) or "
+          f"chrome://tracing; summarize: repro trace {path}")
 
 
 def _alert_engine_for(path: Optional[str], registry, server):
@@ -281,8 +375,14 @@ def _write_metrics(path: str, command: str, server, registry, tracer) -> None:
             "command": command,
             "stats": server.stats.as_dict(),
             "stages": tracer.stage_stats(),
+            # Denominator for the stats "% of wall" column: wall seconds
+            # under the tracer's top-level spans.  0.0 when untraced.
+            "wall_s": getattr(tracer, "wall_s", 0.0),
             "metrics": registry.as_dict(),
         }
+        exemplars = tracer.exemplar_summaries()
+        if exemplars:
+            document["exemplars"] = exemplars
         with open(path, "w", encoding="utf-8") as out:
             json.dump(document, out, indent=2)
     print(f"wrote pipeline metrics -> {path}")
@@ -317,7 +417,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.wire import dump_trips, snapshot_to_geojson
 
     registry, tracer = _observability_for(
-        bool(args.metrics_out) or args.serve_metrics is not None
+        bool(args.metrics_out) or args.serve_metrics is not None,
+        policy=_trace_policy(args),
     )
     world = World(seed=args.seed, registry=registry, tracer=tracer)
     server = world.server
@@ -340,6 +441,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             fleet_fn=(
                 server.analytics.report
                 if server.analytics is not None else None
+            ),
+            trace_fn=(
+                tracer.chrome_trace
+                if getattr(tracer, "retaining", False) else None
             ),
         )
         port = exporter.start()
@@ -371,6 +476,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"wrote {len(result.uploads)} uploads -> {args.trips_out}")
         if args.metrics_out:
             _write_metrics(args.metrics_out, "simulate", server, registry, tracer)
+        if args.trace_out:
+            _write_trace(args.trace_out, tracer)
         if exporter is not None and args.serve_hold > 0:
             import time
 
@@ -510,6 +617,30 @@ def _match_memo_line(counters: dict) -> Optional[str]:
             f"matches + {hits} cache hits ({100 * ratio:.1f}% hit-ratio)")
 
 
+def _slow_trip_hint(document: dict, threshold_ms: Optional[float]) -> Optional[str]:
+    """A one-line tracing pointer when slow-trip exemplars breach the bar.
+
+    Exemplars land in the metrics document only for runs that retained
+    spans, so the hint surfaces latency outliers in the operator
+    surfaces (``stats`` / ``alerts``) without anyone asking for them.
+    """
+    if threshold_ms is None:
+        from repro.config import DEFAULT_CONFIG
+
+        threshold_ms = DEFAULT_CONFIG.tracing.slow_trip_hint_ms
+    exemplars = document.get("exemplars") or []
+    slow = [
+        e for e in exemplars
+        if 1e3 * e.get("duration_s", 0.0) >= threshold_ms
+    ]
+    if not slow:
+        return None
+    worst = max(e.get("duration_s", 0.0) for e in slow)
+    return (f"hint: {len(slow)} slow-trip exemplar(s) over {threshold_ms:g} ms "
+            f"(worst {1e3 * worst:.1f} ms) — re-run with --trace-out "
+            f"trace.json and inspect with `repro trace --summary trace.json`")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.reporting import render_table
 
@@ -544,22 +675,60 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     stages = document.get("stages", {})
     if stages:
+        # Wall seconds under the tracer's top-level spans; absorbed
+        # worker stages ran concurrently, so their shares can sum past
+        # 100% — that's parallelism, not an accounting error.
+        wall_s = document.get("wall_s", 0.0)
         rows = []
         for name, timing in sorted(
             stages.items(), key=lambda kv: -kv[1].get("total_s", 0.0)
         ):
+            total_s = timing.get("total_s", 0.0)
+            share = (
+                f"{100 * total_s / wall_s:.1f}%" if wall_s > 0 else "-"
+            )
             rows.append([
                 name,
                 timing.get("count", 0),
-                f"{1e3 * timing.get('total_s', 0.0):.1f}",
+                f"{1e3 * total_s:.1f}",
+                share,
                 f"{1e3 * timing.get('mean_s', 0.0):.3f}",
                 f"{1e3 * timing.get('max_s', 0.0):.3f}",
             ])
+        title = "Per-stage span timings"
+        if wall_s > 0:
+            title += f" (wall {wall_s:.3f} s)"
         sections.append(render_table(
-            ["stage", "count", "total (ms)", "mean (ms)", "max (ms)"],
+            ["stage", "count", "total (ms)", "% of wall", "mean (ms)",
+             "max (ms)"],
             rows,
-            title="Per-stage span timings",
+            title=title,
         ))
+
+    exemplars = document.get("exemplars") or []
+    if exemplars:
+        rows = []
+        for exemplar in exemplars:
+            stage_parts = ", ".join(
+                f"{stage} {1e3 * seconds:.1f}ms"
+                for stage, seconds in list(
+                    exemplar.get("stages", {}).items()
+                )[:3]
+            )
+            rows.append([
+                exemplar.get("key") or exemplar.get("name", "?"),
+                exemplar.get("worker") or "coordinator",
+                f"{1e3 * exemplar.get('duration_s', 0.0):.1f}",
+                stage_parts or "-",
+            ])
+        sections.append(render_table(
+            ["trip", "where", "total (ms)", "hottest stages"],
+            rows,
+            title="Slow-trip exemplars (tail retention)",
+        ))
+    hint = _slow_trip_hint(document, args.slow_trip_ms)
+    if hint:
+        sections.append(hint)
 
     metrics = document.get("metrics", {})
     memo_line = _match_memo_line(metrics.get("counters", {}))
@@ -627,7 +796,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.sim.campaign import Campaign, CampaignPhase
     from repro.sim.world import World
 
-    registry, tracer = _observability_for(bool(args.metrics_out))
+    registry, tracer = _observability_for(
+        bool(args.metrics_out), policy=_trace_policy(args)
+    )
     world = World(seed=args.seed, registry=registry, tracer=tracer)
     engine = _alert_engine_for(args.alert_rules, registry, world.server)
     campaign = Campaign(world, start=args.start, end=args.end,
@@ -658,6 +829,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.metrics_out:
         _write_metrics(args.metrics_out, "campaign", world.server, registry,
                        tracer)
+    if args.trace_out:
+        _write_trace(args.trace_out, tracer)
     return 0
 
 
@@ -688,6 +861,7 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
     # until every rule's `for` debounce could have elapsed.
     for tick in range(max(rule.for_count for rule in rules)):
         engine.evaluate(samples, now=float(tick))
+    hint = _slow_trip_hint(document, args.slow_trip_ms)
     active = engine.active
     if not active:
         checked = len(rules) - len(no_data)
@@ -699,6 +873,8 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         for rule in no_data:
             print(f"  [no-data] {rule.name}: metric {rule.metric!r} "
                   f"absent from the document")
+        if hint:
+            print(hint)
         return 0
     print(f"{args.metrics}: {len(active)} alert(s) firing")
     for rule in no_data:
@@ -709,6 +885,8 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         where = f"{{{labels}}}" if labels else ""
         print(f"  [{event.severity}] {event.rule}{where} "
               f"value={event.value:g} threshold={event.threshold:g}")
+    if hint:
+        print(hint)
     return 1
 
 
@@ -911,6 +1089,42 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         if diff_lines:
             print(f"wrote golden-trace diff -> {args.diff_out}")
     return 0 if report.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        format_trace_summary,
+        summarize_chrome_trace,
+        validate_chrome_trace,
+    )
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"trace: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"trace: {args.trace} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+
+    problems = validate_chrome_trace(document)
+    if problems:
+        print(f"{args.trace}: {len(problems)} schema problem(s)",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"  ... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    if args.validate:
+        events = len(document.get("traceEvents", []))
+        print(f"{args.trace}: OK ({events} events)")
+        return 0
+    summary = summarize_chrome_trace(document, top=args.top)
+    print(format_trace_summary(summary))
+    return 0
 
 
 def _cmd_power(args: argparse.Namespace) -> int:

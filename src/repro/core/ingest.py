@@ -29,14 +29,31 @@ the parent registry (:meth:`~repro.obs.metrics.MetricsRegistry.merge_dict`),
 so a parallel run exports the same counter totals as a serial one.  The
 engine additionally exports ``ingest_*`` counters and per-stage
 histograms on the parent side.
+
+IPC cost attribution: the coordinator pickles each shard itself
+(``shard_serialize`` span with a ``bytes`` attribute), captures a
+dispatch timestamp, and ships the blob; the worker times the unpickle
+(``shard_deserialize``), reports the dispatch→receipt gap
+(``pool_queue_wait`` — ``time.perf_counter`` is CLOCK_MONOTONIC on
+Linux, so coordinator and worker clocks agree), and wraps every trip in
+a keyed ``prepare_trip`` span.  The coordinator also records the
+one-time ``fingerprint_broadcast`` (pool-initializer payload size) and
+``worker_init`` costs, the per-shard ``pool_result_wait`` (idle,
+blocked on a worker) and ``result_merge`` (fold results + telemetry).
+Worker span records travel back inside the shard outcome and stitch
+under the coordinator's open span via a propagated
+:class:`~repro.obs.tracing.TraceContext` — every worker-scaling cost
+has a named number.  With :data:`NULL_TRACER` (the default) all of it
+degrades to no-ops.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.city.routes import RouteNetwork
 from repro.config import SystemConfig
@@ -148,7 +165,10 @@ class _ShardOutcome:
 
     prepared: List[PreparedTrip]
     metrics: Dict
-    stages: Dict[str, Dict[str, float]]
+    #: The worker tracer's exported state: stage aggregates always, plus
+    #: retained span records / exemplars when the coordinator propagated
+    #: a sampling policy (see :meth:`Tracer.export_trace_state`).
+    trace: Dict[str, Any]
 
 
 class _WorkerState:
@@ -180,6 +200,9 @@ class _WorkerState:
 
 
 _WORKER_STATE: Optional[_WorkerState] = None
+#: ``(start, duration)`` of this worker's initializer, shipped back once
+#: with its first shard so the coordinator can account pool-warmup cost.
+_WORKER_INIT: Optional[Tuple[float, float]] = None
 
 
 def _init_worker(
@@ -187,40 +210,68 @@ def _init_worker(
     trip_mapping_config,
 ) -> None:
     """Pool initializer: broadcast the read-only state once per worker."""
-    global _WORKER_STATE
+    global _WORKER_STATE, _WORKER_INIT
+    started = time.perf_counter()
     _WORKER_STATE = _WorkerState(
         fingerprints, matching_config, clustering_config, route_network,
         trip_mapping_config,
     )
+    _WORKER_INIT = (started, time.perf_counter() - started)
 
 
 def _prepare_shard(
-    shard: Sequence[TripUpload], keep_matches: bool = False
+    blob: bytes, context=None, dispatched_at: Optional[float] = None
 ) -> _ShardOutcome:
-    """Task body: run the pure stages over one ordered shard of uploads."""
+    """Task body: run the pure stages over one pickled shard of uploads."""
+    global _WORKER_INIT
+    received_at = time.perf_counter()
     state = _WORKER_STATE
     if state is None:
         raise RuntimeError("ingest worker used before initialisation")
+    worker = multiprocessing.current_process().name
+    tracer = Tracer(
+        context.policy if context is not None else None,
+        context=context,
+        worker=worker,
+    )
+    if _WORKER_INIT is not None:
+        init_start, init_dur = _WORKER_INIT
+        _WORKER_INIT = None
+        tracer.record_span(
+            "worker_init", start_s=init_start, duration_s=init_dur,
+        )
+    if dispatched_at is not None:
+        # perf_counter is CLOCK_MONOTONIC on Linux, so the coordinator's
+        # dispatch timestamp is comparable with our receipt time: the gap
+        # is pool pickling + pipe transfer + queue wait for a free worker.
+        tracer.record_span(
+            "pool_queue_wait",
+            start_s=dispatched_at,
+            duration_s=received_at - dispatched_at,
+        )
+    with tracer.span("shard_deserialize", bytes=len(blob)):
+        shard, keep_matches = pickle.loads(blob)
     # The worker registry is reset per shard and its snapshot shipped
     # back, so the parent can merge shard deltas without double counting.
     state.registry.reset()
-    tracer = Tracer()
-    prepared = [
-        prepare_trip(
-            upload,
-            matcher=state.matcher,
-            clustering_config=state.clustering_config,
-            constraint=state.constraint,
-            registry=state.registry,
-            tracer=tracer,
-            keep_matches=keep_matches,
-        )
-        for upload in shard
-    ]
+    prepared = []
+    for upload in shard:
+        with tracer.span("prepare_trip", key=upload.trip_key):
+            prepared.append(
+                prepare_trip(
+                    upload,
+                    matcher=state.matcher,
+                    clustering_config=state.clustering_config,
+                    constraint=state.constraint,
+                    registry=state.registry,
+                    tracer=tracer,
+                    keep_matches=keep_matches,
+                )
+            )
     return _ShardOutcome(
         prepared=prepared,
         metrics=state.registry.as_dict(),
-        stages=tracer.stage_stats(),
+        trace=tracer.export_trace_state(),
     )
 
 
@@ -234,10 +285,13 @@ class IngestEngine:
             reports = server.ingest_many(uploads, engine=engine)
 
     Determinism guarantee: shards are formed from the input sequence in
-    order, ``Pool.map`` returns shard results in submission order, and
-    shard results are concatenated in that order — so ``prepare(batch)``
-    returns exactly ``[prepare_trip(u) for u in batch]`` regardless of
-    worker count or scheduling.
+    order, dispatched with ``apply_async`` and gathered in submission
+    order, and shard results are concatenated in that order — so
+    ``prepare(batch)`` returns exactly ``[prepare_trip(u) for u in
+    batch]`` regardless of worker count or scheduling.  (Shards round
+    trip through an explicit pickle so the serialize cost is a named,
+    measured span; pickling preserves every value bit-exactly, and the
+    pool would have pickled the same objects anyway.)
     """
 
     def __init__(
@@ -249,6 +303,7 @@ class IngestEngine:
         workers: int,
         shard_size: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         if workers < 1:
             raise ValueError("ingest engine needs at least one worker")
@@ -258,6 +313,7 @@ class IngestEngine:
         self.workers = workers
         self.shard_size = shard_size
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._payload = (
             dict(fingerprints),
             config.matching,
@@ -290,7 +346,7 @@ class IngestEngine:
         )
         self._fam_stage_seconds = reg.labeled_histogram(
             "ingest_stage_seconds", ("stage",),
-            help="per-shard worker seconds spent in each pure stage",
+            help="per-shard worker seconds spent in each traced stage",
         )
 
     @classmethod
@@ -301,6 +357,7 @@ class IngestEngine:
         runs export the same matcher/clustering/mapping totals as
         serial ones.
         """
+        kwargs.setdefault("tracer", server.tracer)
         return cls(
             server.database.as_dict(),
             server.route_network,
@@ -315,6 +372,20 @@ class IngestEngine:
     def start(self) -> "IngestEngine":
         """Spawn the worker pool (idempotent)."""
         if self._pool is None:
+            if self.tracer.enabled:
+                # Measure what the pool is about to broadcast to every
+                # worker: the fingerprint DB dominates the payload.
+                t0 = time.perf_counter()
+                payload_bytes = len(
+                    pickle.dumps(self._payload, pickle.HIGHEST_PROTOCOL)
+                )
+                self.tracer.record_span(
+                    "fingerprint_broadcast",
+                    start_s=t0,
+                    duration_s=time.perf_counter() - t0,
+                    bytes=payload_bytes,
+                    workers=self.workers,
+                )
             self._pool = multiprocessing.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
@@ -353,23 +424,49 @@ class IngestEngine:
         if not uploads:
             return []
         self.start()
+        tracer = self.tracer
         started = time.perf_counter()
         shards = self._shards(uploads)
-        outcomes = self._pool.starmap(
-            _prepare_shard,
-            [(shard, keep_matches) for shard in shards],
-            chunksize=1,
-        )
-        prepared: List[PreparedTrip] = []
-        for shard, outcome in zip(shards, outcomes):
-            prepared.extend(outcome.prepared)
-            self.registry.merge_dict(outcome.metrics)
-            self._c_shards.inc()
-            self._h_shard_trips.observe(len(shard))
-            for stage, timing in outcome.stages.items():
-                self._fam_stage_seconds.labels(stage).observe(
-                    timing.get("total_s", 0.0)
+        handles = []
+        for index, shard in enumerate(shards):
+            t0 = time.perf_counter()
+            blob = pickle.dumps(
+                (shard, keep_matches), pickle.HIGHEST_PROTOCOL
+            )
+            tracer.record_span(
+                "shard_serialize",
+                start_s=t0,
+                duration_s=time.perf_counter() - t0,
+                bytes=len(blob),
+                shard=index,
+                trips=len(shard),
+            )
+            handles.append(
+                self._pool.apply_async(
+                    _prepare_shard,
+                    (blob, tracer.ipc_context(), time.perf_counter()),
                 )
+            )
+        prepared: List[PreparedTrip] = []
+        for index, (shard, handle) in enumerate(zip(shards, handles)):
+            w0 = time.perf_counter()
+            outcome = handle.get()
+            tracer.record_span(
+                "pool_result_wait",
+                start_s=w0,
+                duration_s=time.perf_counter() - w0,
+                shard=index,
+            )
+            with tracer.span("result_merge", shard=index):
+                prepared.extend(outcome.prepared)
+                self.registry.merge_dict(outcome.metrics)
+                self._c_shards.inc()
+                self._h_shard_trips.observe(len(shard))
+                for stage, timing in outcome.trace["stages"].items():
+                    self._fam_stage_seconds.labels(stage).observe(
+                        timing.get("total_s", 0.0)
+                    )
+            tracer.absorb(outcome.trace)
         self._c_batches.inc()
         self._c_trips.inc(len(uploads))
         self._h_batch_seconds.observe(time.perf_counter() - started)

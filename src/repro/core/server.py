@@ -290,7 +290,10 @@ class BackendServer:
         ``now_s`` is the ingest time for sliding-window rates (the event
         engine passes its clock); it defaults to the upload's end time.
         """
-        with self.tracer.span("receive_trip"):
+        # ``key`` makes the trip a sampling unit when span retention is
+        # on: head-sampled or kept as a slow-trip exemplar, subtree and
+        # all.  With NULL_TRACER (or no policy) it costs nothing extra.
+        with self.tracer.span("receive_trip", key=upload.trip_key):
             if upload.trip_key in self._seen_trip_keys:
                 prepared = PreparedTrip.skipped(upload)
             else:

@@ -18,8 +18,12 @@ The pillars the phone→server pipeline reports itself through:
   (``map_route_freshness_s{route=*} < 900``) evaluated on publish
   ticks, firing structured-log events and the ``alerts_active`` gauge.
 * :class:`Tracer` — nested ``with tracer.span("matching"):`` timing,
-  aggregated per stage name; :data:`NULL_TRACER` makes instrumented
-  hot paths free when tracing is off.
+  aggregated per stage name; attach a :class:`SamplingPolicy` to also
+  retain :class:`SpanRecord` objects (trace/span/parent ids, slow-trip
+  exemplars, cross-process stitching via :class:`TraceContext`) and
+  export them with :func:`chrome_trace_document` for Perfetto /
+  ``chrome://tracing``; :data:`NULL_TRACER` makes instrumented hot
+  paths free when tracing is off.
 * :func:`configure` / :func:`get_logger` / :func:`log_event` —
   structured logging (key=value or JSON Lines) on stdlib ``logging``.
 
@@ -63,7 +67,22 @@ from repro.obs.metrics import (
     NullRegistry,
     parse_prometheus_text,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, StageTiming, Tracer
+from repro.obs.tracing import (
+    Exemplar,
+    ExemplarStore,
+    NULL_TRACER,
+    NullTracer,
+    SamplingPolicy,
+    SPAN_CATEGORIES,
+    SpanRecord,
+    StageTiming,
+    TraceContext,
+    Tracer,
+    chrome_trace_document,
+    format_trace_summary,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.obs.windows import (
     SlidingWindowCounter,
     SlidingWindowStats,
@@ -102,6 +121,16 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "SamplingPolicy",
+    "SpanRecord",
+    "TraceContext",
+    "Exemplar",
+    "ExemplarStore",
+    "SPAN_CATEGORIES",
+    "chrome_trace_document",
+    "validate_chrome_trace",
+    "summarize_chrome_trace",
+    "format_trace_summary",
     "ROOT_LOGGER_NAME",
     "configure",
     "get_logger",

@@ -11,7 +11,10 @@ off whatever registry / callables the host wires in:
   traffic map (wired by :class:`~repro.core.server.BackendServer`),
 * ``/fleet``     — the fleet-health report (headways, ghost buses,
   O-D flows) when a
-  :class:`~repro.analysis.fleet.FleetHealthAnalytics` stage is wired.
+  :class:`~repro.analysis.fleet.FleetHealthAnalytics` stage is wired,
+* ``/trace``     — the retained span records as a Chrome trace-event
+  JSON document (save it and load in Perfetto / ``chrome://tracing``)
+  when a span-retaining tracer is wired (``--trace-out`` runs).
 
 ``repro simulate --serve-metrics PORT`` runs one next to the campaign;
 ``port=0`` binds an ephemeral port (the bound port is in
@@ -95,6 +98,7 @@ class MetricsHTTPServer:
         freshness_fn: Optional[Callable[[], Dict]] = None,
         health_fn: Optional[Callable[[], Dict]] = None,
         fleet_fn: Optional[Callable[[], Dict]] = None,
+        trace_fn: Optional[Callable[[], Dict]] = None,
     ):
         self.registry = registry
         self.host = host
@@ -103,6 +107,7 @@ class MetricsHTTPServer:
         self._freshness_fn = freshness_fn
         self._health_fn = health_fn
         self._fleet_fn = fleet_fn
+        self._trace_fn = trace_fn
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
@@ -113,6 +118,7 @@ class MetricsHTTPServer:
             "/stats": self._stats,
             "/freshness": self._freshness,
             "/fleet": self._fleet,
+            "/trace": self._trace,
             "/": self._index,
         }
 
@@ -147,6 +153,14 @@ class MetricsHTTPServer:
                 {"error": "no fleet analytics wired"}
             )
         return "application/json", json.dumps(self._fleet_fn(), indent=2)
+
+    def _trace(self):
+        if self._trace_fn is None:
+            return "application/json", json.dumps(
+                {"error": "no span-retaining tracer wired "
+                          "(run with --trace-out)"}
+            )
+        return "application/json", json.dumps(self._trace_fn())
 
     def _index(self):
         return "application/json", json.dumps(

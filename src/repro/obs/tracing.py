@@ -1,30 +1,118 @@
-"""Lightweight span tracing for per-stage pipeline timing.
+"""Span tracing: per-stage aggregates plus causal, cross-process spans.
 
 A :class:`Tracer` times named stages with nested ``with`` spans::
 
-    with tracer.span("receive_trip"):
+    with tracer.span("receive_trip", key=upload.trip_key):
         with tracer.span("matching"):
             ...
 
-Durations are aggregated per stage name into :class:`StageTiming`
-records (count / total / min / max), which is exactly what the
-``repro stats`` report and the ``--metrics-out`` JSON need — the tracer
-deliberately does not retain individual span objects, so tracing a
-million trips costs O(#stage names) memory.
+Two recording layers share that API:
+
+* **Aggregates** (always on for a real tracer): durations fold into
+  per-stage :class:`StageTiming` records (count / total / min / max) —
+  O(#stage names) memory, exactly what ``repro stats`` and
+  ``--metrics-out`` need.
+* **Span retention** (on when a :class:`SamplingPolicy` is attached):
+  each finished span additionally becomes a :class:`SpanRecord` with
+  trace / span / parent ids, wall-clock bounds, the owning pid and an
+  optional ``worker`` label, ready for Chrome trace-event export
+  (Perfetto / ``chrome://tracing``) via :func:`chrome_trace_document`.
+
+Retention is bounded by the policy:
+
+* **Head sampling** applies to *keyed* spans — a span opened with a
+  ``key=...`` attribute (per-trip roots like ``receive_trip`` /
+  ``prepare_trip``) starts a sampling scope; the whole subtree is kept
+  or dropped together.  The decision is a pure function of
+  ``(policy.seed, key)``, so it is deterministic, order-independent and
+  identical in every worker process.  Keyless spans (pipeline phases,
+  IPC accounting spans) are always retained.
+* **Tail exemplars**: the slowest-N keyed spans are always kept, head
+  sampling notwithstanding, in a bounded min-heap
+  (:class:`ExemplarStore`) — the latency outliers an operator actually
+  wants to see.
+* Hard caps (``max_spans_per_trace``, ``max_records``) bound memory;
+  evictions are counted, never silent.
+
+Cross-process stitching: the coordinator captures
+:meth:`Tracer.ipc_context` next to each shard dispatch; the worker
+builds its tracer from that :class:`TraceContext`, so worker spans
+parent under the coordinator's dispatch span with the same trace id and
+a ``worker`` attribute.  Finished worker state travels back as a plain
+picklable dict (:meth:`Tracer.export_trace_state`) and folds into the
+coordinator (:meth:`Tracer.absorb`).
 
 When tracing is off, components hold :data:`NULL_TRACER`, whose
 ``span()`` returns one shared no-op context manager: entering and
 leaving it is two trivial method calls, so instrumented hot paths pay
-effectively nothing.
+effectively nothing.  No trace-derived value ever feeds back into
+pipeline decisions, so conformance traces stay byte-identical with
+tracing on or off, at any worker count.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import os
+import random
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["StageTiming", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "StageTiming",
+    "SamplingPolicy",
+    "SpanRecord",
+    "TraceContext",
+    "Exemplar",
+    "ExemplarStore",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SPAN_CATEGORIES",
+    "chrome_trace_document",
+    "validate_chrome_trace",
+    "summarize_chrome_trace",
+    "format_trace_summary",
+]
+
+
+#: Cost category per well-known span name, exported as the Chrome event
+#: ``cat`` field and summed (by self-time) in the ``repro trace``
+#: summary.  ``ipc`` names are the serialization / queueing / broadcast
+#: / merge costs of the sharded ingest engine; ``compute`` names are
+#: the pure pipeline stages; ``wait`` is coordinator idle time blocked
+#: on workers; ``sim`` is the synthetic-world driver; ``trip`` and
+#: ``pipeline`` are structural parents whose time lives in children.
+SPAN_CATEGORIES: Dict[str, str] = {
+    "fingerprint_broadcast": "ipc",
+    "shard_serialize": "ipc",
+    "shard_deserialize": "ipc",
+    "pool_queue_wait": "ipc",
+    "worker_init": "ipc",
+    "result_merge": "ipc",
+    "ingest_merge": "ipc",
+    "pool_result_wait": "wait",
+    "matching": "compute",
+    "clustering": "compute",
+    "trip_mapping": "compute",
+    "leg_estimation": "compute",
+    "map_update": "compute",
+    "bus_simulation": "sim",
+    "phone_recording": "sim",
+    "uplink": "sim",
+    "receive_trip": "trip",
+    "prepare_trip": "trip",
+    "ingest": "pipeline",
+}
+
+
+#: Per-process tracer instance counter: span ids embed it so records
+#: from two tracers in the same process (e.g. one per worker shard)
+#: never collide.
+_TRACER_SEQ = itertools.count()
 
 
 @dataclass
@@ -50,6 +138,20 @@ class StageTiming:
         if duration_s > self.max_s:
             self.max_s = duration_s
 
+    def merge(self, other: Dict[str, float]) -> None:
+        """Fold another aggregate's ``as_dict`` view into this one."""
+        count = int(other.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total_s += other.get("total_s", 0.0)
+        other_min = other.get("min_s", 0.0)
+        if other_min < self.min_s:
+            self.min_s = other_min
+        other_max = other.get("max_s", 0.0)
+        if other_max > self.max_s:
+            self.max_s = other_max
+
     def as_dict(self) -> Dict[str, float]:
         """Plain-JSON view of the aggregate."""
         return {
@@ -61,50 +163,396 @@ class StageTiming:
         }
 
 
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Retention policy for span records (attach one to enable them)."""
+
+    #: Probability a *keyed* span's subtree is head-retained.  The
+    #: decision is deterministic per ``(seed, key)``, so replays and
+    #: worker processes agree.  Keyless spans are always retained.
+    head_rate: float = 1.0
+    #: Slowest-N keyed spans kept regardless of head sampling.
+    slow_exemplars: int = 8
+    #: Seed of the per-key sampling decision.
+    seed: int = 0
+    #: Span records buffered per keyed scope before dropping (counted).
+    max_spans_per_trace: int = 4096
+    #: Global retained-record budget; beyond it the oldest records are
+    #: evicted (counted in :attr:`Tracer.records_dropped`).
+    max_records: int = 200_000
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for export (picklable, JSON-able)."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start_s: float
+    duration_s: float
+    pid: int
+    worker: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "worker": self.worker,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Propagated trace position: what a remote span should parent under."""
+
+    trace_id: str
+    span_id: Optional[str]
+    #: The coordinator's sampling policy, so workers make the *same*
+    #: per-key retention decisions; ``None`` means aggregates only.
+    policy: Optional[SamplingPolicy] = None
+
+
+@dataclass
+class Exemplar:
+    """A retained slow-trip trace: its root span plus the subtree."""
+
+    root: SpanRecord
+    children: Tuple[SpanRecord, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.root.duration_s
+
+    @property
+    def key(self) -> Optional[str]:
+        value = self.root.attrs.get("key")
+        return None if value is None else str(value)
+
+    def records(self) -> List[SpanRecord]:
+        return [self.root, *self.children]
+
+    def summary(self) -> Dict[str, Any]:
+        """Operator-facing digest: who was slow, and where the time went."""
+        stages: Dict[str, float] = {}
+        for child in self.children:
+            stages[child.name] = stages.get(child.name, 0.0) + child.duration_s
+        return {
+            "name": self.root.name,
+            "key": self.key,
+            "worker": self.root.worker,
+            "duration_s": self.root.duration_s,
+            "stages": dict(
+                sorted(stages.items(), key=lambda kv: -kv[1])
+            ),
+        }
+
+
+class ExemplarStore:
+    """Bounded keep-the-slowest-N store (min-heap on duration).
+
+    ``offer()`` keeps a new trace while below capacity; at capacity it
+    evicts the *fastest* retained exemplar iff the newcomer is slower —
+    so the store always holds the N slowest trips seen so far.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = max(0, int(capacity))
+        self._heap: List[Tuple[float, int, Exemplar]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, exemplar: Exemplar) -> bool:
+        """Consider one finished trace; True if it was retained."""
+        if self.capacity <= 0:
+            return False
+        entry = (exemplar.duration_s, next(self._seq), exemplar)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if exemplar.duration_s > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def items(self) -> List[Exemplar]:
+        """Retained exemplars, slowest first."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        ]
+
+    def clear(self) -> None:
+        self._heap = []
+
+
+class _Scope:
+    """An open keyed span's buffered subtree + its sampling verdict."""
+
+    __slots__ = ("span", "sampled", "buffer", "dropped", "limit")
+
+    def __init__(self, span: "_Span", sampled: bool, limit: int):
+        self.span = span
+        self.sampled = sampled
+        self.buffer: List[SpanRecord] = []
+        self.dropped = 0
+        self.limit = limit
+
+    def add(self, record: SpanRecord) -> None:
+        if len(self.buffer) < self.limit:
+            self.buffer.append(record)
+        else:
+            self.dropped += 1
+
+
 class _Span:
-    """One active span; a reusable-by-pattern context manager."""
+    """One active span; a context manager handed out by ``span()``."""
 
-    __slots__ = ("_tracer", "name", "_start")
+    __slots__ = ("_tracer", "name", "_start", "attrs", "span_id", "parent_id")
 
-    def __init__(self, tracer: "Tracer", name: str):
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict]):
         self._tracer = tracer
         self.name = name
+        self.attrs = attrs
         self._start = 0.0
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     def __enter__(self) -> "_Span":
-        self._tracer._stack.append(self.name)
+        self._tracer._open(self)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = time.perf_counter() - self._start
-        self._tracer._finish(self.name, duration)
+        self._tracer._finish(self, duration)
         return False
 
 
 class Tracer:
-    """Aggregating span tracer (see module docstring)."""
+    """Aggregating + (optionally) record-retaining span tracer.
+
+    ``Tracer()`` is the aggregate-only mode every instrumented component
+    has always used.  ``Tracer(SamplingPolicy(...))`` additionally
+    retains :class:`SpanRecord` objects under the policy.  ``context``
+    and ``worker`` make a worker-side tracer whose spans stitch under a
+    coordinator span (see module docstring).
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self._stack: List[str] = []
+    def __init__(
+        self,
+        policy: Optional[SamplingPolicy] = None,
+        *,
+        context: Optional[TraceContext] = None,
+        worker: Optional[str] = None,
+    ) -> None:
+        self._stack: List[_Span] = []
         self._stats: Dict[str, StageTiming] = {}
+        self._policy = policy
+        self._context = context
+        self._worker = worker
+        self._pid = os.getpid()
+        self._retaining = policy is not None
+        self._ids = itertools.count(1)
+        self._id_prefix = f"{self._pid:x}.{next(_TRACER_SEQ):x}"
+        if context is not None:
+            self.trace_id = context.trace_id
+        else:
+            self.trace_id = f"{self._pid:x}-{int(time.time() * 1e3) & 0xFFFFFF:x}"
+        max_records = policy.max_records if policy else 0
+        self._records: deque = deque()
+        self._max_records = max_records
+        self._records_dropped = 0
+        self._scopes: List[_Scope] = []
+        self._exemplars = ExemplarStore(policy.slow_exemplars if policy else 0)
+        self._root_s = 0.0
 
-    def span(self, name: str) -> _Span:
-        """A context manager timing one stage; spans nest freely."""
-        return _Span(self, name)
+    # -- span lifecycle ------------------------------------------------------
 
-    def _finish(self, name: str, duration_s: float) -> None:
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager timing one stage; spans nest freely.
+
+        ``key="..."`` marks a per-trip root: the span and its subtree
+        become one sampling unit (head sampling + slow exemplars).
+        Other attributes ride along into the exported record.
+        """
+        return _Span(self, name, attrs or None)
+
+    def _open(self, span: _Span) -> None:
+        if self._retaining:
+            span.parent_id = self._parent_id()
+            span.span_id = self._next_id()
+            if span.attrs and "key" in span.attrs:
+                self._scopes.append(_Scope(
+                    span,
+                    self._sample(span.attrs["key"]),
+                    self._policy.max_spans_per_trace,
+                ))
+        self._stack.append(span)
+
+    def _finish(self, span: _Span, duration_s: float) -> None:
         top = self._stack.pop() if self._stack else None
-        if top != name:
+        if top is not span:
             raise RuntimeError(
-                f"unbalanced span exit: closing {name!r} but {top!r} is open"
+                f"unbalanced span exit: closing {span.name!r} but "
+                f"{top.name if top is not None else None!r} is open"
             )
+        duration_s = max(duration_s, 0.0)
+        timing = self._stats.get(span.name)
+        if timing is None:
+            timing = self._stats[span.name] = StageTiming()
+        timing.record(duration_s)
+        if not self._stack:
+            self._root_s += duration_s
+        if self._retaining:
+            self._route(self._record_for(span, duration_s), closing=span)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start_s: float,
+        duration_s: float,
+        **attrs,
+    ) -> None:
+        """Inject an already-measured span (IPC accounting, replays).
+
+        The span parents under the innermost open span (or the remote
+        context); a ``key`` attribute makes it a one-record sampling
+        unit, exactly like a keyed ``with`` span with no children.
+        """
+        duration_s = max(duration_s, 0.0)
         timing = self._stats.get(name)
         if timing is None:
             timing = self._stats[name] = StageTiming()
-        timing.record(max(duration_s, 0.0))
+        timing.record(duration_s)
+        if not self._stack:
+            self._root_s += duration_s
+        if not self._retaining:
+            return
+        record = SpanRecord(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=self._next_id(),
+            parent_id=self._parent_id(),
+            start_s=start_s,
+            duration_s=duration_s,
+            pid=self._pid,
+            worker=self._worker,
+            attrs=dict(attrs),
+        )
+        if "key" in attrs:
+            self._exemplars.offer(Exemplar(root=record))
+            if self._sample(attrs["key"]):
+                self._retain(record)
+        else:
+            self._route(record, closing=None)
+
+    # -- retention plumbing --------------------------------------------------
+
+    def _record_for(self, span: _Span, duration_s: float) -> SpanRecord:
+        return SpanRecord(
+            name=span.name,
+            trace_id=self.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start_s=span._start,
+            duration_s=duration_s,
+            pid=self._pid,
+            worker=self._worker,
+            attrs=dict(span.attrs) if span.attrs else {},
+        )
+
+    def _route(self, record: SpanRecord, closing: Optional[_Span]) -> None:
+        scope = self._scopes[-1] if self._scopes else None
+        if scope is not None and closing is scope.span:
+            self._scopes.pop()
+            self._finalize_scope(scope, record)
+        elif scope is not None:
+            scope.add(record)
+        else:
+            self._retain(record)
+
+    def _finalize_scope(self, scope: _Scope, root: SpanRecord) -> None:
+        self._records_dropped += scope.dropped
+        self._exemplars.offer(Exemplar(root=root, children=tuple(scope.buffer)))
+        if scope.sampled:
+            for child in scope.buffer:
+                self._retain(child)
+            self._retain(root)
+
+    def _retain(self, record: SpanRecord) -> None:
+        if len(self._records) >= self._max_records:
+            self._records.popleft()
+            self._records_dropped += 1
+        self._records.append(record)
+
+    def _parent_id(self) -> Optional[str]:
+        if self._stack:
+            return self._stack[-1].span_id
+        if self._context is not None:
+            return self._context.span_id
+        return None
+
+    def _next_id(self) -> str:
+        return f"{self._id_prefix}.{next(self._ids)}"
+
+    def _sample(self, key) -> bool:
+        rate = self._policy.head_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        # A fresh str-seeded Random: deterministic across processes and
+        # interpreter runs (unlike hash()), independent of call order.
+        return random.Random(f"{self._policy.seed}:{key}").random() < rate
+
+    # -- cross-process stitching ---------------------------------------------
+
+    def ipc_context(self) -> TraceContext:
+        """The context a worker tracer should be built from, right now."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self._parent_id(),
+            policy=self._policy,
+        )
+
+    def export_trace_state(self) -> Dict[str, Any]:
+        """Everything a worker ships back (picklable)."""
+        return {
+            "stages": self.stage_stats(),
+            "records": list(self._records),
+            "exemplars": self._exemplars.items(),
+            "dropped": self._records_dropped,
+        }
+
+    def absorb(self, state: Dict[str, Any]) -> None:
+        """Fold a worker's exported trace state into this tracer."""
+        for name, timing in state.get("stages", {}).items():
+            mine = self._stats.get(name)
+            if mine is None:
+                mine = self._stats[name] = StageTiming()
+            mine.merge(timing)
+        if self._retaining:
+            for record in state.get("records", []):
+                self._retain(record)
+            for exemplar in state.get("exemplars", []):
+                self._exemplars.offer(exemplar)
+            self._records_dropped += state.get("dropped", 0)
+
+    # -- introspection -------------------------------------------------------
 
     @property
     def depth(self) -> int:
@@ -114,7 +562,50 @@ class Tracer:
     @property
     def current_span(self) -> Optional[str]:
         """Name of the innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        return self._stack[-1].name if self._stack else None
+
+    @property
+    def retaining(self) -> bool:
+        """Whether span records are being kept (a policy is attached)."""
+        return self._retaining
+
+    @property
+    def policy(self) -> Optional[SamplingPolicy]:
+        return self._policy
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall time under top-level spans (the run's denominator)."""
+        return self._root_s
+
+    @property
+    def records_dropped(self) -> int:
+        """Records lost to per-scope and global caps (never silent)."""
+        return self._records_dropped
+
+    def records(self) -> List[SpanRecord]:
+        """All retained span records: head-sampled + slow exemplars.
+
+        Exemplar subtrees that head sampling also kept are deduplicated
+        by span id; the result is sorted by start time.
+        """
+        by_id: Dict[str, SpanRecord] = {r.span_id: r for r in self._records}
+        for exemplar in self._exemplars.items():
+            for record in exemplar.records():
+                by_id.setdefault(record.span_id, record)
+        return sorted(by_id.values(), key=lambda r: (r.start_s, r.span_id))
+
+    def exemplars(self) -> List[Exemplar]:
+        """Slow-trip exemplars, slowest first."""
+        return self._exemplars.items()
+
+    def exemplar_summaries(self) -> List[Dict[str, Any]]:
+        """JSON-ready digests of the slow-trip exemplars, slowest first."""
+        return [exemplar.summary() for exemplar in self._exemplars.items()]
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The retained spans as a Chrome trace-event document."""
+        return chrome_trace_document(self.records())
 
     def stage_stats(self) -> Dict[str, Dict[str, float]]:
         """Aggregated timings per stage name (JSON-ready)."""
@@ -133,6 +624,11 @@ class Tracer:
                 f"cannot reset with {len(self._stack)} span(s) still open"
             )
         self._stats = {}
+        self._records.clear()
+        self._records_dropped = 0
+        self._scopes = []
+        self._exemplars.clear()
+        self._root_s = 0.0
 
 
 class _NullSpan:
@@ -149,15 +645,36 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+_EMPTY_TRACE_STATE: Dict[str, Any] = {
+    "stages": {}, "records": [], "exemplars": [], "dropped": 0,
+}
+
 
 class NullTracer:
     """A tracer that records nothing and costs (almost) nothing."""
 
     enabled = False
+    retaining = False
+    policy = None
+    trace_id = ""
+    wall_s = 0.0
+    records_dropped = 0
 
-    def span(self, name: str) -> _NullSpan:
+    def span(self, name: str, **attrs) -> _NullSpan:
         """The shared no-op span."""
         return _NULL_SPAN
+
+    def record_span(self, name: str, **kwargs) -> None:
+        pass
+
+    def ipc_context(self) -> None:
+        return None
+
+    def export_trace_state(self) -> Dict[str, Any]:
+        return dict(_EMPTY_TRACE_STATE)
+
+    def absorb(self, state) -> None:
+        pass
 
     @property
     def depth(self) -> int:
@@ -166,6 +683,18 @@ class NullTracer:
     @property
     def current_span(self) -> Optional[str]:
         return None
+
+    def records(self) -> List[SpanRecord]:
+        return []
+
+    def exemplars(self) -> List[Exemplar]:
+        return []
+
+    def exemplar_summaries(self) -> List[Dict[str, Any]]:
+        return []
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace_document([])
 
     def stage_stats(self) -> Dict[str, Dict[str, float]]:
         return {}
@@ -179,3 +708,259 @@ class NullTracer:
 
 #: Shared do-nothing tracer: the default for instrumented components.
 NULL_TRACER = NullTracer()
+
+
+# -- Chrome trace-event export -------------------------------------------------
+#
+# The export is the "JSON Array Format with metadata" flavour both
+# Perfetto and chrome://tracing load: complete ("X") events carrying
+# microsecond ts/dur per (pid, tid) track, plus "M" metadata events
+# naming each process.  Span/parent ids travel in ``args`` so tooling
+# (and `repro trace --summary`) can rebuild the causal tree and compute
+# self-times.
+
+
+def chrome_trace_document(records: Sequence[SpanRecord]) -> Dict[str, Any]:
+    """Render span records as a Chrome trace-event JSON document."""
+    if not records:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    epoch = min(r.start_s for r in records)
+    labels: Dict[int, str] = {}
+    events: List[Dict[str, Any]] = []
+    for record in sorted(records, key=lambda r: (r.start_s, r.span_id)):
+        labels.setdefault(record.pid, record.worker or "coordinator")
+        args: Dict[str, Any] = {
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+        }
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        if record.worker is not None:
+            args["worker"] = record.worker
+        args.update(record.attrs)
+        events.append({
+            "name": record.name,
+            "cat": SPAN_CATEGORIES.get(record.name, "other"),
+            "ph": "X",
+            "ts": round((record.start_s - epoch) * 1e6, 3),
+            "dur": round(record.duration_s * 1e6, 3),
+            "pid": record.pid,
+            "tid": 1,
+            "args": args,
+        })
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for pid, label in sorted(labels.items())
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro-trace", "span_count": len(events)},
+    }
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Schema-lint a trace-event document; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, expected object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    open_stacks: Dict[Tuple[Any, Any], int] = {}
+    last_ts = None
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        for required in ("name", "ph", "pid", "tid"):
+            if required not in event:
+                problems.append(f"event {index}: missing {required!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "M"):
+            problems.append(f"event {index}: unsupported ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {index}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {index}: ts {ts} goes backwards (prev {last_ts})"
+            )
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: X event bad dur {dur!r}")
+        elif ph == "B":
+            track = (event.get("pid"), event.get("tid"))
+            open_stacks[track] = open_stacks.get(track, 0) + 1
+        elif ph == "E":
+            track = (event.get("pid"), event.get("tid"))
+            if not open_stacks.get(track):
+                problems.append(f"event {index}: E without matching B")
+            else:
+                open_stacks[track] -= 1
+    for track, depth in open_stacks.items():
+        if depth:
+            problems.append(f"track {track}: {depth} unmatched B event(s)")
+    return problems
+
+
+def summarize_chrome_trace(document: Dict[str, Any], top: int = 5) -> Dict[str, Any]:
+    """Decompose a trace into IPC vs compute (self-time) numbers.
+
+    Self-time per event is its duration minus the durations of its
+    direct children (linked through ``args.parent_id``); categories come
+    from the exported ``cat`` field, so structural parents (``trip``,
+    ``pipeline``) never double-count their children's work.
+    """
+    events = [
+        e for e in document.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+    names = {
+        e.get("pid"): e.get("args", {}).get("name")
+        for e in document.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "M"
+        and e.get("name") == "process_name"
+    }
+    child_us: Dict[str, float] = {}
+    for event in events:
+        parent = event.get("args", {}).get("parent_id")
+        if parent is not None:
+            child_us[parent] = child_us.get(parent, 0.0) + event.get("dur", 0.0)
+    categories: Dict[str, float] = {}
+    by_name: Dict[str, Dict[str, float]] = {}
+    per_process: Dict[int, float] = {}
+    for event in events:
+        span_id = event.get("args", {}).get("span_id")
+        self_us = max(
+            0.0, event.get("dur", 0.0) - child_us.get(span_id, 0.0)
+        )
+        cat = event.get("cat", "other")
+        categories[cat] = categories.get(cat, 0.0) + self_us
+        entry = by_name.setdefault(
+            event["name"], {"count": 0, "self_us": 0.0, "cat_is": 0}
+        )
+        entry["count"] += 1
+        entry["self_us"] += self_us
+        per_process[event["pid"]] = (
+            per_process.get(event["pid"], 0.0) + self_us
+        )
+    if events:
+        start = min(e["ts"] for e in events)
+        end = max(e["ts"] + e.get("dur", 0.0) for e in events)
+        wall_s = (end - start) / 1e6
+    else:
+        wall_s = 0.0
+    coordinator_pid = next(
+        (pid for pid, label in names.items() if label == "coordinator"), None
+    )
+    top_level_us = sum(
+        e.get("dur", 0.0) for e in events
+        if e.get("args", {}).get("parent_id") is None
+        and (coordinator_pid is None or e.get("pid") == coordinator_pid)
+    )
+    coverage = (top_level_us / 1e6) / wall_s if wall_s > 0 else 0.0
+    ipc_s = categories.get("ipc", 0.0) / 1e6
+    compute_s = categories.get("compute", 0.0) / 1e6
+    attributed = ipc_s + compute_s
+    slowest = sorted(
+        (
+            {
+                "name": e["name"],
+                "key": e.get("args", {}).get("key"),
+                "worker": e.get("args", {}).get("worker"),
+                "duration_s": e.get("dur", 0.0) / 1e6,
+            }
+            for e in events
+            if "key" in e.get("args", {})
+        ),
+        key=lambda row: -row["duration_s"],
+    )[:top]
+    return {
+        "events": len(events),
+        "processes": {
+            pid: {
+                "name": names.get(pid, "coordinator" if pid == coordinator_pid
+                                  else f"pid-{pid}"),
+                "self_s": self_us / 1e6,
+            }
+            for pid, self_us in sorted(per_process.items())
+        },
+        "wall_s": wall_s,
+        "coordinator_coverage": coverage,
+        "categories_s": {
+            cat: total / 1e6 for cat, total in sorted(categories.items())
+        },
+        "by_name_s": {
+            name: {"count": entry["count"], "self_s": entry["self_us"] / 1e6}
+            for name, entry in sorted(
+                by_name.items(), key=lambda kv: -kv[1]["self_us"]
+            )
+        },
+        "ipc_s": ipc_s,
+        "compute_s": compute_s,
+        "ipc_share": ipc_s / attributed if attributed else 0.0,
+        "compute_share": compute_s / attributed if attributed else 0.0,
+        "slowest": slowest,
+    }
+
+
+def format_trace_summary(summary: Dict[str, Any]) -> str:
+    """Render :func:`summarize_chrome_trace` as an operator report."""
+    lines = [
+        f"trace: {summary['events']} span events over "
+        f"{summary['wall_s']:.3f} s wall across "
+        f"{len(summary['processes'])} process(es)",
+        f"coordinator coverage by top-level spans: "
+        f"{100 * summary['coordinator_coverage']:.1f}%",
+    ]
+    categories = summary["categories_s"]
+    if categories:
+        total = sum(categories.values()) or 1.0
+        parts = ", ".join(
+            f"{cat} {seconds:.3f}s ({100 * seconds / total:.0f}%)"
+            for cat, seconds in sorted(
+                categories.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"self-time by category: {parts}")
+    lines.append(
+        f"IPC vs compute: ipc {summary['ipc_s']:.3f}s "
+        f"({100 * summary['ipc_share']:.1f}%) / compute "
+        f"{summary['compute_s']:.3f}s "
+        f"({100 * summary['compute_share']:.1f}%)"
+    )
+    hot = list(summary["by_name_s"].items())[:8]
+    if hot:
+        lines.append("hottest spans (self-time):")
+        for name, entry in hot:
+            lines.append(
+                f"  {name:<22} {entry['self_s'] * 1e3:>10.1f} ms  "
+                f"x{entry['count']}"
+            )
+    if summary["slowest"]:
+        lines.append("slowest keyed spans:")
+        for row in summary["slowest"]:
+            where = f" on {row['worker']}" if row.get("worker") else ""
+            lines.append(
+                f"  {row['name']} key={row['key']}{where}: "
+                f"{row['duration_s'] * 1e3:.1f} ms"
+            )
+    for pid, entry in summary["processes"].items():
+        lines.append(
+            f"process {pid} ({entry['name']}): "
+            f"{entry['self_s']:.3f} s attributed self-time"
+        )
+    return "\n".join(lines)

@@ -222,14 +222,24 @@ class World:
                         engine,
                         keep_matches=keep_matches,
                     )
+                def _merge(sim_state, prepared_trip):
+                    # Keyed span: slow single-writer merges surface as
+                    # slow-trip exemplars alongside slow worker trips.
+                    with self.tracer.span(
+                        "ingest_merge", key=prepared_trip.trip_key
+                    ):
+                        reports.append(
+                            self.server.apply_prepared(
+                                prepared_trip, now_s=sim_state.now
+                            )
+                        )
+
                 for (arrive_at, _), prepared in zip(
                     timed_uploads, prepared_all
                 ):
                     sim.schedule(
                         max(arrive_at, start_s),
-                        lambda s, p=prepared: reports.append(
-                            self.server.apply_prepared(p, now_s=s.now)
-                        ),
+                        lambda s, p=prepared: _merge(s, p),
                     )
             else:
                 for arrive_at, upload in timed_uploads:
