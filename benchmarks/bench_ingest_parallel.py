@@ -8,23 +8,32 @@ canonical testkit trace and required byte-identical to the serial
 run's before its time counts, so the table can't quietly trade
 correctness for speed.
 
-A final traced pass (span retention on, workers=2) breaks the wall
-down into the IPC cost centres the tracer accounts for — fingerprint
-broadcast, shard pickle serialize/deserialize with byte counts, pool
-queue wait, result wait and merge — plus a per-worker
-queue-wait/deserialize/compute split, so a flat speedup curve can be
-read against where the time actually went.
+A pair of traced passes (span retention on, workers=2, equal shard
+size) breaks the wall down into the IPC cost centres the tracer
+accounts for — fingerprint broadcast, shard serialize/deserialize with
+byte counts, pool queue wait, result wait and merge — once through the
+legacy pickle-everything path (*before*) and once through the
+shared-memory fingerprint store + columnar shard codec (*after*), so
+the broadcast and per-shard byte reductions are printed side by side
+instead of asserted in the abstract.  A per-worker
+queue-wait/deserialize/compute split for the shm pass lets a flat
+speedup curve be read against where the time actually went.  The
+before/after numbers also land in
+``benchmarks/reports/ipc_breakdown.json`` for the CI artifact.
 
 The speedup column is only meaningful on a multi-core host; the report
 records the machine's core count next to it.
 
-Run directly (``PYTHONPATH=src python benchmarks/bench_ingest_parallel.py``)
-or through pytest; either way the numbers land in
-``benchmarks/reports/ingest_parallel.txt``.
+Run directly (``PYTHONPATH=src python benchmarks/bench_ingest_parallel.py
+[--quick]``) or through pytest; either way the numbers land in
+``benchmarks/reports/ingest_parallel.txt``.  ``--quick`` shrinks the
+campaign window and the worker matrix for the CI smoke job.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import time
 
@@ -37,9 +46,11 @@ from repro.util.units import parse_hhmm
 
 from conftest import report
 
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
 REPEATS = 3
 WORKER_COUNTS = (1, 2, 4, 8)
-#: Pool size of the traced IPC-attribution pass.
+#: Pool size of the traced IPC-attribution passes.
 BREAKDOWN_WORKERS = 2
 
 
@@ -89,11 +100,15 @@ def _best_time(world: World, uploads, workers: int, baseline_trace):
     return best, trace
 
 
-def _ipc_breakdown(world: World, uploads) -> list:
-    """One traced parallel pass: where the dispatch wall actually goes."""
+def _ipc_stats(world: World, uploads, *, shared_store: bool,
+               shard_size: int) -> dict:
+    """One traced parallel pass; totals/bytes per IPC cost centre."""
     tracer = Tracer(SamplingPolicy())
     server = _fresh_server(world, tracer=tracer)
-    with IngestEngine.for_server(server, workers=BREAKDOWN_WORKERS) as engine:
+    with IngestEngine.for_server(
+        server, workers=BREAKDOWN_WORKERS,
+        shared_store=shared_store, shard_size=shard_size,
+    ) as engine:
         server.ingest_many(uploads, engine=engine)
     records = tracer.records()
 
@@ -108,48 +123,133 @@ def _ipc_breakdown(world: World, uploads) -> list:
             r.attrs.get("bytes", 0) for r in records if r.name == name
         )
 
+    shards = [r for r in records if r.name == "shard_serialize"]
+    per_worker = {}
+    for worker in sorted({r.worker for r in records if r.worker}):
+        per_worker[worker] = {
+            "queue_wait_ms": 1e3 * total("pool_queue_wait", worker=worker),
+            "deserialize_ms": 1e3 * total("shard_deserialize", worker=worker),
+            "compute_ms": 1e3 * sum(
+                r.duration_s for r in records
+                if r.worker == worker and r.name == "prepare_trip"
+            ),
+        }
+    return {
+        "mode": "shm" if shared_store else "legacy",
+        "shard_size": shard_size,
+        "shards": len(shards),
+        "broadcast_ms": 1e3 * total("fingerprint_broadcast"),
+        "broadcast_bytes": bytes_of("fingerprint_broadcast"),
+        "shm_bytes": sum(
+            r.attrs.get("shm_bytes", 0) for r in records
+            if r.name == "fingerprint_broadcast"
+        ),
+        "serialize_ms": 1e3 * total("shard_serialize"),
+        "serialize_bytes": bytes_of("shard_serialize"),
+        "per_shard_bytes": (
+            bytes_of("shard_serialize") / len(shards) if shards else 0.0
+        ),
+        "result_wait_ms": 1e3 * total("pool_result_wait"),
+        "result_merge_ms": 1e3 * total("result_merge"),
+        "per_worker": per_worker,
+    }
+
+
+def _ipc_breakdown(world: World, uploads) -> list:
+    """Before/after traced passes: legacy pickling vs shared memory.
+
+    Both passes pin the same shard size (the legacy default of four
+    shards per worker) so the per-shard byte comparison is
+    apples-to-apples — the shm path's coarser default sharding would
+    otherwise inflate its per-shard payloads.
+    """
+    shard_size = max(
+        1, -(-len(uploads) // (BREAKDOWN_WORKERS * 4))
+    )
+    before = _ipc_stats(world, uploads, shared_store=False,
+                        shard_size=shard_size)
+    after = _ipc_stats(world, uploads, shared_store=True,
+                       shard_size=shard_size)
+
+    def ratio(a, b):
+        return a / b if b else float("inf")
+
     rows = [
         "",
-        f"IPC cost attribution (traced pass, workers={BREAKDOWN_WORKERS}):",
-        f"  fingerprint broadcast   {total('fingerprint_broadcast') * 1e3:8.1f} ms"
-        f"   {bytes_of('fingerprint_broadcast') / 1e6:6.2f} MB",
-        f"  shard serialize         {total('shard_serialize') * 1e3:8.1f} ms"
-        f"   {bytes_of('shard_serialize') / 1e6:6.2f} MB",
-        f"  pool result wait        {total('pool_result_wait') * 1e3:8.1f} ms",
-        f"  result merge            {total('result_merge') * 1e3:8.1f} ms",
+        f"IPC cost attribution (traced passes, workers={BREAKDOWN_WORKERS}, "
+        f"shard_size={shard_size}):",
+        f"  {'':24} {'legacy (before)':>20} {'shm (after)':>18} "
+        f"{'bytes':>8}",
+        f"  fingerprint broadcast   "
+        f"{before['broadcast_ms']:>7.1f} ms {before['broadcast_bytes'] / 1e3:>8.1f} kB"
+        f" {after['broadcast_ms']:>6.1f} ms {after['broadcast_bytes'] / 1e3:>6.1f} kB"
+        f" {ratio(before['broadcast_bytes'], after['broadcast_bytes']):>7.1f}x",
+        f"  shard serialize (total) "
+        f"{before['serialize_ms']:>7.1f} ms {before['serialize_bytes'] / 1e3:>8.1f} kB"
+        f" {after['serialize_ms']:>6.1f} ms {after['serialize_bytes'] / 1e3:>6.1f} kB"
+        f" {ratio(before['serialize_bytes'], after['serialize_bytes']):>7.1f}x",
+        f"  per-shard payload       "
+        f"{'':>10} {before['per_shard_bytes'] / 1e3:>8.1f} kB"
+        f" {'':>9} {after['per_shard_bytes'] / 1e3:>6.1f} kB"
+        f" {ratio(before['per_shard_bytes'], after['per_shard_bytes']):>7.1f}x",
+        f"  shared segment          {'':>20} "
+        f"{after['shm_bytes'] / 1e3:>13.1f} kB   (mapped once, zero-copy)",
+        f"  pool result wait        {before['result_wait_ms']:>7.1f} ms"
+        f" {'':>13} {after['result_wait_ms']:>6.1f} ms",
+        f"  result merge            {before['result_merge_ms']:>7.1f} ms"
+        f" {'':>13} {after['result_merge_ms']:>6.1f} ms",
         "",
-        f"  {'worker':>18} {'queue-wait':>11} {'deserialize':>12} "
+        f"  shm pass per worker {'queue-wait':>11} {'deserialize':>12} "
         f"{'compute':>9}",
     ]
-    workers = sorted({r.worker for r in records if r.worker})
-    for worker in workers:
-        compute = sum(
-            r.duration_s for r in records
-            if r.worker == worker and r.name == "prepare_trip"
-        )
+    for worker, split in after["per_worker"].items():
         rows.append(
             f"  {worker:>18} "
-            f"{total('pool_queue_wait', worker=worker) * 1e3:>8.1f} ms "
-            f"{total('shard_deserialize', worker=worker) * 1e3:>9.1f} ms "
-            f"{compute * 1e3:>6.1f} ms"
+            f"{split['queue_wait_ms']:>8.1f} ms "
+            f"{split['deserialize_ms']:>9.1f} ms "
+            f"{split['compute_ms']:>6.1f} ms"
         )
+
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    document = {
+        "bench": "ipc_breakdown",
+        "workers": BREAKDOWN_WORKERS,
+        "shard_size": shard_size,
+        "uploads": len(uploads),
+        "before": before,
+        "after": after,
+        "reduction": {
+            "broadcast_bytes": round(
+                ratio(before["broadcast_bytes"], after["broadcast_bytes"]), 2
+            ),
+            "per_shard_bytes": round(
+                ratio(before["per_shard_bytes"], after["per_shard_bytes"]), 2
+            ),
+        },
+    }
+    with open(os.path.join(REPORT_DIR, "ipc_breakdown.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
     return rows
 
 
-def run() -> str:
+def run(quick: bool = False) -> str:
     world = World(seed=7)
-    result = world.run(parse_hhmm("07:00"), parse_hhmm("10:00"),
+    start, end = ("07:30", "08:15") if quick else ("07:00", "10:00")
+    result = world.run(parse_hhmm(start), parse_hhmm(end),
                        with_official_feed=False)
     uploads = result.uploads
+    worker_counts = (1, 2) if quick else WORKER_COUNTS
     serial_s, baseline = _best_time(world, uploads, 1, None)
     rows = [
-        f"uploads replayed   {len(uploads)}",
+        f"uploads replayed   {len(uploads)}  ({start}-{end})",
         f"host cpu cores     {os.cpu_count()}",
         f"{'workers':>8} {'best (ms)':>10} {'trips/s':>9} {'speedup':>8}",
         f"{1:>8} {serial_s * 1e3:>10.1f} "
         f"{len(uploads) / serial_s:>9.0f} {1.0:>7.2f}x",
     ]
-    for workers in WORKER_COUNTS[1:]:
+    for workers in worker_counts[1:]:
         elapsed, _ = _best_time(world, uploads, workers, baseline)
         rows.append(
             f"{workers:>8} {elapsed * 1e3:>10.1f} "
@@ -165,4 +265,8 @@ def test_ingest_parallel():
 
 
 if __name__ == "__main__":
-    report("ingest_parallel", run())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small campaign + fewer workers (CI smoke)")
+    args = parser.parse_args()
+    report("ingest_parallel", run(quick=args.quick))

@@ -7,6 +7,12 @@ asserts the server pipeline counters and the shared matcher/clustering
 telemetry are identical.  Any scheduling-, pickling- or merge-order bug
 in the parallel path shows up here as a counter diff.
 
+Two regressions ride shotgun: every deterministic *gauge* must also
+match between the runs (worker snapshots used to clobber the
+coordinator's levels — only the quarantined ``ingest_*``/``match_*``
+physical families may differ), and the parallel run must not leak any
+``repro-fp-*`` shared-memory fingerprint segments in ``/dev/shm``.
+
 Writes both metrics documents plus a parity verdict to
 ``benchmarks/reports/`` so CI can upload them as artifacts.
 
@@ -22,6 +28,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.cli import main as repro_main                  # noqa: E402
+from repro.core.shared_store import active_segments       # noqa: E402
 
 REPORT_DIR = os.path.join(
     os.path.dirname(__file__), "..", "benchmarks", "reports"
@@ -37,6 +44,14 @@ SHARED_COUNTERS = (
     "trip_mapping_attempts",
     "trip_mapping_mapped",
 )
+
+#: Gauge families allowed to differ between serial and parallel runs:
+#: engine plumbing only exists in the parallel run, and match_* levels
+#: are per-process physical state (the coordinator's own matcher does
+#: no work when an engine is attached, so its levels legitimately
+#: differ — the bug was workers *overwriting* them, which the
+#: quarantine in IngestEngine.prepare now prevents).
+VOLATILE_GAUGE_PREFIXES = ("ingest_", "match_")
 
 
 def run_campaign(workers: int) -> dict:
@@ -73,6 +88,21 @@ def main() -> int:
     if "ingest_batches_total" not in parallel["metrics"]["counters"]:
         problems.append("parallel run recorded no ingest_* engine metrics")
 
+    gauges = set(serial["metrics"]["gauges"]) | set(
+        parallel["metrics"]["gauges"]
+    )
+    for name in sorted(gauges):
+        if name.startswith(VOLATILE_GAUGE_PREFIXES):
+            continue
+        a = serial["metrics"]["gauges"].get(name)
+        b = parallel["metrics"]["gauges"].get(name)
+        if a != b:
+            problems.append(f"gauge {name}: serial={a} parallel={b}")
+
+    leaked = active_segments()
+    if leaked:
+        problems.append(f"leaked /dev/shm fingerprint segments: {leaked}")
+
     verdict = {
         "parity": not problems,
         "problems": problems,
@@ -87,9 +117,13 @@ def main() -> int:
         for problem in problems:
             print(problem, file=sys.stderr)
         return 1
+    checked = sum(
+        1 for name in gauges if not name.startswith(VOLATILE_GAUGE_PREFIXES)
+    )
     print(f"parity ok: --workers 2 == --workers 1 over "
           f"{serial['stats']['trips_received']} uploads "
-          f"({len(SHARED_COUNTERS)} shared counters checked)")
+          f"({len(SHARED_COUNTERS)} shared counters, {checked} gauges, "
+          f"no leaked shm segments)")
     return 0
 
 

@@ -101,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--alert-rules", default=None, metavar="FILE",
                           help="evaluate this JSON SLO rule file on every "
                                "publish tick")
+    _add_ingest_flags(simulate)
     _add_trace_flags(simulate)
 
     process = sub.add_parser("process", help="re-run the backend on stored trips")
@@ -132,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--alert-rules", default=None, metavar="FILE",
                           help="evaluate this JSON SLO rule file on every "
                                "publish tick")
+    _add_ingest_flags(campaign)
     _add_trace_flags(campaign)
 
     sub.add_parser("power", help="print the Table III power model")
@@ -239,6 +241,37 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--report-out", default=None, metavar="FILE",
                              help="write the full conformance report as JSON")
     return parser
+
+
+def _add_ingest_flags(command: argparse.ArgumentParser) -> None:
+    """Parallel-ingest IPC flags shared by ``simulate`` and ``campaign``."""
+    command.add_argument("--legacy-ipc", action="store_true",
+                         help="broadcast worker state as per-worker pickles "
+                              "and ship shards as raw pickle instead of the "
+                              "zero-copy shared-memory store + columnar "
+                              "codec (the A/B baseline; results are "
+                              "identical either way)")
+    command.add_argument("--memo-warm", type=int, default=None, metavar="N",
+                         help="pre-warm each ingest worker's verdict memo "
+                              "with the coordinator's N hottest entries "
+                              "(default: config; 0 disables)")
+
+
+def _ingest_config(args: argparse.Namespace):
+    """A SystemConfig honouring the parallel-ingest IPC flags."""
+    from dataclasses import replace
+
+    from repro.config import SystemConfig
+
+    config = SystemConfig()
+    ingest = config.ingest
+    if getattr(args, "legacy_ipc", False):
+        ingest = replace(ingest, shared_store=False)
+    if getattr(args, "memo_warm", None) is not None:
+        ingest = replace(ingest, memo_warm=args.memo_warm)
+    if ingest is not config.ingest:
+        config = replace(config, ingest=ingest)
+    return config
 
 
 def _add_trace_flags(command: argparse.ArgumentParser) -> None:
@@ -420,7 +453,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         bool(args.metrics_out) or args.serve_metrics is not None,
         policy=_trace_policy(args),
     )
-    world = World(seed=args.seed, registry=registry, tracer=tracer)
+    world = World(seed=args.seed, config=_ingest_config(args),
+                  registry=registry, tracer=tracer)
     server = world.server
     engine = _alert_engine_for(args.alert_rules, registry, server)
 
@@ -799,7 +833,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     registry, tracer = _observability_for(
         bool(args.metrics_out), policy=_trace_policy(args)
     )
-    world = World(seed=args.seed, registry=registry, tracer=tracer)
+    world = World(seed=args.seed, config=_ingest_config(args),
+                  registry=registry, tracer=tracer)
     engine = _alert_engine_for(args.alert_rules, registry, world.server)
     campaign = Campaign(world, start=args.start, end=args.end,
                         workers=args.workers)

@@ -220,6 +220,27 @@ class AnalyticsConfig:
 
 
 @dataclass(frozen=True)
+class IngestConfig:
+    """Parallel ingest IPC strategy (worker pools, §III-C at scale).
+
+    These knobs govern only *how* shards and shared state cross the
+    process boundary — never what any estimator computes.  Both modes
+    are bit-identical to serial ingest; ``shared_store=False`` keeps the
+    pickled-broadcast path alive as the A/B baseline the IPC benchmarks
+    compare against.
+    """
+
+    #: Broadcast the fingerprint DB + inverted index + route network as
+    #: one read-only shared-memory segment (zero-copy attach per worker)
+    #: and ship shards through the columnar codec, instead of pickling
+    #: everything per worker / per shard.
+    shared_store: bool = True
+    #: Hottest verdict-memo entries shipped to each worker at pool init
+    #: so its cache starts warm (0 disables pre-warming).
+    memo_warm: int = 512
+
+
+@dataclass(frozen=True)
 class TracingConfig:
     """Span-retention defaults for the tracing subsystem.
 
@@ -281,6 +302,7 @@ class SystemConfig:
     google_maps: GoogleMapsConfig = field(default_factory=GoogleMapsConfig)
     analytics: AnalyticsConfig = field(default_factory=AnalyticsConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
 
 
 DEFAULT_CONFIG = SystemConfig()

@@ -30,9 +30,9 @@ so a parallel run exports the same counter totals as a serial one.  The
 engine additionally exports ``ingest_*`` counters and per-stage
 histograms on the parent side.
 
-IPC cost attribution: the coordinator pickles each shard itself
+IPC cost attribution: the coordinator serializes each shard itself
 (``shard_serialize`` span with a ``bytes`` attribute), captures a
-dispatch timestamp, and ships the blob; the worker times the unpickle
+dispatch timestamp, and ships the blob; the worker times the decode
 (``shard_deserialize``), reports the dispatch→receipt gap
 (``pool_queue_wait`` — ``time.perf_counter`` is CLOCK_MONOTONIC on
 Linux, so coordinator and worker clocks agree), and wraps every trip in
@@ -45,6 +45,26 @@ under the coordinator's open span via a propagated
 :class:`~repro.obs.tracing.TraceContext` — every worker-scaling cost
 has a named number.  With :data:`NULL_TRACER` (the default) all of it
 degrades to no-ops.
+
+Those spans are why the engine runs one of two explicit IPC modes
+(``config.ingest.shared_store``):
+
+* ``shm`` (default) — the fingerprint DB + inverted candidate index
+  ride as flat int arrays in one ``multiprocessing.shared_memory``
+  segment (:mod:`repro.core.shared_store`) that workers attach
+  read-only; the route network and the coordinator's hottest verdict
+  memos ride in the same segment's aux blob; the pool initargs shrink
+  to a metadata descriptor.  Shards cross the pipe through the
+  columnar codec (rss stripped on the wire, original sample objects
+  swapped back in during ``result_merge``, so end state stays
+  bit-identical), and shard batching coarsens to one shard per worker
+  — dispatch overhead amortizes instead of multiplying.
+* ``legacy`` — the PR-7 pickled broadcast + pickled shards, kept as
+  the A/B baseline the IPC benchmarks diff against.
+
+Both modes run the same :func:`prepare_trip`, so both are bit-identical
+to serial ingest at any worker count; only the bytes-on-the-wire and
+wall clock differ.
 """
 
 from __future__ import annotations
@@ -63,12 +83,24 @@ from repro.core.clustering import (
     cluster_trip_samples,
 )
 from repro.core.matching import MatchResult, SampleMatcher
+from repro.core.shared_store import (
+    SHARD_MAGIC,
+    SharedFingerprintStore,
+    decode_shard,
+    encode_shard,
+)
 from repro.core.trip_mapping import MappedTrip, RouteConstraint, map_trip
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.phone.trip_recorder import TripUpload
 
 __all__ = ["PreparedTrip", "IngestEngine", "prepare_trip"]
+
+#: Worker-exported gauge families that are point-in-time levels of
+#: *worker-local* state (cache fill, run-to-date prune ratio).  Folding
+#: them into the coordinator registry would clobber the coordinator's
+#: own level with whichever shard merged last — they stay worker-side.
+WORKER_GAUGE_QUARANTINE: Tuple[str, ...] = ("match_",)
 
 #: The pure per-trip stages, in pipeline order (span / histogram names).
 PREPARE_STAGES: Tuple[str, ...] = ("matching", "clustering", "trip_mapping")
@@ -169,32 +201,47 @@ class _ShardOutcome:
     #: retained span records / exemplars when the coordinator propagated
     #: a sampling policy (see :meth:`Tracer.export_trace_state`).
     trace: Dict[str, Any]
+    #: Columnar-shard runs only: per trip, per cluster, the positions of
+    #: each clustered sample in the original upload — the recipe the
+    #: coordinator uses to swap the riders' original sample objects
+    #: (rss and all) back into the results during ``result_merge``.
+    sample_indexes: Optional[List[List[List[int]]]] = None
 
 
 class _WorkerState:
     """Per-process state built once by the pool initializer.
 
     The matcher's inverted candidate index is built here, once per
-    worker (not per shard), and its verdict memo is per-worker private —
-    caches never cross process boundaries, and the memo survives shard
-    boundaries so repeat sequences hit across a whole run.  Both knobs
-    travel inside the pickled ``matching_config``, so a full-scan or
-    cache-disabled configuration on the parent reproduces identically
-    in every worker.
+    worker (not per shard) — or, in shared-store mode, simply *attached*
+    from the coordinator's shared-memory arrays — and its verdict memo
+    is per-worker private: caches never cross process boundaries, and
+    the memo survives shard boundaries so repeat sequences hit across a
+    whole run.  Both knobs travel inside the pickled
+    ``matching_config``, so a full-scan or cache-disabled configuration
+    on the parent reproduces identically in every worker.
     """
 
     def __init__(
         self,
-        fingerprints: Dict[int, Tuple[int, ...]],
+        fingerprints: Optional[Dict[int, Tuple[int, ...]]],
         matching_config,
         clustering_config,
         route_network: RouteNetwork,
         trip_mapping_config,
+        *,
+        store: Optional[SharedFingerprintStore] = None,
+        warm_entries: Sequence = (),
     ):
         self.registry = MetricsRegistry()
+        self.store = store
         self.matcher = SampleMatcher(
-            fingerprints, matching_config, registry=self.registry
+            fingerprints, matching_config, registry=self.registry,
+            store=store,
         )
+        if warm_entries:
+            # Coordinator's hottest verdicts: adopted silently, so the
+            # memo starts hot without skewing hit/miss accounting.
+            self.matcher.cache.preload(warm_entries)
         self.clustering_config = clustering_config
         self.constraint = RouteConstraint(route_network, trip_mapping_config)
 
@@ -205,17 +252,26 @@ _WORKER_STATE: Optional[_WorkerState] = None
 _WORKER_INIT: Optional[Tuple[float, float]] = None
 
 
-def _init_worker(
-    fingerprints, matching_config, clustering_config, route_network,
-    trip_mapping_config,
-) -> None:
-    """Pool initializer: broadcast the read-only state once per worker."""
+def _init_worker(mode: str, *payload) -> None:
+    """Pool initializer: broadcast the read-only state once per worker.
+
+    ``legacy`` receives everything pickled through the pool pipe;
+    ``shm`` receives a tiny segment descriptor plus the small configs,
+    attaches the fingerprint arrays zero-copy, and unpickles the route
+    network and memo warm set out of the segment's aux blob.
+    """
     global _WORKER_STATE, _WORKER_INIT
     started = time.perf_counter()
-    _WORKER_STATE = _WorkerState(
-        fingerprints, matching_config, clustering_config, route_network,
-        trip_mapping_config,
-    )
+    if mode == "shm":
+        meta, matching_config, clustering_config, trip_mapping_config = payload
+        store = SharedFingerprintStore.attach(meta)
+        route_network, warm_entries = pickle.loads(store.aux_bytes)
+        _WORKER_STATE = _WorkerState(
+            None, matching_config, clustering_config, route_network,
+            trip_mapping_config, store=store, warm_entries=warm_entries,
+        )
+    else:
+        _WORKER_STATE = _WorkerState(*payload)
     _WORKER_INIT = (started, time.perf_counter() - started)
 
 
@@ -249,8 +305,12 @@ def _prepare_shard(
             start_s=dispatched_at,
             duration_s=received_at - dispatched_at,
         )
+    columnar = blob.startswith(SHARD_MAGIC)
     with tracer.span("shard_deserialize", bytes=len(blob)):
-        shard, keep_matches = pickle.loads(blob)
+        if columnar:
+            shard, keep_matches = decode_shard(blob)
+        else:
+            shard, keep_matches = pickle.loads(blob)
     # The worker registry is reset per shard and its snapshot shipped
     # back, so the parent can merge shard deltas without double counting.
     state.registry.reset()
@@ -268,10 +328,26 @@ def _prepare_shard(
                     keep_matches=keep_matches,
                 )
             )
+    sample_indexes = None
+    if columnar:
+        # Columnar shards decode to rss-less sample objects; record each
+        # clustered sample's position in its upload so the coordinator
+        # can restore the originals.  Clustering wraps (never copies)
+        # the decoded sample objects, so identity lookup is exact.
+        sample_indexes = []
+        for upload, trip in zip(shard, prepared):
+            positions = {id(s): k for k, s in enumerate(upload.samples)}
+            sample_indexes.append(
+                [
+                    [positions[id(member.sample)] for member in cluster.samples]
+                    for cluster in trip.clusters
+                ]
+            )
     return _ShardOutcome(
         prepared=prepared,
         metrics=state.registry.as_dict(),
         trace=tracer.export_trace_state(),
+        sample_indexes=sample_indexes,
     )
 
 
@@ -304,6 +380,8 @@ class IngestEngine:
         shard_size: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        shared_store: Optional[bool] = None,
+        warm_source=None,
     ):
         if workers < 1:
             raise ValueError("ingest engine needs at least one worker")
@@ -314,6 +392,19 @@ class IngestEngine:
         self.shard_size = shard_size
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.mode = (
+            "shm"
+            if (
+                config.ingest.shared_store
+                if shared_store is None
+                else shared_store
+            )
+            else "legacy"
+        )
+        self._memo_warm = config.ingest.memo_warm
+        #: Called at pool start; returns the coordinator's hottest memo
+        #: entries so workers begin with a warm verdict cache.
+        self._warm_source = warm_source
         self._payload = (
             dict(fingerprints),
             config.matching,
@@ -321,6 +412,7 @@ class IngestEngine:
             route_network,
             config.trip_mapping,
         )
+        self._store: Optional[SharedFingerprintStore] = None
         self._pool: Optional[multiprocessing.pool.Pool] = None
         reg = self.registry
         self._c_batches = reg.counter(
@@ -358,6 +450,11 @@ class IngestEngine:
         serial ones.
         """
         kwargs.setdefault("tracer", server.tracer)
+        warm = server.config.ingest.memo_warm
+        kwargs.setdefault(
+            "warm_source",
+            (lambda: server.matcher.cache.hottest(warm)) if warm else None,
+        )
         return cls(
             server.database.as_dict(),
             server.route_network,
@@ -369,15 +466,51 @@ class IngestEngine:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _initargs(self) -> Tuple:
+        """The per-worker broadcast: mode-tagged pool initargs.
+
+        In ``shm`` mode this is where the shared store is created: the
+        fingerprint arrays land in the segment, the route network and
+        the coordinator's hottest memo entries ride its aux blob, and
+        only a metadata descriptor plus the small configs cross the
+        pool pipe.  Falls back to ``legacy`` if the host cannot provide
+        shared memory.
+        """
+        fingerprints, matching, clustering, route_network, mapping = (
+            self._payload
+        )
+        if self.mode == "shm":
+            warm = self._warm_source() if self._warm_source else []
+            if self._memo_warm:
+                warm = list(warm)[: self._memo_warm]
+            try:
+                self._store = SharedFingerprintStore.create(
+                    fingerprints,
+                    aux=pickle.dumps(
+                        (route_network, warm), pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+            except OSError:
+                self.mode = "legacy"
+            else:
+                return (
+                    "shm", self._store.meta, matching, clustering, mapping,
+                )
+        return ("legacy",) + self._payload
+
     def start(self) -> "IngestEngine":
         """Spawn the worker pool (idempotent)."""
         if self._pool is None:
+            initargs = self._initargs()
             if self.tracer.enabled:
                 # Measure what the pool is about to broadcast to every
-                # worker: the fingerprint DB dominates the payload.
+                # worker.  Legacy mode ships the whole fingerprint DB +
+                # route network per worker; shm mode ships a descriptor
+                # and parks the bulk in the shared segment (reported
+                # separately as shm_bytes — paid once, not per worker).
                 t0 = time.perf_counter()
                 payload_bytes = len(
-                    pickle.dumps(self._payload, pickle.HIGHEST_PROTOCOL)
+                    pickle.dumps(initargs[1:], pickle.HIGHEST_PROTOCOL)
                 )
                 self.tracer.record_span(
                     "fingerprint_broadcast",
@@ -385,20 +518,35 @@ class IngestEngine:
                     duration_s=time.perf_counter() - t0,
                     bytes=payload_bytes,
                     workers=self.workers,
+                    mode=self.mode,
+                    shm_bytes=(
+                        self._store._segment.size if self._store else 0
+                    ),
                 )
             self._pool = multiprocessing.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=self._payload,
+                initargs=initargs,
             )
         return self
 
     def close(self) -> None:
-        """Tear the worker pool down."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Tear the worker pool down and destroy the shared segment.
+
+        Runs the unlink even when the pool refuses to die cleanly (a
+        crashed worker, an interrupted batch): the segment's lifetime
+        is bound to the engine, never to the worker processes — they
+        attach untracked and simply unmap on exit.
+        """
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            if self._store is not None:
+                self._store.unlink()
+                self._store = None
 
     def __enter__(self) -> "IngestEngine":
         return self.start()
@@ -409,13 +557,52 @@ class IngestEngine:
     # -- fan-out -------------------------------------------------------------
 
     def _shards(self, uploads: Sequence[TripUpload]) -> List[List[TripUpload]]:
-        """Cut the batch into ordered shards (~4 per worker by default)."""
+        """Cut the batch into ordered shards.
+
+        Legacy mode keeps ~4 shards per worker (fine-grained balancing
+        compensates for its per-shard pickle tax).  Shared-store mode
+        coarsens to one shard per worker: the per-shard costs —
+        serialize, queue hop, result wait, merge — are then paid
+        ``workers`` times per batch instead of ``4 × workers``, and the
+        columnar codec compresses better over bigger shards.
+        """
         size = self.shard_size
         if size is None:
-            size = max(1, -(-len(uploads) // (self.workers * 4)))
+            per_worker = 1 if self.mode == "shm" else 4
+            size = max(1, -(-len(uploads) // (self.workers * per_worker)))
         return [
             list(uploads[i: i + size]) for i in range(0, len(uploads), size)
         ]
+
+    def _encode_shard(self, shard, keep_matches: bool) -> bytes:
+        if self.mode == "shm":
+            return encode_shard(shard, keep_matches)
+        return pickle.dumps((shard, keep_matches), pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def _rehydrate(shard, outcome: _ShardOutcome) -> None:
+        """Swap the riders' original sample objects back into the results.
+
+        Columnar shards travel without the per-sample rss vectors (the
+        pure stages never read them), so the decoded-on-the-worker
+        sample objects inside each cluster are rss-less copies.  Every
+        cluster slot is rewritten in place with the original
+        :class:`CellularSample` at the recorded upload position — after
+        this, results are indistinguishable object-for-object from a
+        serial run's.
+        """
+        if outcome.sample_indexes is None:
+            return
+        for upload, trip, index_lists in zip(
+            shard, outcome.prepared, outcome.sample_indexes
+        ):
+            for cluster, positions in zip(trip.clusters, index_lists):
+                cluster.samples[:] = [
+                    MatchedSample(
+                        sample=upload.samples[position], match=member.match
+                    )
+                    for position, member in zip(positions, cluster.samples)
+                ]
 
     def prepare(
         self, uploads: Sequence[TripUpload], *, keep_matches: bool = False
@@ -430,9 +617,7 @@ class IngestEngine:
         handles = []
         for index, shard in enumerate(shards):
             t0 = time.perf_counter()
-            blob = pickle.dumps(
-                (shard, keep_matches), pickle.HIGHEST_PROTOCOL
-            )
+            blob = self._encode_shard(shard, keep_matches)
             tracer.record_span(
                 "shard_serialize",
                 start_s=t0,
@@ -458,8 +643,12 @@ class IngestEngine:
                 shard=index,
             )
             with tracer.span("result_merge", shard=index):
+                self._rehydrate(shard, outcome)
                 prepared.extend(outcome.prepared)
-                self.registry.merge_dict(outcome.metrics)
+                self.registry.merge_dict(
+                    outcome.metrics,
+                    skip_gauge_prefixes=WORKER_GAUGE_QUARANTINE,
+                )
                 self._c_shards.inc()
                 self._h_shard_trips.observe(len(shard))
                 for stage, timing in outcome.trace["stages"].items():

@@ -39,14 +39,17 @@ worker count.
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import islice
 from typing import (
-    TYPE_CHECKING, Dict, Iterable, NamedTuple, Optional, Sequence, Set, Tuple,
+    TYPE_CHECKING, Dict, Iterable, List, NamedTuple, Optional, Sequence, Set,
+    Tuple,
 )
 
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
 
 if TYPE_CHECKING:                        # matching.py imports this module
     from repro.core.matching import MatchResult
+    from repro.core.shared_store import FingerprintArrays
 
 __all__ = ["CachedMatch", "MatchCache", "MatchIndex", "canonical_key"]
 
@@ -73,7 +76,7 @@ class MatchIndex:
     """
 
     __slots__ = (
-        "_stations_by_tower", "_station_count", "_observing",
+        "_stations_by_tower", "_station_count", "_arrays", "_observing",
         "_h_candidates", "_g_prune_ratio", "_lookups", "_candidates_seen",
     )
 
@@ -91,11 +94,39 @@ class MatchIndex:
                 stations_by_tower.setdefault(int(tower), []).append(
                     int(station_id)
                 )
-        self._stations_by_tower: Dict[int, Tuple[int, ...]] = {
+        self._stations_by_tower: Optional[Dict[int, Tuple[int, ...]]] = {
             tower: tuple(sorted(stations))
             for tower, stations in stations_by_tower.items()
         }
+        self._arrays = None
         self._station_count = len(fingerprints)
+        self._init_metrics(registry)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: "FingerprintArrays",
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "MatchIndex":
+        """An index answering straight from :class:`FingerprintArrays`.
+
+        The CSR-style ``towers → station ordinals`` arrays *are* the
+        inverted index — when they live in shared memory the worker pays
+        no per-process rebuild and shares the coordinator's pages.
+        Candidate sets, lookup metrics and exactness guarantees are
+        identical to the dict-backed constructor.
+        """
+        if not len(arrays):
+            raise ValueError("match index needs a non-empty fingerprint database")
+        index = cls.__new__(cls)
+        index._stations_by_tower = None
+        index._arrays = arrays
+        index._station_count = len(arrays)
+        index._init_metrics(registry)
+        return index
+
+    def _init_metrics(self, registry: Optional[MetricsRegistry]) -> None:
         reg = registry if registry is not None else NULL_REGISTRY
         self._observing = not isinstance(reg, NullRegistry)
         self._h_candidates = reg.histogram(
@@ -117,10 +148,14 @@ class MatchIndex:
     @property
     def tower_count(self) -> int:
         """Number of distinct cell ids across all fingerprints."""
+        if self._arrays is not None:
+            return self._arrays.tower_count
         return len(self._stations_by_tower)
 
     def stations_for(self, tower_id: int) -> Tuple[int, ...]:
         """The stations whose fingerprint contains ``tower_id`` (sorted)."""
+        if self._arrays is not None:
+            return self._arrays.stations_for(tower_id)
         return self._stations_by_tower.get(int(tower_id), ())
 
     def candidates(self, tower_ids: Iterable[int]) -> Set[int]:
@@ -130,12 +165,15 @@ class MatchIndex:
         the whole database and must agree — any station pruned here
         that could still win is a bug.
         """
-        lookup = self._stations_by_tower
-        found: Set[int] = set()
-        for tower in tower_ids:
-            stations = lookup.get(tower)
-            if stations:
-                found.update(stations)
+        if self._arrays is not None:
+            found = self._arrays.candidate_set(tower_ids)
+        else:
+            lookup = self._stations_by_tower
+            found = set()
+            for tower in tower_ids:
+                stations = lookup.get(tower)
+                if stations:
+                    found.update(stations)
         if self._observing:
             self._lookups += 1
             self._candidates_seen += len(found)
@@ -253,6 +291,44 @@ class MatchCache:
                 self._c_evictions.inc()
         if self._observing:
             self._g_entries.set(len(entries))
+
+    def hottest(
+        self, n: int
+    ) -> List[Tuple[Tuple[int, ...], CachedMatch]]:
+        """The ``n`` most recently used entries, hottest first.
+
+        This is the coordinator half of the worker memo pre-warm
+        protocol: the entries ship to each pool worker at init so its
+        memo starts hot instead of re-scoring the very sequences the
+        coordinator already settled.  Verdicts are pure functions of the
+        sequence for a fixed database, so pre-warming can never change a
+        result — only skip physical work.
+        """
+        if n <= 0:
+            return []
+        return list(islice(reversed(self._entries.items()), n))
+
+    def preload(
+        self, entries: Iterable[Tuple[Tuple[int, ...], CachedMatch]]
+    ) -> None:
+        """Silently adopt verdicts (worker half of the pre-warm protocol).
+
+        Entries arrive hottest-first and are inserted coldest-first so
+        recency order survives; the LRU bound is respected and no
+        hit/miss/eviction counters move — pre-warming is not lookup
+        traffic, and counting it would skew the physical cache stats.
+        """
+        if not self.maxsize:
+            return
+        store = self._entries
+        for key, entry in reversed(list(entries)):
+            if key in store:
+                store.move_to_end(key)
+            store[key] = entry
+            if len(store) > self.maxsize:
+                store.popitem(last=False)
+        if self._observing:
+            self._g_entries.set(len(store))
 
     def invalidate(self) -> None:
         """Drop every entry — required whenever the fingerprint DB changes."""

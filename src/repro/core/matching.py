@@ -27,6 +27,7 @@ from repro.core.match_index import (
     MatchIndex,
     canonical_key,
 )
+from repro.core.shared_store import FingerprintArrays, SharedFingerprintStore
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
 
 
@@ -65,6 +66,55 @@ def smith_waterman(
     return float(best)
 
 
+def _sw_kernel(
+    query: np.ndarray, ref: np.ndarray, config: MatchingConfig
+) -> np.ndarray:
+    """Anti-diagonal Smith-Waterman over padded ``(B, n)`` / ``(B, m)``
+    int matrices; returns the ``(B,)`` best local-alignment scores.
+
+    The DP recurrence couples cell ``(i, j)`` to ``(i-1, j-1)``,
+    ``(i-1, j)`` and ``(i, j-1)`` — all on the two *previous
+    anti-diagonals* ``i + j - 2`` and ``i + j - 1``.  Sweeping
+    diagonals therefore vectorises every cell of a diagonal across the
+    whole batch at once (``n + m`` numpy steps instead of ``n × m``
+    Python iterations) while computing each cell with *exactly* the
+    elementwise adds and maxes of the scalar recurrence, in float64 —
+    bit-identical scores, not merely close ones.  Diagonal ``d`` is
+    stored indexed by row ``i`` (``diag[d][i] = H[i][d - i]``); row 0
+    and the never-written tail of each buffer carry the zero boundary.
+
+    Callers own the padding contract: query rows padded with one
+    sentinel, ref rows with a *different* one, both below every real
+    id, so padding never scores a match and the maxima of the real
+    region are untouched.
+    """
+    batch, n = query.shape
+    m = ref.shape[1]
+    best = np.zeros(batch)
+    if batch == 0 or n == 0 or m == 0:
+        return best
+    match = config.match_score
+    mismatch = -config.mismatch_penalty
+    gap = -config.gap_penalty
+    prev2 = np.zeros((batch, n + 1))       # diagonal d-2, indexed by i
+    prev1 = np.zeros((batch, n + 1))       # diagonal d-1, indexed by i
+    for d in range(2, n + m + 1):
+        i_lo = max(1, d - m)        # 1 ≤ i_lo ≤ i_hi always holds here
+        i_hi = min(n, d - 1)
+        q = query[:, i_lo - 1: i_hi]                    # rows i_lo..i_hi
+        r = ref[:, d - i_hi - 1: d - i_lo][:, ::-1]     # cols d-i, aligned
+        s = np.where(q == r, match, mismatch)
+        value = prev2[:, i_lo - 1: i_hi] + s            # diag move
+        np.maximum(value, prev1[:, i_lo - 1: i_hi] + gap, out=value)
+        np.maximum(value, prev1[:, i_lo: i_hi + 1] + gap, out=value)
+        np.maximum(value, 0.0, out=value)
+        current = np.zeros((batch, n + 1))
+        current[:, i_lo: i_hi + 1] = value
+        np.maximum(best, value.max(axis=1), out=best)
+        prev2, prev1 = prev1, current
+    return best
+
+
 def batch_smith_waterman(
     uploads: Sequence[Sequence[int]],
     databases: Sequence[Sequence[int]],
@@ -73,12 +123,13 @@ def batch_smith_waterman(
     """Smith-Waterman scores for B (upload, database) pairs at once.
 
     Identical results to :func:`smith_waterman` pair by pair, but the DP
-    is vectorised across the batch dimension — the hot path when the
-    server matches every sample of an upload against its candidate
-    stops.  Sequences are padded with two distinct sentinels derived
-    *below* the smallest observed id, so no tower id an upstream decoder
-    emits (including negative unknown-cell markers) can ever collide
-    with padding; padding therefore never scores a match and
+    runs through the anti-diagonal :func:`_sw_kernel` — a handful of
+    array ops per diagonal instead of per-pair Python loops — the hot
+    path when the server matches every sample of an upload against its
+    candidate stops.  Sequences are padded with two distinct sentinels
+    derived *below* the smallest observed id, so no tower id an upstream
+    decoder emits (including negative unknown-cell markers) can ever
+    collide with padding; padding therefore never scores a match and
     local-alignment maxima are unchanged.
     """
     if len(uploads) != len(databases):
@@ -102,26 +153,7 @@ def batch_smith_waterman(
     for idx, (u, d) in enumerate(zip(uploads, databases)):
         query[idx, : len(u)] = u
         ref[idx, : len(d)] = d
-
-    match = config.match_score
-    mismatch = -config.mismatch_penalty
-    gap = -config.gap_penalty
-
-    best = np.zeros(batch)
-    previous = np.zeros((batch, m_max + 1))
-    for i in range(1, n_max + 1):
-        current = np.zeros((batch, m_max + 1))
-        a = query[:, i - 1]
-        for j in range(1, m_max + 1):
-            score = np.where(a == ref[:, j - 1], match, mismatch)
-            value = previous[:, j - 1] + score
-            np.maximum(value, previous[:, j] + gap, out=value)
-            np.maximum(value, current[:, j - 1] + gap, out=value)
-            np.maximum(value, 0.0, out=value)
-            current[:, j] = value
-            np.maximum(best, value, out=best)
-        previous = current
-    return best
+    return _sw_kernel(query, ref, config)
 
 
 def common_id_count(a: Sequence[int], b: Sequence[int]) -> int:
@@ -165,12 +197,20 @@ class SampleMatcher:
 
     def __init__(
         self,
-        fingerprints: Dict[int, Tuple[int, ...]],
+        fingerprints: Optional[Dict[int, Tuple[int, ...]]] = None,
         config: Optional[MatchingConfig] = None,
         *,
         registry: Optional[MetricsRegistry] = None,
+        store: Optional[SharedFingerprintStore] = None,
     ):
-        if not fingerprints:
+        if store is not None:
+            # Zero-copy mode: the DB and inverted index are read
+            # straight out of the coordinator's shared-memory arrays.
+            arrays = store.arrays
+            fingerprints = arrays.as_dict()
+        elif fingerprints:
+            arrays = FingerprintArrays.from_dict(fingerprints)
+        else:
             raise ValueError("matcher needs a non-empty fingerprint database")
         self.config = config or MatchingConfig()
         reg = registry if registry is not None else NULL_REGISTRY
@@ -203,8 +243,9 @@ class SampleMatcher:
         )
         self._registry = reg
         self._fingerprints = dict(fingerprints)
+        self._arrays = arrays
         self._index = (
-            MatchIndex(self._fingerprints, registry=reg)
+            MatchIndex.from_arrays(arrays, registry=reg)
             if self.config.indexed
             else None
         )
@@ -230,8 +271,11 @@ class SampleMatcher:
         if not fingerprints:
             raise ValueError("matcher needs a non-empty fingerprint database")
         self._fingerprints = dict(fingerprints)
+        self._arrays = FingerprintArrays.from_dict(self._fingerprints)
         if self._index is not None:
-            self._index = MatchIndex(self._fingerprints, registry=self._registry)
+            self._index = MatchIndex.from_arrays(
+                self._arrays, registry=self._registry
+            )
         self._cache.invalidate()
 
     def __getstate__(self) -> Dict:
@@ -297,6 +341,45 @@ class SampleMatcher:
             )
         return CachedMatch(result=result, candidates=len(candidates))
 
+    def _score_pairs(
+        self,
+        pending: Sequence[Tuple[int, ...]],
+        owner_rows: Sequence[int],
+        pair_station: Sequence[int],
+    ) -> np.ndarray:
+        """Smith-Waterman scores for (pending[row], station) pairs.
+
+        Feeds :func:`_sw_kernel` straight from the matcher's padded
+        fingerprint matrix: query rows are padded once per batch and
+        gathered per pair, reference rows are gathered by station
+        ordinal — no per-pair Python sequence building.  Sentinels
+        follow the same below-alphabet-min rule as
+        :func:`batch_smith_waterman`: the fingerprint matrix comes
+        pre-padded with ``db_min - 2``, and only when a sample carries
+        an id below every database id (lowering the derived sentinels)
+        are the gathered rows re-padded to keep both sentinels under
+        the live alphabet.
+        """
+        if not owner_rows:
+            return np.zeros(0)
+        n_max = max((len(k) for k in pending), default=0)
+        if n_max == 0:
+            return np.zeros(len(owner_rows))
+        arrays = self._arrays
+        lowest = min(
+            arrays.min_id,
+            min((min(k) for k in pending if k), default=arrays.min_id),
+        )
+        query_pad, ref_pad = lowest - 1, lowest - 2
+        query_rows = np.full((len(pending), n_max), query_pad, dtype=np.int64)
+        for row, key in enumerate(pending):
+            query_rows[row, : len(key)] = key
+        query = query_rows[np.asarray(owner_rows, dtype=np.intp)]
+        ref = arrays.matrix[arrays.ordinals_for(pair_station)]
+        if ref_pad != arrays.ref_pad:
+            ref = np.where(ref == arrays.ref_pad, ref_pad, ref)
+        return _sw_kernel(query, ref, self.config)
+
     def match(self, tower_ids: Sequence[int]) -> MatchResult:
         """Best stop for a sample, or a rejection below the γ threshold."""
         key = canonical_key(tower_ids)
@@ -334,26 +417,26 @@ class SampleMatcher:
                 pending.append(key)
 
         if pending:
-            pair_uploads: List[Sequence[int]] = []
-            pair_dbs: List[Sequence[int]] = []
             pair_owner: List[Tuple[int, ...]] = []
             pair_station: List[int] = []
             pool_sizes: Dict[Tuple[int, ...], int] = {}
-            for key in pending:
+            owner_rows: List[int] = []      # row of `pending` per pair
+            for row, key in enumerate(pending):
                 candidates = self.candidate_stations(key)
                 pool_sizes[key] = len(candidates)
                 for station_id in sorted(candidates):
-                    pair_uploads.append(key)
-                    pair_dbs.append(self._fingerprints[station_id])
                     pair_owner.append(key)
                     pair_station.append(station_id)
-            scores = batch_smith_waterman(pair_uploads, pair_dbs, self.config)
+                    owner_rows.append(row)
+            scores = self._score_pairs(pending, owner_rows, pair_station)
+            threshold = self.config.accept_threshold
             best: Dict[Tuple[int, ...], Tuple[float, int, int]] = {}
-            for owner, station_id, score in zip(pair_owner, pair_station, scores):
-                if score < self.config.accept_threshold:
-                    continue
+            # Only accepted pairs need the Python-side tie-break walk;
+            # everything below γ was settled inside the kernel.
+            for hit in np.nonzero(scores >= threshold)[0]:
+                owner, station_id = pair_owner[hit], pair_station[hit]
                 common = common_id_count(owner, self._fingerprints[station_id])
-                contender = (float(score), common, -station_id)
+                contender = (float(scores[hit]), common, -station_id)
                 incumbent = best.get(owner)
                 if incumbent is None or contender > incumbent:
                     best[owner] = contender

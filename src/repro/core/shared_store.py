@@ -1,0 +1,496 @@
+"""Zero-copy fingerprint store and compact shard wire codec (§III-C1 at scale).
+
+The parallel ingest engine used to broadcast the fingerprint database to
+every worker as a pickled dict and ship every shard as a pickled list of
+:class:`~repro.phone.trip_recorder.TripUpload` objects.  Both payloads
+are IPC hot spots (PR 7's ``fingerprint_broadcast`` / ``shard_serialize``
+spans put numbers on them); this module replaces them with flat numpy
+encodings:
+
+* :class:`FingerprintArrays` — the fingerprint database *and* its
+  inverted cell-id candidate index as a handful of int arrays: a padded
+  ``(stops, max_len)`` fingerprint matrix the vectorised Smith-Waterman
+  kernel scores directly, plus CSR-style ``towers → station ordinals``
+  index arrays for candidate pruning.  Pure data, no behaviour — the
+  exactness arguments live in :mod:`repro.core.match_index`.
+
+* :class:`SharedFingerprintStore` — the same arrays placed in one
+  ``multiprocessing.shared_memory`` segment.  The coordinator
+  :meth:`~SharedFingerprintStore.create`\\ s it once; each pool worker
+  :meth:`~SharedFingerprintStore.attach`\\ es read-only views in its
+  initializer, so the per-worker broadcast payload shrinks to a tiny
+  metadata descriptor no matter how large the database grows.  An
+  opaque ``aux`` blob rides in the same segment for the remaining
+  read-only state (route network, memo warm set) so it crosses the
+  process boundary via shared pages instead of per-worker pipes.
+  Lifecycle is explicit: the owner ``unlink``\\ s, attachers ``close``;
+  attachers are deliberately *not* registered with the resource tracker
+  (a tracked attach would unlink the segment when the first worker
+  exits, yanking it out from under its siblings).
+
+* :func:`encode_shard` / :func:`decode_shard` — a columnar wire format
+  for upload shards: trip keys, sample times, and dictionary-encoded
+  tower-id sequences as byte-shuffled, deflate-compressed arrays.
+  Lossless by construction (times stay float64 bit patterns, ids stay
+  ints) — but deliberately *without* the per-sample ``rss_dbm`` vector,
+  which no server-side stage reads.  The engine restores the original
+  sample objects coordinator-side (see ``IngestEngine``), so end state
+  stays bit-identical while the wire carries an order of magnitude
+  fewer bytes.
+
+Sentinel rule (shared with :func:`repro.core.matching.batch_smith_waterman`):
+the fingerprint matrix is padded with ``min(all ids) - 2`` and query
+rows with ``min(all ids) - 1`` — two distinct values below the smallest
+id either side can contain, so padding can never score a match and
+local-alignment maxima are unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+
+__all__ = [
+    "FingerprintArrays",
+    "SharedFingerprintStore",
+    "SHM_PREFIX",
+    "active_segments",
+    "encode_shard",
+    "decode_shard",
+    "SHARD_MAGIC",
+]
+
+#: Shared-memory segment name prefix — leak checks scan /dev/shm for it.
+SHM_PREFIX = "repro-fp-"
+
+#: First bytes of a columnar shard blob (a raw pickle starts with b"\x80").
+SHARD_MAGIC = b"RSH1"
+
+#: zlib level for shard blobs: byte-shuffled arrays are regular enough
+#: that deflate's default level buys ~8% over level 3 for ~1 ms per
+#: shard — worth it, since shard bytes are the pipe's dominant cost.
+_SHARD_ZLIB_LEVEL = 6
+
+
+# -- array encodings ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FingerprintArrays:
+    """The fingerprint DB + inverted candidate index as flat int arrays.
+
+    ``station_ids`` is sorted ascending, and every other array refers to
+    stations by *ordinal* (position in ``station_ids``) so lookups are
+    O(log S) searchsorted instead of dict probes.  ``matrix`` is the
+    padded ``(stops, max_len)`` fingerprint table the batched
+    Smith-Waterman kernel scores directly; real ids sit left-aligned,
+    the rest of each row is ``ref_pad``.
+    """
+
+    station_ids: np.ndarray       # (S,)   int64, sorted
+    lengths: np.ndarray           # (S,)   int64 fingerprint lengths
+    matrix: np.ndarray            # (S, L) int64, padded with ref_pad
+    towers: np.ndarray            # (T,)   int64, sorted distinct cell ids
+    tower_offsets: np.ndarray     # (T+1,) int64 CSR offsets
+    tower_stations: np.ndarray    # (E,)   int64 station ordinals, sorted per tower
+    pads: np.ndarray              # (1,)   int64 [ref_pad] — kept as an array
+                                  #        so it rides the same shm layout
+
+    @property
+    def min_id(self) -> int:
+        """Smallest id across all fingerprints (pads derive from it)."""
+        return int(self.ref_pad) + 2
+
+    @property
+    def ref_pad(self) -> int:
+        """The sentinel the fingerprint matrix is padded with."""
+        return int(self.pads[0])
+
+    @classmethod
+    def from_dict(
+        cls, fingerprints: Dict[int, Tuple[int, ...]]
+    ) -> "FingerprintArrays":
+        if not fingerprints:
+            raise ValueError("fingerprint arrays need a non-empty database")
+        station_ids = np.array(sorted(fingerprints), dtype=np.int64)
+        seqs = [fingerprints[int(sid)] for sid in station_ids]
+        lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+        width = int(lengths.max(initial=0))
+        lowest = int(min((min(s) for s in seqs if len(s)), default=0))
+        ref_pad = lowest - 2
+        matrix = np.full((len(seqs), max(width, 1)), ref_pad, dtype=np.int64)
+        for row, seq in enumerate(seqs):
+            matrix[row, : len(seq)] = seq
+        towers_map: Dict[int, List[int]] = {}
+        for ordinal, seq in enumerate(seqs):
+            for tower in set(seq):
+                towers_map.setdefault(int(tower), []).append(ordinal)
+        towers = np.array(sorted(towers_map), dtype=np.int64)
+        tower_offsets = np.zeros(len(towers) + 1, dtype=np.int64)
+        chunks: List[List[int]] = []
+        for pos, tower in enumerate(towers):
+            stations = sorted(towers_map[int(tower)])
+            chunks.append(stations)
+            tower_offsets[pos + 1] = tower_offsets[pos] + len(stations)
+        tower_stations = (
+            np.concatenate([np.asarray(c, dtype=np.int64) for c in chunks])
+            if chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        return cls(
+            station_ids=station_ids,
+            lengths=lengths,
+            matrix=matrix,
+            towers=towers,
+            tower_offsets=tower_offsets,
+            tower_stations=tower_stations,
+            pads=np.array([ref_pad], dtype=np.int64),
+        )
+
+    # -- lookups --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.station_ids)
+
+    def as_dict(self) -> Dict[int, Tuple[int, ...]]:
+        """Materialize the plain ``{station_id: fingerprint}`` dict."""
+        return {
+            int(sid): tuple(int(t) for t in self.matrix[row, : self.lengths[row]])
+            for row, sid in enumerate(self.station_ids)
+        }
+
+    def ordinals_for(self, station_ids: Sequence[int]) -> np.ndarray:
+        """Station ordinals for sorted ``station_ids`` (must all exist)."""
+        return np.searchsorted(self.station_ids, np.asarray(station_ids))
+
+    def candidate_ordinals(self, tower_ids: Iterable[int]) -> np.ndarray:
+        """Sorted ordinals of stations sharing a cell id with the sample."""
+        sample = np.asarray(list(tower_ids), dtype=np.int64)
+        if sample.size == 0 or len(self.towers) == 0:
+            return np.zeros(0, dtype=np.int64)
+        pos = np.minimum(
+            np.searchsorted(self.towers, sample), len(self.towers) - 1
+        )
+        hits = np.nonzero(self.towers[pos] == sample)[0]
+        if hits.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        pieces = [
+            self.tower_stations[self.tower_offsets[p]: self.tower_offsets[p + 1]]
+            for p in pos[hits]
+        ]
+        return np.unique(np.concatenate(pieces))
+
+    def candidate_set(self, tower_ids: Iterable[int]) -> Set[int]:
+        """Candidate stations as a plain id set (API-compat helper)."""
+        ords = self.candidate_ordinals(tower_ids)
+        return {int(sid) for sid in self.station_ids[ords]}
+
+    def stations_for(self, tower_id: int) -> Tuple[int, ...]:
+        """Stations whose fingerprint contains ``tower_id`` (sorted)."""
+        pos = int(np.searchsorted(self.towers, int(tower_id)))
+        if pos >= len(self.towers) or int(self.towers[pos]) != int(tower_id):
+            return ()
+        lo, hi = int(self.tower_offsets[pos]), int(self.tower_offsets[pos + 1])
+        return tuple(
+            int(sid) for sid in self.station_ids[self.tower_stations[lo:hi]]
+        )
+
+    @property
+    def tower_count(self) -> int:
+        return len(self.towers)
+
+
+_ARRAY_FIELDS: Tuple[str, ...] = (
+    "station_ids", "lengths", "matrix", "towers", "tower_offsets",
+    "tower_stations", "pads",
+)
+
+
+# -- shared-memory store ------------------------------------------------------
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without taking over its lifecycle.
+
+    On Python ≥ 3.13, ``track=False`` says exactly that.  Earlier
+    versions register every attach with the resource tracker; under the
+    ``fork`` start method the pool workers share the creator's tracker
+    daemon, so their registration is an idempotent re-add of a name the
+    creator already registered — harmless, and the tracker stays a
+    safety net that unlinks the segment if the whole coordinator dies
+    without cleanup.  (An explicit ``unregister`` here would unbalance
+    that shared ledger and make the owner's eventual ``unlink`` spray
+    KeyError noise from the tracker daemon.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:                                  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def active_segments() -> List[str]:
+    """Names of live ``SHM_PREFIX`` segments on this host (leak checks)."""
+    import os
+
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):                     # pragma: no cover
+        return []
+    return sorted(
+        entry for entry in os.listdir(shm_dir) if entry.startswith(SHM_PREFIX)
+    )
+
+
+class SharedFingerprintStore:
+    """:class:`FingerprintArrays` (+ an aux blob) in one shm segment.
+
+    Coordinator::
+
+        store = SharedFingerprintStore.create(fingerprints, aux=blob)
+        initargs = (store.meta, ...)       # tiny, picklable
+        ...
+        store.unlink()                     # when the pool is gone
+
+    Worker (pool initializer)::
+
+        store = SharedFingerprintStore.attach(meta)   # zero-copy views
+    """
+
+    def __init__(self, segment, arrays: FingerprintArrays, meta: Dict,
+                 *, owner: bool):
+        self._segment = segment
+        self.arrays = arrays
+        self.meta = meta
+        self._owner = owner
+        self._closed = False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        fingerprints: Dict[int, Tuple[int, ...]],
+        *,
+        aux: bytes = b"",
+    ) -> "SharedFingerprintStore":
+        from multiprocessing import shared_memory
+        import os
+        import secrets
+
+        arrays = FingerprintArrays.from_dict(fingerprints)
+        layout: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        cursor = 0
+        for field in _ARRAY_FIELDS:
+            arr = getattr(arrays, field)
+            layout[field] = (cursor, arr.shape, arr.dtype.str)
+            cursor += arr.nbytes
+        aux_offset, aux_len = cursor, len(aux)
+        cursor += aux_len
+        name = f"{SHM_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(cursor, 1)
+        )
+        for field in _ARRAY_FIELDS:
+            offset, shape, dtype = layout[field]
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                              offset=offset)
+            view[...] = getattr(arrays, field)
+        if aux_len:
+            segment.buf[aux_offset: aux_offset + aux_len] = aux
+        meta = {
+            "name": segment.name,
+            "layout": layout,
+            "aux": (aux_offset, aux_len),
+        }
+        return cls(segment, cls._views(segment, layout), meta, owner=True)
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedFingerprintStore":
+        segment = _attach_segment(meta["name"])
+        return cls(segment, cls._views(segment, meta["layout"]), meta,
+                   owner=False)
+
+    @staticmethod
+    def _views(segment, layout) -> FingerprintArrays:
+        views = {}
+        for field, (offset, shape, dtype) in layout.items():
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                              offset=offset)
+            view.flags.writeable = False
+            views[field] = view
+        return FingerprintArrays(**views)
+
+    # -- data -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.meta["name"]
+
+    @property
+    def aux_bytes(self) -> bytes:
+        offset, length = self.meta["aux"]
+        return bytes(self._segment.buf[offset: offset + length])
+
+    def as_dict(self) -> Dict[int, Tuple[int, ...]]:
+        return self.arrays.as_dict()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # The numpy views hold buffer exports; drop them before close().
+        self.arrays = None
+        try:
+            self._segment.close()
+        except BufferError:                            # pragma: no cover
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; tolerates repeats/crashes)."""
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        self.close()
+
+    def __enter__(self) -> "SharedFingerprintStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __del__(self):                                 # pragma: no cover
+        try:
+            if self._owner and not self._closed:
+                self.unlink()
+            else:
+                self.close()
+        except Exception:
+            pass
+
+
+# -- columnar shard codec -----------------------------------------------------
+
+
+def _shuffle(array: np.ndarray) -> bytes:
+    """Byte-plane transpose: groups the slowly-varying high bytes of
+    ints/floats together so deflate sees long runs.  Exactly reversible."""
+    flat = np.ascontiguousarray(array)
+    if flat.size == 0:
+        return b""
+    planes = flat.view(np.uint8).reshape(-1, flat.dtype.itemsize)
+    return np.ascontiguousarray(planes.T).tobytes()
+
+
+def _unshuffle(blob: bytes, dtype: str, count: int) -> np.ndarray:
+    dt = np.dtype(dtype)
+    if count == 0:
+        return np.zeros(0, dtype=dt)
+    planes = np.frombuffer(blob, dtype=np.uint8).reshape(dt.itemsize, count)
+    return np.ascontiguousarray(planes.T).reshape(-1).view(dt).copy()
+
+
+def encode_shard(
+    uploads: Sequence[TripUpload], keep_matches: bool
+) -> bytes:
+    """One upload shard as a compressed columnar blob.
+
+    Times ship as exact float64 bit patterns and tower sequences as a
+    per-shard dictionary (unique RSS-ordered sequences stored once), so
+    decoding reproduces every pipeline-relevant value bit-for-bit.  The
+    per-sample ``rss_dbm`` vectors — dead weight for the pure stages —
+    are *not* shipped; the coordinator swaps the original sample objects
+    back into the results, which is what keeps parallel output
+    bit-identical to serial anyway.
+    """
+    keys = [u.trip_key.encode("utf-8") for u in uploads]
+    counts = np.array([len(u.samples) for u in uploads], dtype=np.int32)
+    total = int(counts.sum())
+    times = np.empty(total, dtype=np.float64)
+    seq_idx = np.empty(total, dtype=np.int32)
+    seq_table: Dict[Tuple[int, ...], int] = {}
+    cursor = 0
+    for upload in uploads:
+        for sample in upload.samples:
+            times[cursor] = sample.time_s
+            seq_idx[cursor] = seq_table.setdefault(
+                sample.tower_ids, len(seq_table)
+            )
+            cursor += 1
+    seq_lengths = np.array([len(s) for s in seq_table], dtype=np.int32)
+    seq_values = np.empty(int(seq_lengths.sum()), dtype=np.int64)
+    cursor = 0
+    for seq in seq_table:
+        seq_values[cursor: cursor + len(seq)] = seq
+        cursor += len(seq)
+    columns = {
+        "keys": b"\x00".join(keys),
+        "key_lengths": _shuffle(np.array([len(k) for k in keys],
+                                         dtype=np.int32)),
+        "counts": _shuffle(counts),
+        "times": _shuffle(times),
+        "seq_idx": _shuffle(seq_idx),
+        "seq_lengths": _shuffle(seq_lengths),
+        "seq_values": _shuffle(seq_values),
+        "n_trips": len(uploads),
+        "n_samples": total,
+        "n_seqs": len(seq_table),
+        "keep_matches": keep_matches,
+    }
+    packed = pickle.dumps(columns, pickle.HIGHEST_PROTOCOL)
+    return SHARD_MAGIC + zlib.compress(packed, _SHARD_ZLIB_LEVEL)
+
+
+def decode_shard(blob: bytes) -> Tuple[List[TripUpload], bool]:
+    """Inverse of :func:`encode_shard` (samples come back without rss)."""
+    if not blob.startswith(SHARD_MAGIC):
+        raise ValueError("not a columnar shard blob")
+    columns = pickle.loads(zlib.decompress(blob[len(SHARD_MAGIC):]))
+    n_trips = columns["n_trips"]
+    n_samples = columns["n_samples"]
+    n_seqs = columns["n_seqs"]
+    key_lengths = _unshuffle(columns["key_lengths"], "<i4", n_trips)
+    keys: List[str] = []
+    blob_keys = columns["keys"]
+    cursor = 0
+    for length in key_lengths:
+        keys.append(blob_keys[cursor: cursor + length].decode("utf-8"))
+        cursor += int(length) + 1                      # skip the NUL joiner
+    counts = _unshuffle(columns["counts"], "<i4", n_trips)
+    times = _unshuffle(columns["times"], "<f8", n_samples)
+    seq_idx = _unshuffle(columns["seq_idx"], "<i4", n_samples)
+    seq_lengths = _unshuffle(columns["seq_lengths"], "<i4", n_seqs)
+    seq_values = _unshuffle(columns["seq_values"], "<i8",
+                            int(seq_lengths.sum()))
+    sequences: List[Tuple[int, ...]] = []
+    cursor = 0
+    for length in seq_lengths:
+        sequences.append(
+            tuple(int(t) for t in seq_values[cursor: cursor + int(length)])
+        )
+        cursor += int(length)
+    uploads: List[TripUpload] = []
+    cursor = 0
+    times_list = times.tolist()
+    seq_list = seq_idx.tolist()
+    for key, count in zip(keys, counts):
+        samples = tuple(
+            CellularSample(
+                time_s=times_list[k], tower_ids=sequences[seq_list[k]]
+            )
+            for k in range(cursor, cursor + int(count))
+        )
+        cursor += int(count)
+        uploads.append(TripUpload(trip_key=key, samples=samples))
+    return uploads, bool(columns["keep_matches"])

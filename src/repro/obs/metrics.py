@@ -403,20 +403,35 @@ class MetricsRegistry:
             lines.extend(family.render_prometheus())
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def merge_dict(self, snapshot: Dict[str, Dict]) -> None:
+    def merge_dict(
+        self,
+        snapshot: Dict[str, Dict],
+        *,
+        skip_gauge_prefixes: Sequence[str] = (),
+    ) -> None:
         """Fold another registry's :meth:`as_dict` snapshot into this one.
 
-        Counters and histograms (flat and labeled children alike) *add*;
-        gauges adopt the snapshot's level (last writer wins — fine for
-        the structural gauges workers export).  Instruments missing here
-        are created on the fly with the snapshot's bucket ladder.  This
-        is how the parallel ingest engine propagates each worker's
-        matcher/clustering/mapping metrics back into the parent registry
-        so a sharded run exports the same totals as a serial one.
+        Counters and histograms (flat and labeled children alike) *add*.
+        Gauges are levels, not flows — they are never summed; each
+        merge adopts the snapshot's value, last writer wins.  That is
+        correct for structural gauges every process computes identically
+        (``fingerprint_db_stops``), but a *point-in-time* gauge like
+        ``match_cache_entries`` would clobber the parent's own level
+        with whichever worker shard merged last — pass those families'
+        prefixes in ``skip_gauge_prefixes`` to leave the parent's value
+        (flat gauges and labeled gauge families alike) untouched.
+        Instruments missing here are created on the fly with the
+        snapshot's bucket ladder.  This is how the parallel ingest
+        engine propagates each worker's matcher/clustering/mapping
+        metrics back into the parent registry so a sharded run exports
+        the same totals as a serial one.
         """
+        skip = tuple(skip_gauge_prefixes)
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snapshot.get("gauges", {}).items():
+            if skip and name.startswith(skip):
+                continue
             self.gauge(name).set(value)
         for name, data in snapshot.get("histograms", {}).items():
             histogram = self.histogram(
@@ -424,6 +439,12 @@ class MetricsRegistry:
             )
             self._merge_histogram(histogram, name, data)
         for name, family in snapshot.get("labeled", {}).items():
+            if (
+                skip
+                and family.get("type") == "gauge"
+                and name.startswith(skip)
+            ):
+                continue
             self._merge_labeled(name, family)
 
     @staticmethod
@@ -603,7 +624,12 @@ class NullRegistry(MetricsRegistry):
     ) -> _NullLabeledFamily:
         return self._null_labeled_histogram
 
-    def merge_dict(self, snapshot: Dict[str, Dict]) -> None:
+    def merge_dict(
+        self,
+        snapshot: Dict[str, Dict],
+        *,
+        skip_gauge_prefixes: Sequence[str] = (),
+    ) -> None:
         # Merging must not mutate the shared null singletons.
         pass
 

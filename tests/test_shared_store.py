@@ -1,0 +1,464 @@
+"""Tests for the zero-copy shared fingerprint store and its satellites.
+
+Covers the shared-memory ingest plumbing end to end: the flat-array
+fingerprint encoding, the anti-diagonal vectorized Smith-Waterman
+kernel (differential parity against the scalar reference, hypothesis
+included), the columnar shard codec, shared-memory segment lifecycle
+(shutdown and simulated worker crash), memo pre-warming, and the
+worker-gauge quarantine in ``merge_dict``.
+"""
+
+import itertools
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MatchingConfig, SystemConfig
+from repro.core import BackendServer, IngestEngine
+from repro.core.match_index import CachedMatch, MatchCache, MatchIndex
+from repro.core.matching import (
+    MatchResult,
+    SampleMatcher,
+    batch_smith_waterman,
+    smith_waterman,
+)
+from repro.core.shared_store import (
+    SHARD_MAGIC,
+    FingerprintArrays,
+    SharedFingerprintStore,
+    active_segments,
+    decode_shard,
+    encode_shard,
+)
+from repro.obs import MetricsRegistry
+from repro.phone import record_participant_trips
+from repro.phone.cellular import CellularSample
+from repro.phone.trip_recorder import TripUpload
+from repro.sim.bus import simulate_bus_trip
+from repro.util.units import parse_hhmm
+
+FINGERPRINTS = {
+    11: (1, 2, 3),
+    12: (2, 3, 4, 5),
+    13: (7, 8),
+    14: (-3, 1, 9),          # negative ids exercise the sentinel rule
+    15: (6,),
+}
+
+
+@pytest.fixture(scope="module")
+def batch(small_city, traffic, sampler, config):
+    """Uploads from two bus routes: a real multi-trip ingest batch."""
+    rider_ids = itertools.count()
+    uploads = []
+    for k, route_id in enumerate(("179-0", "199-0")):
+        route = small_city.route_network.route(route_id)
+        trace = simulate_bus_trip(
+            route, parse_hhmm("08:10") + 120.0 * k, traffic, rider_ids,
+            rng=np.random.default_rng(21 + k),
+        )
+        uploads.extend(record_participant_trips(
+            trace, small_city.registry, sampler, config,
+            rng=np.random.default_rng(31 + k),
+        ))
+    assert len(uploads) >= 4
+    return uploads
+
+
+def make_server(small_city, database, config, registry=None):
+    return BackendServer(
+        small_city.network, small_city.route_network, database, config,
+        registry=registry,
+    )
+
+
+# -- vectorized kernel: differential parity vs the scalar reference ----------
+
+
+signed_seq = st.lists(
+    st.integers(min_value=-40, max_value=40), min_size=0, max_size=9
+)
+
+
+class TestVectorizedParity:
+    @pytest.mark.property
+    @settings(deadline=None)
+    @given(
+        st.lists(st.tuples(signed_seq, signed_seq), min_size=0, max_size=8)
+    )
+    def test_batch_matches_scalar_exactly(self, pairs):
+        """Bit-exact equality, not approx: same elementwise float ops."""
+        cfg = MatchingConfig()
+        uploads = [p[0] for p in pairs]
+        databases = [p[1] for p in pairs]
+        got = batch_smith_waterman(uploads, databases, cfg)
+        want = [smith_waterman(u, d, cfg) for u, d in pairs]
+        assert list(got) == want
+
+    def test_empty_sequences_and_all_padding_rows(self):
+        # One long pair forces heavy padding on every other row; empty
+        # rows become all-padding rows inside the padded matrices.
+        uploads = [[], [5], list(range(1, 10)), []]
+        databases = [[1, 2], [], list(range(1, 12)), []]
+        got = batch_smith_waterman(uploads, databases)
+        want = [smith_waterman(u, d) for u, d in zip(uploads, databases)]
+        assert list(got) == want
+
+    def test_sentinel_collision_ids(self):
+        # Ids one and two below the batch minimum — exactly where the
+        # padding sentinels are derived — must still score correctly.
+        uploads = [[-2, -1, 0], [-2, -1, 0]]
+        databases = [[-2, -1, 0], [-4, -3]]
+        got = batch_smith_waterman(uploads, databases)
+        assert got[0] == smith_waterman(uploads[0], databases[0])
+        assert got[1] == smith_waterman(uploads[1], databases[1])
+
+    def test_matcher_pending_path_matches_per_sample(self):
+        """match_many's array-gather scoring equals one-by-one match."""
+        cfg = MatchingConfig(cache_size=0)
+        batch_m = SampleMatcher(FINGERPRINTS, cfg)
+        serial_m = SampleMatcher(FINGERPRINTS, cfg)
+        samples = [
+            (1, 2, 3), (5, 4, 3), (-3, 9), (8, 7), (42,), (), (6,),
+            (1, 2, 3),                       # within-batch repeat
+        ]
+        got = batch_m.match_many(samples)
+        want = [serial_m.match(s) for s in samples]
+        assert got == want
+
+
+# -- FingerprintArrays --------------------------------------------------------
+
+
+class TestFingerprintArrays:
+    def test_round_trips_the_database(self):
+        arrays = FingerprintArrays.from_dict(FINGERPRINTS)
+        assert arrays.as_dict() == FINGERPRINTS
+        assert len(arrays) == len(FINGERPRINTS)
+        assert arrays.min_id == -3
+        assert arrays.ref_pad == -5
+
+    def test_ref_pad_survives_full_width_first_row(self):
+        # The longest fingerprint sorts first: its row has no padding,
+        # so the sentinel must not be inferred from matrix contents.
+        arrays = FingerprintArrays.from_dict({1: (5, 6, 7, 8), 2: (5,)})
+        assert arrays.ref_pad == 3
+        assert arrays.as_dict() == {1: (5, 6, 7, 8), 2: (5,)}
+
+    def test_candidates_agree_with_dict_index(self):
+        arrays = FingerprintArrays.from_dict(FINGERPRINTS)
+        dict_index = MatchIndex(FINGERPRINTS)
+        array_index = MatchIndex.from_arrays(arrays)
+        probes = [(1,), (2, 3), (9, -3), (99,), (), (6, 7, 1)]
+        for probe in probes:
+            assert array_index.candidates(probe) == dict_index.candidates(
+                probe
+            ), probe
+        for tower in (1, 2, 6, 7, 99):
+            assert array_index.stations_for(tower) == dict_index.stations_for(
+                tower
+            )
+        assert array_index.tower_count == dict_index.tower_count
+
+    def test_store_backed_matcher_equals_dict_matcher(self):
+        store = SharedFingerprintStore.create(FINGERPRINTS)
+        try:
+            shared = SampleMatcher(store=store)
+            plain = SampleMatcher(FINGERPRINTS)
+            for probe in [(1, 2, 3), (4, 5), (9,), (), (7, 8, 6)]:
+                assert shared.match(probe) == plain.match(probe)
+        finally:
+            store.unlink()
+
+
+# -- columnar shard codec -----------------------------------------------------
+
+
+class TestShardCodec:
+    def _shard(self):
+        return [
+            TripUpload(
+                trip_key="rider-1#0",
+                samples=(
+                    CellularSample(1.5, (3, 1, 2), (-51.0, -60.5, -70.25)),
+                    CellularSample(2.5, (3, 1, 2), (-50.0, -61.0, -71.0)),
+                    CellularSample(9.0, (-4, 8), (-55.0, -58.0)),
+                ),
+            ),
+            TripUpload(trip_key="rider-2#1", samples=()),
+            TripUpload(
+                trip_key="rider-3#0",
+                samples=(CellularSample(0.123456789, (7,)),),
+            ),
+        ]
+
+    def test_round_trip_is_exact_minus_rss(self):
+        blob = encode_shard(self._shard(), keep_matches=True)
+        assert blob.startswith(SHARD_MAGIC)
+        decoded, keep_matches = decode_shard(blob)
+        assert keep_matches is True
+        for got, want in zip(decoded, self._shard()):
+            assert got.trip_key == want.trip_key
+            assert len(got.samples) == len(want.samples)
+            for g, w in zip(got.samples, want.samples):
+                assert g.time_s == w.time_s          # float64 bit pattern
+                assert g.tower_ids == w.tower_ids
+                assert g.rss_dbm == ()               # stripped on the wire
+
+    def test_keep_matches_false_round_trips(self):
+        _, keep_matches = decode_shard(
+            encode_shard(self._shard(), keep_matches=False)
+        )
+        assert keep_matches is False
+
+    def test_rejects_foreign_blob(self):
+        with pytest.raises(ValueError):
+            decode_shard(pickle.dumps(("not", "a", "shard")))
+
+    def test_beats_pickle_on_real_uploads(self, batch):
+        # This fixture is only a handful of trips, so the dictionary and
+        # deflate window barely warm up; even so the codec must win big.
+        # Full-size shards (the bench's ~140-trip ones) clear 10×.
+        pickled = len(pickle.dumps((list(batch), False),
+                                   pickle.HIGHEST_PROTOCOL))
+        columnar = len(encode_shard(batch, False))
+        assert pickled >= 8 * columnar, (pickled, columnar)
+
+
+# -- shared-memory lifecycle --------------------------------------------------
+
+
+class TestSharedMemoryLifecycle:
+    def test_create_attach_close_unlink(self):
+        store = SharedFingerprintStore.create(FINGERPRINTS, aux=b"hello")
+        name = store.name
+        assert name in active_segments()
+        attached = SharedFingerprintStore.attach(store.meta)
+        assert attached.as_dict() == FINGERPRINTS
+        assert attached.aux_bytes == b"hello"
+        with pytest.raises((ValueError, TypeError)):
+            attached.arrays.matrix[0, 0] = 0         # read-only views
+        attached.close()
+        assert name in active_segments()             # owner still holds it
+        store.unlink()
+        assert name not in active_segments()
+        store.unlink()                               # idempotent
+
+    def test_engine_shutdown_unlinks_segment(
+        self, small_city, database, config, batch
+    ):
+        server = make_server(small_city, database, config)
+        with IngestEngine.for_server(server, workers=2) as engine:
+            engine.prepare(batch)
+            assert engine.mode == "shm"
+            assert len(active_segments()) == 1
+        assert active_segments() == []
+
+    def test_worker_crash_still_unlinks_segment(
+        self, small_city, database, config, batch
+    ):
+        """SIGKILLed workers must not leave /dev/shm segments behind.
+
+        Workers attach untracked and never own the segment, so killing
+        them mid-pool leaves nothing dangling; the engine's close() is
+        the single cleanup point and must unlink even after the crash.
+        (The pool itself may transparently respawn workers — the
+        contract under test is segment lifecycle, not task recovery.)
+        """
+        server = make_server(small_city, database, config)
+        engine = IngestEngine.for_server(server, workers=2)
+        try:
+            engine.start()
+            assert len(active_segments()) == 1
+            for proc in list(engine._pool._pool):
+                os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            engine.close()
+        assert active_segments() == []
+
+    def test_legacy_mode_creates_no_segment(
+        self, small_city, database, config, batch
+    ):
+        server = make_server(small_city, database, config)
+        with IngestEngine.for_server(
+            server, workers=2, shared_store=False
+        ) as engine:
+            engine.prepare(batch)
+            assert engine.mode == "legacy"
+            assert active_segments() == []
+
+
+# -- memo pre-warm protocol ---------------------------------------------------
+
+
+def _entry(station_id, score=3.0):
+    return CachedMatch(
+        result=MatchResult(station_id=station_id, score=score, common_ids=3),
+        candidates=2,
+    )
+
+
+class TestMemoPrewarm:
+    def test_hottest_returns_mru_first(self):
+        cache = MatchCache(maxsize=8)
+        for key in [(1,), (2,), (3,)]:
+            cache.put(key, _entry(key[0]))
+        cache.get((1,))                              # refresh (1,)
+        hottest = cache.hottest(2)
+        assert [k for k, _ in hottest] == [(1,), (3,)]
+        assert cache.hottest(0) == []
+
+    def test_preload_preserves_recency_and_bound(self):
+        registry = MetricsRegistry()
+        cache = MatchCache(maxsize=2, registry=registry)
+        cache.preload([((1,), _entry(1)), ((2,), _entry(2)),
+                       ((3,), _entry(3))])
+        # Hottest-first input, bounded at maxsize, hottest retained.
+        assert set(cache.keys()) == {(1,), (2,)}
+        assert cache.keys()[-1] == (1,)              # most recent last
+        snapshot = registry.as_dict()
+        assert snapshot["counters"].get("match_cache_hits_total", 0) == 0
+        assert snapshot["counters"].get("match_cache_misses_total", 0) == 0
+        assert snapshot["gauges"]["match_cache_entries"] == 2
+
+    def test_preload_noop_when_disabled(self):
+        cache = MatchCache(maxsize=0)
+        cache.preload([((1,), _entry(1))])
+        assert len(cache) == 0
+
+    def test_workers_start_with_coordinator_verdicts(
+        self, small_city, database, config, batch
+    ):
+        """A coordinator-warmed pool serves preloaded keys as cache hits."""
+        registry = MetricsRegistry()
+        server = make_server(small_city, database, config, registry=registry)
+        # Warm the coordinator memo the way real traffic would.
+        for upload in batch:
+            server.matcher.match_many(
+                [s.tower_ids for s in upload.samples]
+            )
+        assert len(server.matcher.cache) > 0
+        before = registry.as_dict()["counters"]
+        hits_before = before.get("match_cache_hits_total", 0)
+        misses_before = before.get("match_cache_misses_total", 0)
+        with IngestEngine.for_server(server, workers=2) as engine:
+            engine.prepare(batch)
+        after = registry.as_dict()["counters"]
+        # Every worker lookup is of a sequence the coordinator already
+        # settled, so the pre-warmed memos answer all of them: hits
+        # accrue, and not a single worker miss merges back.
+        assert after["match_cache_hits_total"] > hits_before
+        assert after.get("match_cache_misses_total", 0) == misses_before
+
+
+# -- gauge quarantine / merge semantics (satellite fixes) ---------------------
+
+
+class TestGaugeMerge:
+    def test_merge_dict_skips_prefixed_gauges(self):
+        parent = MetricsRegistry()
+        parent.gauge("match_cache_entries").set(1000.0)
+        parent.gauge("fingerprint_db_stops").set(17.0)
+        child = MetricsRegistry()
+        child.counter("match_cache_hits_total").inc(3)
+        child.gauge("match_cache_entries").set(5.0)
+        child.gauge("fingerprint_db_stops").set(17.0)
+        child.labeled_gauge("match_worker_depth", ("w",)).labels("a").set(9.0)
+        parent.merge_dict(
+            child.as_dict(), skip_gauge_prefixes=("match_",)
+        )
+        snapshot = parent.as_dict()
+        assert snapshot["gauges"]["match_cache_entries"] == 1000.0
+        assert snapshot["gauges"]["fingerprint_db_stops"] == 17.0
+        assert snapshot["counters"]["match_cache_hits_total"] == 3
+        assert "match_worker_depth" not in snapshot.get("labeled", {})
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_gauges_match_serial(
+        self, small_city, database, config, batch, workers
+    ):
+        """Regression (satellite): a --workers N run must report the same
+        gauge values as serial — worker snapshots must not clobber them."""
+        serial_reg = MetricsRegistry()
+        serial = make_server(small_city, database, config,
+                             registry=serial_reg)
+        serial.ingest_many(batch)
+
+        parallel_reg = MetricsRegistry()
+        parallel = make_server(small_city, database, config,
+                               registry=parallel_reg)
+        with IngestEngine.for_server(parallel, workers=workers) as engine:
+            parallel.ingest_many(batch, engine=engine)
+
+        serial_gauges = serial_reg.as_dict()["gauges"]
+        parallel_gauges = parallel_reg.as_dict()["gauges"]
+        for name, value in serial_gauges.items():
+            if name.startswith(("ingest_", "match_")):
+                # ingest_* exist only with an engine; match_* gauges are
+                # worker-local physical levels, checked separately below.
+                continue
+            assert parallel_gauges.get(name) == value, name
+        # The cache-fill gauge is the one the old merge clobbered with
+        # whichever worker's shard snapshot landed last.  Quarantined,
+        # it must report the parent's *own* level — the parallel
+        # coordinator matched nothing itself, so that level is 0, not
+        # some worker's shard-local count.
+        assert parallel_gauges["match_cache_entries"] == len(
+            parallel.matcher.cache
+        )
+        assert parallel_gauges["match_cache_entries"] == 0.0
+
+
+# -- pickling / disabled-cache config (satellite fix) -------------------------
+
+
+class TestMatcherPickleConfig:
+    def test_disabled_cache_survives_pickle(self):
+        matcher = SampleMatcher(
+            FINGERPRINTS, MatchingConfig(cache_size=0, indexed=False)
+        )
+        clone = pickle.loads(pickle.dumps(matcher))
+        assert clone.cache.maxsize == 0
+        assert clone.cache.enabled is False
+        assert clone.index is None
+        clone.match((1, 2, 3))
+        assert len(clone.cache) == 0                 # still disabled
+
+    def test_disabled_cache_counters_stay_zero_serial_vs_sharded(
+        self, small_city, database, config, batch
+    ):
+        """With the memo off, no cache counter may drift between modes."""
+        cfg = dataclasses_replace_matching(config, cache_size=0)
+        names = (
+            "match_cache_hits_total", "match_cache_misses_total",
+            "match_cache_evictions_total", "match_cache_invalidations_total",
+        )
+        serial_reg = MetricsRegistry()
+        serial = make_server(small_city, database, cfg, registry=serial_reg)
+        serial.ingest_many(batch)
+        sharded_reg = MetricsRegistry()
+        sharded = make_server(small_city, database, cfg,
+                              registry=sharded_reg)
+        with IngestEngine.for_server(sharded, workers=2) as engine:
+            sharded.ingest_many(batch, engine=engine)
+        for name in names:
+            serial_val = serial_reg.as_dict()["counters"].get(name, 0)
+            sharded_val = sharded_reg.as_dict()["counters"].get(name, 0)
+            assert serial_val == 0, name
+            assert sharded_val == 0, name
+        assert sharded_reg.as_dict()["gauges"].get(
+            "match_cache_entries", 0
+        ) == 0
+
+
+def dataclasses_replace_matching(config: SystemConfig, **changes):
+    import dataclasses
+
+    return dataclasses.replace(
+        config, matching=dataclasses.replace(config.matching, **changes)
+    )
