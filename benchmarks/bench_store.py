@@ -1,0 +1,160 @@
+"""Durable-store overhead: receive_trip throughput across backends.
+
+The write-ahead contract puts one journal append in front of every
+applied trip.  This bench generates one morning's uploads once, then
+replays them into fresh backends: no store (the null path — guarded by
+one cached boolean, it must stay within 5% of the pre-store baseline,
+~825 trips/s on the reference machine), the in-memory store, the
+append-only log, and sqlite, each durable backend at ``batch`` and
+``always`` fsync.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_store.py``,
+``--quick`` for the CI smoke) or through pytest; the numbers land in
+``benchmarks/reports/BENCH_store.{json,txt}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.core.server import BackendServer
+from repro.sim.world import World
+from repro.store import open_store
+from repro.util.units import parse_hhmm
+
+from conftest import REPORT_DIR, report
+
+REPEATS = 3
+#: The no-store path must not pay for the journaling plumbing.
+NULL_OVERHEAD_TARGET = 0.05
+#: Throughput of the ingest loop before the durable tier existed
+#: (PR 8, reference machine) — context for the absolute rows.
+PR8_BASELINE_TRIPS_S = 825.0
+
+
+def _bench_one(world: World, uploads, make_store) -> float:
+    """Best-of-N wall time replaying ``uploads`` into a fresh server."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        store = make_store()
+        server = BackendServer(
+            world.city.network,
+            world.city.route_network,
+            world.database,
+            world.config,
+            store=store,
+        )
+        start = time.perf_counter()
+        server.receive_trips(uploads)
+        elapsed = time.perf_counter() - start
+        if store is not None:
+            store.close()
+        best = min(best, elapsed)
+    return best
+
+
+def run(quick: bool = False, out: Optional[str] = None) -> dict:
+    start, end = ("07:30", "08:15") if quick else ("07:00", "10:00")
+    world = World(seed=7)
+    result = world.run(parse_hhmm(start), parse_hhmm(end),
+                       with_official_feed=False)
+    uploads = result.uploads
+
+    scratch = tempfile.mkdtemp(prefix="bench-store-")
+    counter = [0]
+
+    def durable(backend: str, fsync: str):
+        def make():
+            counter[0] += 1
+            suffix = ".db" if backend == "sqlite" else ""
+            path = os.path.join(scratch, f"{backend}-{counter[0]}{suffix}")
+            return open_store(path, backend=backend, fsync=fsync)
+        return make
+
+    cases = [
+        ("no store (null path)", lambda: None),
+        ("memory", lambda: open_store(":memory:")),
+        ("appendlog fsync=batch", durable("appendlog", "batch")),
+        ("appendlog fsync=always", durable("appendlog", "always")),
+        ("sqlite fsync=batch", durable("sqlite", "batch")),
+        ("sqlite fsync=always", durable("sqlite", "always")),
+    ]
+    try:
+        timings = {label: _bench_one(world, uploads, make)
+                   for label, make in cases}
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    null_s = timings["no store (null path)"]
+    null_rate = len(uploads) / null_s
+    document = {
+        "campaign": f"{start}-{end}",
+        "uploads": len(uploads),
+        "repeats": REPEATS,
+        "null_trips_per_s": null_rate,
+        "pr8_baseline_trips_per_s": PR8_BASELINE_TRIPS_S,
+        "null_overhead_target": NULL_OVERHEAD_TARGET,
+        "backends": {
+            label: {
+                "seconds": seconds,
+                "trips_per_s": len(uploads) / seconds,
+                "overhead_vs_null": seconds / null_s - 1.0,
+            }
+            for label, seconds in timings.items()
+        },
+    }
+    rows = [f"uploads replayed           {len(uploads)}"]
+    for label, seconds in timings.items():
+        rate = len(uploads) / seconds
+        overhead = seconds / null_s - 1.0
+        rows.append(f"{label:<26} {seconds * 1e3:8.1f} ms   "
+                    f"{rate:8.0f} trips/s   {100 * overhead:+6.1f} %")
+    rows.append(f"pr8 reference baseline     {PR8_BASELINE_TRIPS_S:8.0f} "
+                f"trips/s (null path target: within "
+                f"{100 * NULL_OVERHEAD_TARGET:.0f}%)")
+    table = "\n".join(rows)
+    report("BENCH_store", table)
+    out = out or os.path.join(REPORT_DIR, "BENCH_store.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    print(f"wrote {out}")
+    return document
+
+
+def test_store_overhead():
+    document = run(quick=True)
+    backends = document["backends"]
+    # The journaled paths actually journaled (sanity, not a perf gate).
+    assert backends["memory"]["seconds"] > 0
+    # Null path must at least be no slower than the journaled memory
+    # path — the cached-boolean guard keeps it store-free entirely.
+    assert (backends["no store (null path)"]["seconds"]
+            <= backends["memory"]["seconds"] * (1 + NULL_OVERHEAD_TARGET))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short campaign for the CI smoke")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+    document = run(quick=args.quick, out=args.out)
+    null_rate = document["null_trips_per_s"]
+    floor = PR8_BASELINE_TRIPS_S * (1 - NULL_OVERHEAD_TARGET)
+    if not args.quick and null_rate < floor:
+        print(f"WARNING: null-store path at {null_rate:.0f} trips/s is "
+              f"below the PR-8 reference floor ({floor:.0f} trips/s); "
+              f"machine-dependent, but check the journaling guard",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

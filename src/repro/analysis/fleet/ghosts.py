@@ -103,6 +103,21 @@ class GhostDetector:
             if status["ghost_vehicles"] >= 1.0
         ]
 
+    def state_dict(self) -> Dict:
+        """JSON-ready observation history."""
+        return {
+            "last_seen": dict(sorted(self._last_seen.items())),
+            "epoch_s": self._epoch_s,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt observation history from :meth:`state_dict`."""
+        self._last_seen = {
+            str(route): float(t) for route, t in state["last_seen"].items()
+        }
+        epoch = state["epoch_s"]
+        self._epoch_s = None if epoch is None else float(epoch)
+
     def reset(self) -> None:
         """Forget observation history (route set and schedule are kept)."""
         self._last_seen.clear()

@@ -159,6 +159,21 @@ class HeadwayTracker:
             ),
         }
 
+    def state_dict(self) -> List:
+        """JSON-ready event lists: ``[route, stop, [times...]]`` rows."""
+        return [
+            [route, stop, list(times)]
+            for (route, stop), times in sorted(self._events.items())
+        ]
+
+    def restore_state(self, state: List) -> None:
+        """Adopt event lists from :meth:`state_dict`."""
+        self._events = {
+            (str(route), int(stop)): [float(t) for t in times]
+            for route, stop, times in state
+        }
+        self._total_events = sum(len(v) for v in self._events.values())
+
     def reset(self) -> None:
         """Forget every event (configuration is kept)."""
         self._events.clear()

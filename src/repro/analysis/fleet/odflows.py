@@ -91,6 +91,26 @@ class ODFlowMatrix:
             ],
         }
 
+    def state_dict(self) -> Dict:
+        """JSON-ready flow matrix (tuple keys flattened into rows)."""
+        return {
+            "flows": [
+                [origin, dest, trips]
+                for (origin, dest), trips in sorted(self._flows.items())
+            ],
+            "overflow_trips": self._overflow_trips,
+            "total_trips": self._total_trips,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt the flow matrix from :meth:`state_dict`."""
+        self._flows = {
+            (int(origin), int(dest)): int(trips)
+            for origin, dest, trips in state["flows"]
+        }
+        self._overflow_trips = int(state["overflow_trips"])
+        self._total_trips = int(state["total_trips"])
+
     def reset(self) -> None:
         """Forget every flow."""
         self._flows.clear()

@@ -303,6 +303,40 @@ class FleetHealthAnalytics:
             ),
         }
 
+    # -- durable-state codec ---------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """JSON-ready analytics state for the durable store."""
+        return {
+            "scheduled_headway_s": self.scheduled_headway_s,
+            "headways": self.headways.state_dict(),
+            "ghosts": self.ghosts.state_dict(),
+            "od_flows": self.od_flows.state_dict(),
+            "windows": self.windows.state_dict(),
+            "last_publish_s": self._last_publish_s,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt analytics state from :meth:`state_dict`.
+
+        The scheduled headway is applied first — the bunching threshold
+        is baked into the window reducers, so the (empty) windows are
+        rebuilt with the restored schedule before their contents load.
+        This also clears the per-route reducer cache, so hot-path
+        lookups repopulate against the restored window objects.
+        """
+        headway = float(state["scheduled_headway_s"])
+        self.scheduled_headway_s = headway
+        self.headways.scheduled_headway_s = headway
+        self.ghosts.scheduled_headway_s = headway
+        self.windows = self._make_windows()
+        self.headways.restore_state(state["headways"])
+        self.ghosts.restore_state(state["ghosts"])
+        self.od_flows.restore_state(state["od_flows"])
+        self.windows.restore_state(state["windows"])
+        last = state["last_publish_s"]
+        self._last_publish_s = None if last is None else float(last)
+
     def reset(self) -> None:
         """Forget all analytics state (between back-to-back campaigns)."""
         self.headways.reset()

@@ -130,6 +130,37 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--metrics-out", default=None,
                           help="dump pipeline metrics + per-stage timings "
                                "(JSON, or Prometheus text for *.prom)")
+    campaign.add_argument("--headway", type=float, default=None,
+                          metavar="SECONDS",
+                          help="dispatch headway override (default: config)")
+    campaign.add_argument("--store", default=None, metavar="PATH",
+                          help="durable state store: journal every upload "
+                               "to a write-ahead ledger and snapshot the "
+                               "backend, so a killed campaign can be "
+                               "resumed (directory = append-log backend, "
+                               "*.db/*.sqlite = sqlite, ':memory:' = "
+                               "in-process)")
+    campaign.add_argument("--store-backend", default=None,
+                          choices=["memory", "sqlite", "appendlog"],
+                          help="force the store backend instead of "
+                               "inferring it from the path")
+    campaign.add_argument("--resume", action="store_true",
+                          help="recover state from --store (snapshot + WAL "
+                               "replay) and continue the campaign where a "
+                               "previous process stopped")
+    campaign.add_argument("--snapshot-every", type=int, default=None,
+                          metavar="N",
+                          help="snapshot cadence in WAL records, checked at "
+                               "day boundaries (default: config; 0 disables "
+                               "automatic snapshots)")
+    campaign.add_argument("--fsync", default=None,
+                          choices=["always", "batch", "never"],
+                          help="store fsync policy (default: config "
+                               "'batch')")
+    campaign.add_argument("--golden-out", default=None, metavar="FILE",
+                          help="write the canonical golden trace of the "
+                               "final backend state (crash-recovery tests "
+                               "diff this byte-for-byte)")
     campaign.add_argument("--alert-rules", default=None, metavar="FILE",
                           help="evaluate this JSON SLO rule file on every "
                                "publish tick")
@@ -269,6 +300,10 @@ def _ingest_config(args: argparse.Namespace):
         ingest = replace(ingest, shared_store=False)
     if getattr(args, "memo_warm", None) is not None:
         ingest = replace(ingest, memo_warm=args.memo_warm)
+    if getattr(args, "snapshot_every", None) is not None:
+        ingest = replace(ingest, store_snapshot_every=args.snapshot_every)
+    if getattr(args, "fsync", None) is not None:
+        ingest = replace(ingest, store_fsync=args.fsync)
     if ingest is not config.ingest:
         config = replace(config, ingest=ingest)
     return config
@@ -830,14 +865,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.sim.campaign import Campaign, CampaignPhase
     from repro.sim.world import World
 
+    # A golden trace without live metrics would compare empty dicts, so
+    # --golden-out forces the real registry just like --metrics-out.
     registry, tracer = _observability_for(
-        bool(args.metrics_out), policy=_trace_policy(args)
+        bool(args.metrics_out or args.golden_out), policy=_trace_policy(args)
     )
-    world = World(seed=args.seed, config=_ingest_config(args),
-                  registry=registry, tracer=tracer)
+    config = _ingest_config(args)
+    store = None
+    if args.store:
+        from repro.store import open_store
+
+        store = open_store(args.store, backend=args.store_backend,
+                           fsync=config.ingest.store_fsync)
+        store.bind_observability(registry=registry, tracer=tracer)
+    elif args.resume:
+        print("--resume requires --store PATH", file=sys.stderr)
+        return 2
+    world = World(seed=args.seed, config=config,
+                  registry=registry, tracer=tracer, store=store)
     engine = _alert_engine_for(args.alert_rules, registry, world.server)
     campaign = Campaign(world, start=args.start, end=args.end,
-                        workers=args.workers)
+                        headway_s=args.headway, workers=args.workers)
     phases = []
     if args.sparse_days > 0:
         phases.append(
@@ -850,7 +898,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not phases:
         print("nothing to run: both phases have zero days", file=sys.stderr)
         return 2
-    result = campaign.run(phases)
+    try:
+        result = campaign.run(phases, resume=args.resume)
+    except ValueError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
     print(f"{'day':<5} {'phase':<10} {'bus trips':>9} {'uploads':>8} "
           f"{'mapped':>7} {'coverage':>9}")
     for day in result.days:
@@ -861,6 +916,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"mean uploads/day in {phase}: "
               f"{result.uploads_per_day(phase):.0f}")
     _print_alert_status(engine)
+    if args.golden_out:
+        from pathlib import Path
+
+        from repro.testkit.golden import render_trace, trace_from_server
+
+        trace_path = Path(args.golden_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(
+            render_trace(trace_from_server(world.server)), encoding="utf-8"
+        )
+        print(f"wrote golden trace -> {args.golden_out}")
     if args.metrics_out:
         _write_metrics(args.metrics_out, "campaign", world.server, registry,
                        tracer)

@@ -238,6 +238,15 @@ class IngestConfig:
     #: Hottest verdict-memo entries shipped to each worker at pool init
     #: so its cache starts warm (0 disables pre-warming).
     memo_warm: int = 512
+    #: Durable-store snapshot cadence: WAL records between automatic
+    #: snapshots at quiescent points (0 disables automatic snapshots;
+    #: recovery then replays the whole WAL).  Ignored without a store.
+    store_snapshot_every: int = 1000
+    #: Durable-store fsync policy: ``always`` (fsync per WAL append),
+    #: ``batch`` (flush per append, fsync at snapshots/close) or
+    #: ``never`` (leave durability to the OS).  All three survive a
+    #: killed process; they differ under a machine power cut.
+    store_fsync: str = "batch"
 
 
 @dataclass(frozen=True)

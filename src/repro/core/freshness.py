@@ -153,6 +153,24 @@ class FreshnessTracker:
             ))
         return out
 
+    def state_dict(self) -> Dict:
+        """JSON-ready refresh history (``_last_report`` is already JSON)."""
+        return {
+            "route_last_update": dict(sorted(self._route_last_update.items())),
+            "epoch_s": self._epoch_s,
+            "last_report": self._last_report,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt refresh history from :meth:`state_dict`."""
+        self._route_last_update = {
+            str(route): float(t)
+            for route, t in state["route_last_update"].items()
+        }
+        epoch = state["epoch_s"]
+        self._epoch_s = None if epoch is None else float(epoch)
+        self._last_report = state["last_report"]
+
     def reset(self) -> None:
         """Forget refresh history (e.g. between back-to-back campaigns)."""
         self._route_last_update.clear()

@@ -101,6 +101,32 @@ class BayesianSpeedFuser:
             return belief
         return self._inflate(belief, t)
 
+    def state_dict(self) -> list:
+        """JSON-ready beliefs.  Tuple keys (segment ids) become lists;
+        :meth:`restore_state` turns lists back into tuples."""
+        out = []
+        for key in sorted(self._beliefs):
+            b = self._beliefs[key]
+            wire_key = list(key) if isinstance(key, tuple) else key
+            out.append([
+                wire_key, b.mean_kmh, b.variance,
+                b.last_update_s, b.observation_count,
+            ])
+        return out
+
+    def restore_state(self, state: list) -> None:
+        """Adopt beliefs from :meth:`state_dict` (replaces everything)."""
+        beliefs: Dict[object, FusedSpeed] = {}
+        for wire_key, mean, variance, last, count in state:
+            key = tuple(wire_key) if isinstance(wire_key, list) else wire_key
+            beliefs[key] = FusedSpeed(
+                mean_kmh=float(mean),
+                variance=float(variance),
+                last_update_s=float(last),
+                observation_count=int(count),
+            )
+        self._beliefs = beliefs
+
     def _inflate(self, belief: FusedSpeed, t: float) -> FusedSpeed:
         elapsed_hr = max(0.0, t - belief.last_update_s) / 3600.0
         extra = (self.config.staleness_inflation_kmh_per_hr * elapsed_hr) ** 2

@@ -33,7 +33,10 @@ from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.obs.windows import WindowSet
 from repro.phone.trip_recorder import TripUpload
+from repro.store import NULL_STORE, NullStateStore, StateStore
+from repro.store.faults import fault_point
 from repro.util.units import ms_to_kmh
+from repro.wire import trip_from_dict, trip_to_dict
 
 #: Plausibility band for a measured bus leg; outside it the reading is junk.
 _MIN_BUS_SPEED_KMH = 2.0
@@ -175,6 +178,7 @@ class BackendServer:
         *,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        store: Optional[StateStore] = None,
     ):
         self.config = config or SystemConfig()
         self.network = network
@@ -251,6 +255,25 @@ class BackendServer:
                 registry=self.registry,
             )
         self._seen_trip_keys: set = set()
+        #: Durable state tier: write-ahead upload ledger + snapshots.
+        #: The default NULL_STORE keeps the no-store hot path at one
+        #: cached boolean per ingest — same trick as NULL_REGISTRY.
+        self.store: StateStore = store if store is not None else NULL_STORE
+        self._journaling = not isinstance(self.store, NullStateStore)
+        self._replaying = False
+        #: Watermark: seq of the last WAL record whose mutation finished.
+        self.applied_seq = 0
+        self._last_snapshot_seq = 0
+        self._snapshot_every = self.config.ingest.store_snapshot_every
+        self._c_replayed = self.registry.counter(
+            "store_replayed_records_total",
+            help="WAL records re-applied during recovery",
+        )
+
+    @property
+    def is_journaling(self) -> bool:
+        """Whether a durable store is attached and journaling is live."""
+        return self._journaling
 
     def attach_alerts(self, engine: AlertEngine) -> None:
         """Evaluate ``engine`` on every publish tick from now on."""
@@ -298,7 +321,7 @@ class BackendServer:
                 prepared = PreparedTrip.skipped(upload)
             else:
                 prepared = self.prepare_upload(upload, keep_matches=keep_matches)
-            return self.apply_prepared(prepared, now_s=now_s)
+            return self.apply_prepared(prepared, now_s=now_s, upload=upload)
 
     def prepare_upload(
         self, upload: TripUpload, *, keep_matches: bool = False
@@ -321,7 +344,11 @@ class BackendServer:
         )
 
     def apply_prepared(
-        self, prepared: PreparedTrip, now_s: Optional[float] = None
+        self,
+        prepared: PreparedTrip,
+        now_s: Optional[float] = None,
+        *,
+        upload: Optional[TripUpload] = None,
     ) -> TripReport:
         """The mutating pipeline half: fold one prepared trip into state.
 
@@ -329,7 +356,30 @@ class BackendServer:
         traffic map and freshness all live here.  Must be called in
         upload order; :meth:`ingest_many` guarantees that even when the
         preparation itself ran sharded across a worker pool.
+
+        With a durable store attached the raw ``upload`` is journaled to
+        the WAL *before* anything mutates (the write-ahead contract), so
+        callers must pass it alongside ``prepared`` — the pure half does
+        not retain raw samples.  Duplicates are journaled too: replay
+        must reproduce the duplicate counters exactly once each.
         """
+        if self._journaling and not self._replaying:
+            if upload is None:
+                raise ValueError(
+                    "a durable store is attached: apply_prepared needs the "
+                    "raw upload to journal (pass upload=...)"
+                )
+            self._journal({
+                "kind": "trip",
+                "now_s": now_s,
+                "trip": trip_to_dict(upload),
+            })
+            fault_point("apply")
+        return self._apply_prepared_inner(prepared, now_s=now_s)
+
+    def _apply_prepared_inner(
+        self, prepared: PreparedTrip, now_s: Optional[float] = None
+    ) -> TripReport:
         if prepared.trip_key in self._seen_trip_keys:
             self.stats.trips_duplicate += 1
             self.stats.samples_discarded += prepared.samples_total
@@ -441,7 +491,10 @@ class BackendServer:
                 ordered, engine, keep_matches=keep_matches
             )
             with self.tracer.span("ingest_merge"):
-                return [self.apply_prepared(p) for p in prepared]
+                return [
+                    self.apply_prepared(p, upload=u)
+                    for p, u in zip(prepared, ordered)
+                ]
         finally:
             if own_engine:
                 engine.close()
@@ -502,6 +555,8 @@ class BackendServer:
         the sliding-window rates, and — when an :class:`AlertEngine` is
         attached — evaluates every SLO rule against the live samples.
         """
+        if self._journaling and not self._replaying:
+            self._journal({"kind": "publish", "at_s": at_s})
         self.traffic_map.publish(at_s)
         self.freshness.observe_publish(at_s)
         if self.analytics is not None:
@@ -517,6 +572,150 @@ class BackendServer:
             self._g_accept_ratio.set(self.match_accept_ratio())
         if self.alerts is not None:
             self.alerts.evaluate(self.alert_samples(at_s), at_s)
+
+    # -- durable state tier ------------------------------------------------------
+
+    def _journal(self, record: Dict) -> int:
+        """Assign the next seq, append to the WAL, bump the watermark.
+
+        The watermark moves *with* the journal write, before the
+        mutation runs: a crash in between leaves a journaled-but-
+        unapplied record, which is safe because snapshots are only taken
+        at quiescent points (so a persisted watermark never exceeds the
+        last fully applied record) and recovery replays the tail.
+        """
+        record["seq"] = self.applied_seq + 1
+        self.store.append_wal(record)
+        self.applied_seq = record["seq"]
+        return self.applied_seq
+
+    def journal_marker(self, kind: str, **payload) -> int:
+        """Journal a non-mutating marker record (campaign day bounds).
+
+        Markers ride the same seq stream as trips and publishes, so the
+        campaign can reconstruct day structure from the WAL alone.
+        Returns the marker's seq (the current watermark when no store
+        is attached).
+        """
+        if not self._journaling:
+            return self.applied_seq
+        record: Dict = {"kind": kind}
+        record.update(payload)
+        return self._journal(record)
+
+    def maybe_snapshot(self, force: bool = False) -> bool:
+        """Snapshot the full server state at the current watermark.
+
+        Honours the ``store_snapshot_every`` cadence (WAL records since
+        the last snapshot) unless ``force`` is set.  Callers must only
+        invoke this at *quiescent* points — every journaled record fully
+        applied.  The campaign snapshots at day boundaries only: with
+        ``workers > 1`` the parallel prepare merges a whole day's worker
+        metrics up front, so a mid-day registry snapshot would overcount
+        after replay.  Serial-only contexts may force-snapshot anywhere.
+        """
+        if not self._journaling:
+            return False
+        pending = self.applied_seq - self._last_snapshot_seq
+        if not force and (
+            self._snapshot_every <= 0 or pending < self._snapshot_every
+        ):
+            return False
+        self.store.write_snapshot(self.applied_seq, self.state_dict())
+        self._last_snapshot_seq = self.applied_seq
+        return True
+
+    def state_dict(self) -> Dict:
+        """The server's full mutable state as one JSON-ready document."""
+        return {
+            "v": 1,
+            "applied_seq": self.applied_seq,
+            "seen_trip_keys": sorted(self._seen_trip_keys),
+            "stats": self.stats.as_dict(),
+            "traffic_map": self.traffic_map.state_dict(),
+            "freshness": self.freshness.state_dict(),
+            "windows": self.windows.state_dict(),
+            "analytics": (
+                self.analytics.state_dict()
+                if self.analytics is not None else None
+            ),
+            "registry": self.registry.as_dict() if self._observing else None,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot (replaces current state)."""
+        version = state.get("v")
+        if version != 1:
+            raise ValueError(f"unsupported server snapshot version {version!r}")
+        self.applied_seq = int(state["applied_seq"])
+        self._last_snapshot_seq = self.applied_seq
+        self._seen_trip_keys = set(state["seen_trip_keys"])
+        if self._observing and state.get("registry") is not None:
+            # merge_dict onto a reset registry is an absolute restore;
+            # structural gauges are re-derived afterwards.
+            self.registry.reset()
+            self.registry.merge_dict(state["registry"])
+            self.registry.gauge("fingerprint_db_stops").set(len(self.database))
+        # Absolute sets are deltas under ServerStats.__setattr__, so this
+        # is a no-op where the registry merge already restored the
+        # server_* counters and an exact restore on a private registry.
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self.traffic_map.restore_state(state["traffic_map"])
+        self.freshness.restore_state(state["freshness"])
+        self.windows.restore_state(state["windows"])
+        if self.analytics is not None and state.get("analytics") is not None:
+            self.analytics.restore_state(state["analytics"])
+
+    def replay_record(self, record: Dict) -> bool:
+        """Re-apply one WAL record; returns False below the watermark.
+
+        The seq watermark makes replay exactly idempotent: a record at
+        or below ``applied_seq`` is skipped *entirely* (duplicate-upload
+        counters included), so any WAL prefix can be replayed any number
+        of times and land on the same state.
+        """
+        seq = int(record["seq"])
+        if seq <= self.applied_seq:
+            return False
+        kind = record.get("kind")
+        self._replaying = True
+        try:
+            if kind == "trip":
+                upload = trip_from_dict(record["trip"])
+                if upload.trip_key in self._seen_trip_keys:
+                    prepared = PreparedTrip.skipped(upload)
+                else:
+                    prepared = self.prepare_upload(upload)
+                self._apply_prepared_inner(prepared, now_s=record.get("now_s"))
+            elif kind == "publish":
+                self.publish(float(record["at_s"]))
+            # Marker kinds mutate nothing server-side; the campaign
+            # reads them for day bookkeeping.
+        finally:
+            self._replaying = False
+        self.applied_seq = seq
+        if self._observing:
+            self._c_replayed.inc()
+        return True
+
+    def load_snapshot(self) -> int:
+        """Restore the store's latest snapshot; returns the watermark."""
+        found = self.store.latest_snapshot()
+        if found is not None:
+            _seq, payload = found
+            self.restore_state(payload)
+        return self.applied_seq
+
+    def recover(self) -> int:
+        """Load the latest snapshot, replay the WAL tail; returns the
+        number of records re-applied."""
+        self.load_snapshot()
+        replayed = 0
+        for record in self.store.wal_records():
+            if self.replay_record(record):
+                replayed += 1
+        return replayed
 
     def match_accept_ratio(self) -> float:
         """Accepted / received samples over the run (1.0 before any data)."""

@@ -233,6 +233,42 @@ class TrafficMapEstimator:
             total_segments=len(self.network.segment_ids),
         )
 
+    # -- durable-state codec -----------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """JSON-ready fused beliefs + published history (segment-id
+        tuples ride as lists)."""
+        return {
+            "fuser": self.fuser.state_dict(),
+            "history": [
+                [
+                    at_s,
+                    [
+                        [list(segment_id), mean, sigma, last_update]
+                        for segment_id, (mean, sigma, last_update)
+                        in sorted(frame.items())
+                    ],
+                ]
+                for at_s, frame in self._history
+            ],
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt beliefs and published history from :meth:`state_dict`."""
+        self.fuser.restore_state(state["fuser"])
+        self._history = [
+            (
+                float(at_s),
+                {
+                    tuple(segment_id): (
+                        float(mean), float(sigma), float(last_update)
+                    )
+                    for segment_id, mean, sigma, last_update in entries
+                },
+            )
+            for at_s, entries in state["history"]
+        ]
+
     def _frame_at(
         self, t: float
     ) -> Optional[Tuple[float, Dict[SegmentId, Tuple[float, float, float]]]]:

@@ -80,6 +80,19 @@ class SlidingWindowCounter:
         self._counts = [0.0] * len(self._counts)
         self._starts = [None] * len(self._starts)
 
+    def state_dict(self) -> Dict:
+        """JSON-ready ring contents (geometry is construction-time)."""
+        return {"counts": list(self._counts), "starts": list(self._starts)}
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt ring contents from :meth:`state_dict`."""
+        counts = [float(c) for c in state["counts"]]
+        starts = [None if s is None else float(s) for s in state["starts"]]
+        if len(counts) != len(self._counts) or len(starts) != len(counts):
+            raise ValueError("window state has the wrong bucket count")
+        self._counts = counts
+        self._starts = starts
+
     def __repr__(self) -> str:
         return (
             f"SlidingWindowCounter(window_s={self.window_s:g}, "
@@ -195,6 +208,22 @@ class SlidingWindowStats:
         self._slots = [[0, 0.0, 0.0, None, None, 0] for _ in self._slots]
         self._starts = [None] * len(self._starts)
 
+    def state_dict(self) -> Dict:
+        """JSON-ready ring contents (geometry/threshold stay put)."""
+        return {
+            "slots": [list(slot) for slot in self._slots],
+            "starts": list(self._starts),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt ring contents from :meth:`state_dict`."""
+        slots = [list(slot) for slot in state["slots"]]
+        starts = [None if s is None else float(s) for s in state["starts"]]
+        if len(slots) != len(self._slots) or len(starts) != len(slots):
+            raise ValueError("window state has the wrong bucket count")
+        self._slots = slots
+        self._starts = starts
+
     def __repr__(self) -> str:
         return (
             f"SlidingWindowStats(window_s={self.window_s:g}, "
@@ -278,3 +307,22 @@ class WindowSet:
         """Forget every series' contents (series set is kept)."""
         for win in self._windows.values():
             win.reset()
+
+    def state_dict(self) -> List:
+        """Every series with its ring contents, deterministically ordered."""
+        return [
+            [name, [list(pair) for pair in label_items], win.state_dict()]
+            for (name, label_items), win in sorted(self._windows.items())
+        ]
+
+    def restore_state(self, state: List) -> None:
+        """Recreate the series set (via the factory) and their contents."""
+        self._windows = {}
+        for name, label_items, win_state in state:
+            key = (
+                str(name),
+                tuple((str(k), str(v)) for k, v in label_items),
+            )
+            win = self._factory(self.window_s, self.buckets)
+            win.restore_state(win_state)
+            self._windows[key] = win

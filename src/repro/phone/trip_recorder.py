@@ -13,7 +13,6 @@ when the motion filter says the ride looks like a bus.
 
 from __future__ import annotations
 
-import itertools
 import logging
 from dataclasses import dataclass, field
 from enum import Enum
@@ -23,6 +22,7 @@ from repro.config import TripRecorderConfig
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.phone.cellular import CellularSample
+from repro.util.counters import PersistentCounter
 
 _log = get_logger(__name__)
 
@@ -70,6 +70,7 @@ class TripRecorder:
         phone_id: str = "phone",
         *,
         registry: Optional[MetricsRegistry] = None,
+        key_start: int = 0,
     ):
         self.config = config or TripRecorderConfig()
         self.phone_id = phone_id
@@ -90,8 +91,17 @@ class TripRecorder:
         # Per-recorder, not process-global: trip keys must be a pure
         # function of (phone_id, trips concluded so far) so identically
         # seeded runs in one process produce identical keys.  Key
-        # uniqueness across recorders comes from unique phone ids.
-        self._keys = itertools.count()
+        # uniqueness across recorders comes from unique phone ids.  A
+        # PersistentCounter (vs itertools.count) lets a restarted
+        # process resume key numbering instead of colliding with trips
+        # already in the server's durable duplicate ledger.
+        self._keys = PersistentCounter(key_start)
+
+    @property
+    def key_counter(self) -> PersistentCounter:
+        """The trip-key counter (snapshot ``.value`` / ``.reset`` it to
+        survive a restart without reissuing keys)."""
+        return self._keys
 
     # -- event feed ---------------------------------------------------------
 

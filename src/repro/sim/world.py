@@ -12,7 +12,6 @@ and benchmarks.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +37,8 @@ from repro.sim.events import Simulator
 from repro.sim.taxi import OfficialTrafficFeed
 from repro.sim.traffic import TrafficField, default_hotspots_for
 from repro.sim.uplink import UplinkChannel
+from repro.store import StateStore
+from repro.util.counters import PersistentCounter
 from repro.util.rng import derive_rng, ensure_rng
 from repro.util.units import parse_hhmm
 
@@ -81,6 +82,7 @@ class World:
         *,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        store: Optional[StateStore] = None,
     ):
         self.city = city or build_city()
         self.config = config or SystemConfig()
@@ -90,8 +92,10 @@ class World:
         self._rng = ensure_rng(seed)
         # Persistent across run() calls: phone ids must never repeat
         # between campaign days or the server's duplicate-trip ledger
-        # would silently drop later days' uploads.
-        self._rider_ids = itertools.count()
+        # would silently drop later days' uploads.  A PersistentCounter
+        # so a resumed campaign restores the position a dead process
+        # reached instead of reissuing day-one rider ids.
+        self._rider_ids = PersistentCounter()
 
         spec = self.city.spec
         self.traffic = TrafficField(
@@ -117,7 +121,13 @@ class World:
             self.config,
             registry=self.registry,
             tracer=self.tracer,
+            store=store,
         )
+
+    @property
+    def rider_counter(self) -> PersistentCounter:
+        """The rider-id counter (campaign resume snapshots/restores it)."""
+        return self._rider_ids
 
     # -- campaign ------------------------------------------------------------
 
@@ -131,6 +141,7 @@ class World:
         with_official_feed: bool = True,
         workers: int = 1,
         keep_matches: bool = False,
+        skip_events: int = 0,
     ) -> SimulationResult:
         """Run a sensing campaign over ``[start_s, end_s)``.
 
@@ -146,6 +157,13 @@ class World:
         order), then replays the stateful merge at the original event
         times — the map, stats and reports are bit-identical to the
         serial run.
+
+        ``skip_events`` silently swallows the first N backend events
+        (trip deliveries *and* publish ticks, in engine firing order).
+        Campaign resume uses it to fast-forward through the prefix of a
+        half-finished day already recovered from the WAL: the event
+        schedule is rebuilt deterministically, and exactly the events
+        whose records were journaled before the crash are skipped.
         """
         if end_s <= start_s:
             raise ValueError("end must be after start")
@@ -207,6 +225,17 @@ class World:
             timed_uploads = channel.transmit_all(ready_uploads)
 
         # Interleave uploads with publication ticks on the event engine.
+        # One shared gate swallows the first ``skip_events`` backend
+        # events — trips and publishes alike, in firing order, matching
+        # the WAL record order a journaled run produces.
+        skip_gate = [int(skip_events)]
+
+        def _consume_skip() -> bool:
+            if skip_gate[0] > 0:
+                skip_gate[0] -= 1
+                return True
+            return False
+
         reports: List[TripReport] = []
         with self.tracer.span("ingest"):
             sim = Simulator(start_time=start_s)
@@ -222,7 +251,9 @@ class World:
                         engine,
                         keep_matches=keep_matches,
                     )
-                def _merge(sim_state, prepared_trip):
+                def _merge(sim_state, prepared_trip, upload):
+                    if _consume_skip():
+                        return
                     # Keyed span: slow single-writer merges surface as
                     # slow-trip exemplars alongside slow worker trips.
                     with self.tracer.span(
@@ -230,33 +261,50 @@ class World:
                     ):
                         reports.append(
                             self.server.apply_prepared(
-                                prepared_trip, now_s=sim_state.now
+                                prepared_trip,
+                                now_s=sim_state.now,
+                                upload=upload,
                             )
                         )
 
-                for (arrive_at, _), prepared in zip(
+                for (arrive_at, upload), prepared in zip(
                     timed_uploads, prepared_all
                 ):
                     sim.schedule(
                         max(arrive_at, start_s),
-                        lambda s, p=prepared: _merge(s, p),
+                        lambda s, p=prepared, u=upload: _merge(s, p, u),
                     )
             else:
+                def _deliver(sim_state, upload):
+                    if _consume_skip():
+                        return
+                    reports.append(
+                        self.server.receive_trip(
+                            upload,
+                            now_s=sim_state.now,
+                            keep_matches=keep_matches,
+                        )
+                    )
+
                 for arrive_at, upload in timed_uploads:
                     sim.schedule(
                         max(arrive_at, start_s),
-                        lambda s, u=upload: reports.append(
-                            self.server.receive_trip(
-                                u, now_s=s.now, keep_matches=keep_matches
-                            )
-                        ),
+                        lambda s, u=upload: _deliver(s, u),
                     )
             horizon = max(
                 [end_s] + [arrive_at for arrive_at, _ in timed_uploads]
             ) + 1.0
+            def _publish(sim_state):
+                # A skipped publish must not reach the server: replay
+                # already published this tick, and the map's strictly-
+                # increasing guard would (rightly) refuse a second one.
+                if _consume_skip():
+                    return
+                self.server.publish(sim_state.now)
+
             sim.schedule_every(
                 self.config.fusion.update_period_s,
-                lambda s: self.server.publish(s.now),
+                _publish,
                 first_at=start_s + self.config.fusion.update_period_s,
                 until=horizon,
             )

@@ -1,0 +1,131 @@
+"""Sqlite :class:`StateStore`: one database file, one txn per append.
+
+Sqlite already gives atomic commits and torn-write detection through
+its own journal, so this backend is mostly schema + PRAGMA plumbing:
+
+* ``wal(seq INTEGER PRIMARY KEY, record TEXT)`` — the upload ledger;
+* ``snapshots(seq INTEGER PRIMARY KEY, payload TEXT)`` — only the
+  newest row is retained;
+* ``meta(key TEXT PRIMARY KEY, value TEXT)``.
+
+The fsync policy maps onto ``PRAGMA synchronous``: ``always`` → FULL,
+``batch`` → NORMAL, ``never`` → OFF.  Fault points land *before* the
+commit, so an injected crash leaves an uncommitted insert that sqlite
+rolls back on the next open — the same "tail loss, never corruption"
+contract the append-log backend provides by hand.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, Optional, Tuple
+
+from repro.store.base import StateStore, _check_fsync
+from repro.store.faults import fault_point
+
+__all__ = ["SqliteStateStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS wal (
+    seq INTEGER PRIMARY KEY,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    seq INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "never": "OFF"}
+
+
+class SqliteStateStore(StateStore):
+    """Durable WAL/snapshots/meta in a single sqlite database file."""
+
+    backend = "sqlite"
+    persistent = True
+
+    def __init__(self, path: str, fsync: str = "batch"):
+        super().__init__()
+        self._fsync = _check_fsync(fsync)
+        self.path = str(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute(f"PRAGMA synchronous={_SYNCHRONOUS[self._fsync]}")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+        row = self._db.execute("SELECT MAX(seq) FROM wal").fetchone()
+        self._last = int(row[0]) if row and row[0] is not None else 0
+        self._closed = False
+
+    # -- WAL -----------------------------------------------------------------
+
+    def _append(self, seq: int, text: str) -> None:
+        self._db.execute(
+            "INSERT INTO wal (seq, record) VALUES (?, ?)", (seq, text)
+        )
+        # Crash here = insert never committed; sqlite rolls it back on
+        # the next open and the writer's last ack'd seq still stands.
+        fault_point("wal_append")
+        self._db.commit()
+        self._last = seq
+
+    def _records(self, after_seq: int) -> Iterator[Tuple[int, str]]:
+        cur = self._db.execute(
+            "SELECT seq, record FROM wal WHERE seq > ? ORDER BY seq",
+            (after_seq,),
+        )
+        for seq, text in cur:
+            yield int(seq), text
+
+    def _last_seq(self) -> int:
+        return self._last
+
+    # -- snapshots / metadata ------------------------------------------------
+
+    def _write_snapshot(self, seq: int, text: str) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO snapshots (seq, payload) VALUES (?, ?)",
+            (seq, text),
+        )
+        self._db.execute("DELETE FROM snapshots WHERE seq < ?", (seq,))
+        fault_point("snapshot")
+        self._db.commit()
+
+    def _latest_snapshot(self) -> Optional[Tuple[int, str]]:
+        row = self._db.execute(
+            "SELECT seq, payload FROM snapshots ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        return int(row[0]), row[1]
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+        self._db.commit()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _sync(self) -> None:
+        if not self._closed:
+            self._db.commit()
+
+    def _close(self) -> None:
+        if self._closed:
+            return
+        self._db.commit()
+        self._db.close()
+        self._closed = True

@@ -1,0 +1,42 @@
+"""Counters whose position survives snapshot/restore.
+
+``itertools.count`` is perfect until a process has to resume where a
+dead one stopped: its position can't be read or set.  A
+:class:`PersistentCounter` is the same iterator with a readable
+``value`` (the *next* number it will hand out) and a ``reset`` — what
+the durable state tier snapshots so rider ids and trip keys continue
+instead of colliding after recovery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PersistentCounter"]
+
+
+class PersistentCounter:
+    """Drop-in for ``itertools.count(start)`` with observable state."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0):
+        self._next = int(start)
+
+    @property
+    def value(self) -> int:
+        """The number the next ``next()`` call will return."""
+        return self._next
+
+    def reset(self, value: int) -> None:
+        """Reposition the counter (restore from a snapshot)."""
+        self._next = int(value)
+
+    def __next__(self) -> int:
+        n = self._next
+        self._next = n + 1
+        return n
+
+    def __iter__(self) -> "PersistentCounter":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PersistentCounter({self._next})"
